@@ -1,0 +1,129 @@
+"""Appendix B: the theory behind candidate filtering.
+
+Three artifacts:
+
+* **B.1 / estimator table** -- closed-form and Monte-Carlo variance of the
+  mean-value vs max-value access-period estimators: the max-value
+  estimator (what two-round filtering thresholds) is the minimum-variance
+  unbiased choice.
+* **Figure B1** -- the h(x, alpha) hotness-density family: smaller alpha
+  concentrates mass in the hot region.
+* **Figure B2** -- promotion efficiency E(n) against alpha for n = 2..7
+  scan rounds: n = 2 maximizes efficiency across the realistic alpha
+  range, the justification for two-round filtering.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis import theory
+from repro.harness.reporting import format_table
+from repro.sim.rng import RngStreams
+
+ALPHAS = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+ROUNDS = (2, 3, 4, 5, 6, 7)
+
+
+def test_appb1_estimator_variance(benchmark, record_figure):
+    def run():
+        rng = RngStreams(11).get("appb1")
+        rows = []
+        for n in range(1, 6):
+            (mean1, var1), (mean2, var2) = theory.simulate_estimators(
+                n_rounds=n, period=1.0, trials=100_000, rng=rng
+            )
+            rows.append(
+                [
+                    n,
+                    theory.mean_estimator_variance(n),
+                    var1,
+                    theory.max_estimator_variance(n),
+                    var2,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    record_figure(
+        "appb1_estimator_variance",
+        format_table(
+            [
+                "rounds n", "Var(mean est) closed", "Var(mean est) MC",
+                "Var(max est) closed", "Var(max est) MC",
+            ],
+            rows,
+            title="Appendix B.1: access-period estimator variance "
+                  "(T0 = 1)",
+        ),
+    )
+    for n, closed_mean, mc_mean, closed_max, mc_max in rows:
+        assert mc_mean == np.float64(mc_mean)
+        assert abs(mc_mean - closed_mean) < 0.1 * closed_mean
+        assert abs(mc_max - closed_max) < 0.1 * closed_max
+        assert closed_max <= closed_mean
+
+
+def test_figb1_density_family(benchmark, record_figure):
+    def run():
+        xs = np.array([0.1, 0.3, 0.5, 0.8, 1.0, 2.0, 3.0, 5.0])
+        return {
+            alpha: theory.h_density_normalized(xs, alpha)
+            for alpha in (0.25, 0.3, 0.4, 0.6, 0.9, 1.0)
+        }, xs
+
+    densities, xs = run_once(benchmark, run)
+    rows = [
+        [f"alpha={alpha:g}"] + [float(v) for v in values]
+        for alpha, values in densities.items()
+    ]
+    record_figure(
+        "figb1_density_family",
+        format_table(
+            ["density"] + [f"x={x:g}" for x in xs],
+            rows,
+            title="Figure B1: normalized h(x, alpha) hotness densities",
+        ),
+    )
+    # Smaller alpha -> taller hot peak (paper: the maximum grows as
+    # alpha shrinks).
+    peaks = {a: v.max() for a, v in densities.items()}
+    ordered = sorted(peaks)
+    for small, large in zip(ordered, ordered[1:]):
+        assert peaks[small] >= peaks[large]
+    # alpha = 1 is the flat density.
+    np.testing.assert_allclose(densities[1.0], 1.0)
+
+
+def test_figb2_selection_efficiency(benchmark, record_figure):
+    def run():
+        return {
+            n: [theory.selection_efficiency(alpha, n) for alpha in ALPHAS]
+            for n in ROUNDS
+        }
+
+    table = run_once(benchmark, run)
+    rows = [
+        [f"scan-n={n}"] + values for n, values in table.items()
+    ]
+    record_figure(
+        "figb2_selection_efficiency",
+        format_table(
+            ["rounds"] + [f"a={a:g}" for a in ALPHAS],
+            rows,
+            title="Figure B2: promotion efficiency E(n) vs alpha",
+        ),
+    )
+
+    # n = 2 dominates every other round count across the alpha range.
+    for i, alpha in enumerate(ALPHAS):
+        best = max(ROUNDS, key=lambda n: table[n][i])
+        assert best == 2, (alpha, {n: table[n][i] for n in ROUNDS})
+    # The uniform case matches the closed form E(n) = (n-1)/n^2.
+    uniform_index = ALPHAS.index(1.0)
+    for n in ROUNDS:
+        assert table[n][uniform_index] == (
+            theory.selection_efficiency_uniform(n)
+        ) or abs(
+            table[n][uniform_index]
+            - theory.selection_efficiency_uniform(n)
+        ) < 1e-6

@@ -1,0 +1,208 @@
+"""Extension ablations beyond the paper's own figures.
+
+These probe design choices DESIGN.md calls out:
+
+* **Demotion precision** -- rerun the headline comparison with an
+  idealized fine-grained LRU (an oracle-ish recency ranking).  Chrono's
+  advantage must come from *measurement*, not from demotion luck: with a
+  smarter LRU every policy improves, and Chrono still wins.
+* **CXL slow tier** -- the paper motivates CXL memory pools; swap the
+  Optane-like tier for a CXL-like one (lower latency, symmetric writes)
+  and check Chrono's advantage persists (it shrinks, because the slow
+  tier hurts less).
+* **Scan scope** -- the kernel's tiering mode scans only the slow tier;
+  scanning everything (classic NUMA-balancing scope) adds fault overhead
+  for zero promotion signal.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, shape_assert
+from repro.harness.engine import QuantumEngine
+from repro.harness.experiments import (
+    StandardSetup,
+    pmbench_processes,
+)
+from repro.harness.reporting import format_table
+from repro.harness.runner import run_experiment, summarize_run
+from repro.kernel.kernel import Kernel
+from repro.kernel.lru import LruLists
+from repro.kernel.scanner import ScanConfig
+from repro.mem.machine import MachineSpec, TieredMachine
+from repro.mem.tier import dram_spec, cxl_spec
+from repro.sim.rng import RngStreams
+
+
+def run_with_lru(setup, policy_name, fine_grained):
+    kernel = Kernel(
+        machine=setup.run_config().build_machine(),
+        rng=RngStreams(setup.seed),
+        aging_period_ns=setup.aging_period_ns,
+    )
+    kernel.lru = LruLists(
+        kernel.rng.get("kernel.lru"), fine_grained=fine_grained
+    )
+    for process in pmbench_processes(setup):
+        kernel.register_process(process)
+    kernel.allocate_initial_placement()
+    kernel.set_policy(setup.build_policy(policy_name))
+    engine = QuantumEngine(kernel, quantum_ns=setup.quantum_ns)
+    end = engine.run(setup.duration_ns)
+    return summarize_run(kernel.policy, kernel, engine, end)
+
+
+def test_ext_demotion_precision(benchmark, standard_setup, record_figure):
+    policies = ("linux-nb", "chrono")
+
+    def run():
+        return {
+            (name, fine): run_with_lru(standard_setup, name, fine)
+            for name in policies
+            for fine in (False, True)
+        }
+
+    outcome = run_once(benchmark, run)
+    rows = [
+        [
+            name,
+            "fine" if fine else "coarse",
+            result.throughput_per_sec,
+            100 * result.fmar,
+        ]
+        for (name, fine), result in outcome.items()
+    ]
+    record_figure(
+        "ext_demotion_precision",
+        format_table(
+            ["policy", "LRU recency", "ops/sec", "FMAR %"],
+            rows,
+            title="Ablation: idealized fine-grained LRU demotion",
+        ),
+    )
+    # Finer demotion helps the MRU baseline substantially...
+    nb_gain = (
+        outcome[("linux-nb", True)].throughput_per_sec
+        / outcome[("linux-nb", False)].throughput_per_sec
+    )
+    shape_assert(nb_gain > 1.05, nb_gain)
+    # ... yet Chrono with realistic demotion stays in the same league
+    # as the MRU baseline handed an oracle LRU -- and pulls ahead again
+    # once it gets the same oracle.
+    shape_assert(
+        outcome[("chrono", False)].throughput_per_sec
+        > 0.9 * outcome[("linux-nb", True)].throughput_per_sec,
+        "chrono (coarse) vs linux-nb (fine)",
+    )
+    shape_assert(
+        outcome[("chrono", True)].throughput_per_sec
+        > outcome[("linux-nb", True)].throughput_per_sec,
+        "chrono (fine) vs linux-nb (fine)",
+    )
+
+
+def test_ext_cxl_tier(benchmark, standard_setup, record_figure):
+    def run():
+        results = {}
+        for name in ("linux-nb", "chrono"):
+            setup = StandardSetup(duration_ns=standard_setup.duration_ns)
+            machine = TieredMachine(
+                MachineSpec(
+                    tiers=(
+                        dram_spec(setup.fast_pages),
+                        cxl_spec(setup.slow_pages),
+                    ),
+                    page_scale=setup.page_scale,
+                )
+            )
+            kernel = Kernel(
+                machine=machine,
+                rng=RngStreams(setup.seed),
+                aging_period_ns=setup.aging_period_ns,
+            )
+            for process in pmbench_processes(setup):
+                kernel.register_process(process)
+            kernel.allocate_initial_placement()
+            kernel.set_policy(setup.build_policy(name))
+            engine = QuantumEngine(kernel, quantum_ns=setup.quantum_ns)
+            end = engine.run(setup.duration_ns)
+            results[name] = summarize_run(
+                kernel.policy, kernel, engine, end
+            )
+        return results
+
+    results = run_once(benchmark, run)
+    speedup = (
+        results["chrono"].throughput_per_sec
+        / results["linux-nb"].throughput_per_sec
+    )
+    record_figure(
+        "ext_cxl_tier",
+        format_table(
+            ["policy", "ops/sec", "FMAR %"],
+            [
+                [n, r.throughput_per_sec, 100 * r.fmar]
+                for n, r in results.items()
+            ],
+            title=(
+                f"Ablation: CXL-like slow tier "
+                f"(Chrono speedup {speedup:.2f}x)"
+            ),
+        ),
+    )
+    # Chrono still wins on CXL, though by less than on Optane.
+    shape_assert(speedup > 1.15, speedup)
+
+
+def test_ext_scan_scope(benchmark, standard_setup, record_figure):
+    def run():
+        results = {}
+        for scope in ("slow-only", "all-tiers"):
+            policy = standard_setup.build_policy("chrono")
+            if scope == "all-tiers":
+                policy._scan_all_override = True
+                original = policy._configure
+
+                def configure(kernel, _orig=original, _p=policy):
+                    _orig(kernel)
+                    kernel.scanner.config = ScanConfig(
+                        scan_period_ns=_p.scan_period_ns,
+                        scan_step_pages=_p.scan_step_pages,
+                        tier_filter=None,
+                    )
+
+                policy._configure = configure
+            results[scope] = run_experiment(
+                pmbench_processes(standard_setup),
+                policy,
+                standard_setup.run_config(),
+            )
+        return results
+
+    results = run_once(benchmark, run)
+    record_figure(
+        "ext_scan_scope",
+        format_table(
+            ["scan scope", "ops/sec", "kernel time %", "hint faults"],
+            [
+                [
+                    scope,
+                    r.throughput_per_sec,
+                    100 * r.kernel_time_fraction,
+                    r.stats["hint_faults"],
+                ]
+                for scope, r in results.items()
+            ],
+            title="Ablation: tiering-mode scan scope",
+        ),
+    )
+    # Scanning the fast tier adds faults (every hot page traps each
+    # round) without adding promotion signal.
+    assert (
+        results["all-tiers"].stats["hint_faults"]
+        > results["slow-only"].stats["hint_faults"]
+    )
+    shape_assert(
+        results["slow-only"].throughput_per_sec
+        >= 0.95 * results["all-tiers"].throughput_per_sec,
+        "slow-only scanning should not be slower",
+    )

@@ -1,0 +1,96 @@
+"""Figure 7: pmbench access latency.
+
+Panel (a) profiles the baseline's latency CDF (the staircase over the
+fast-read / slow-read / slow-write / faulted classes); panels (b)-(e)
+report average / median / P99 latency for every system at four R/W mixes,
+normalized to Linux-NB.  The paper's headline: Chrono cuts average latency
+by up to 68% and P99 by up to 79%.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, shape_assert
+from repro.harness.experiments import (
+    EVALUATED_POLICIES,
+    pmbench_processes,
+    run_policy_comparison,
+)
+from repro.harness.reporting import format_table, latency_table
+
+RW_PANELS = {
+    "fig07b_rw95_5": 0.95,
+    "fig07c_rw70_30": 0.70,
+    "fig07d_rw30_70": 0.30,
+    "fig07e_rw5_95": 0.05,
+}
+
+
+def run_ratio(setup, ratio):
+    return run_policy_comparison(
+        setup,
+        lambda: pmbench_processes(setup, read_write_ratio=ratio),
+        policies=EVALUATED_POLICIES,
+    )
+
+
+def test_fig07a_baseline_cdf(benchmark, standard_setup, record_figure):
+    def run():
+        results = run_policy_comparison(
+            standard_setup,
+            lambda: pmbench_processes(standard_setup, read_write_ratio=0.7),
+            policies=("linux-nb",),
+        )
+        return results["linux-nb"]
+
+    result = run_once(benchmark, run)
+    points = result.engine.latency.cdf_points()
+    # Downsample the staircase for display.
+    shown = points[:: max(len(points) // 12, 1)] + [points[-1]]
+    rows = [[f"{lat:.0f}", 100.0 * frac] for lat, frac in shown]
+    record_figure(
+        "fig07a_baseline_cdf",
+        format_table(
+            ["latency (ns)", "cumulative %"],
+            rows,
+            title="Figure 7a: Linux-NB access latency CDF",
+        ),
+    )
+    # The CDF spans from fast-read latency to fault-inflated tails.
+    assert points[0][0] <= 120
+    assert points[-1][0] >= 1_000
+    summary = result.engine.latency.summary()
+    assert summary["p99"] > 2 * summary["median"]
+
+
+@pytest.mark.parametrize("panel_name", list(RW_PANELS))
+def test_fig07_latency(
+    benchmark, standard_setup, record_figure, panel_name
+):
+    ratio = RW_PANELS[panel_name]
+    results = run_once(benchmark, run_ratio, standard_setup, ratio)
+    record_figure(
+        panel_name,
+        latency_table(
+            results,
+            f"{panel_name}: latency normalized to Linux-NB "
+            f"(R/W = {int(ratio*100)}:{int(round((1-ratio)*100))})",
+        ),
+    )
+
+    base = results["linux-nb"].latency_summary
+    chrono = results["chrono"].latency_summary
+    # Chrono reduces both the average and the tail.
+    shape_assert(
+        chrono["average"] < 0.85 * base["average"],
+        (chrono["average"], base["average"]),
+    )
+    shape_assert(
+        chrono["p99"] <= base["p99"], (chrono["p99"], base["p99"])
+    )
+    # And beats every baseline on average latency.
+    for name, result in results.items():
+        shape_assert(
+            chrono["average"]
+            <= 1.02 * result.latency_summary["average"],
+            (name, chrono["average"], result.latency_summary),
+        )

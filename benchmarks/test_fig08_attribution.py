@@ -1,0 +1,50 @@
+"""Figure 8: run-time characteristics (performance attribution).
+
+For the 50-process pmbench workload the paper reports, per system: the
+fast-tier memory access ratio (FMAR), kernel-time share, and context-switch
+rate.  Expected shape: Chrono has the highest FMAR by a wide margin with
+only moderate kernel overhead; AutoTiering burns the most kernel time
+(LAP maintenance); Multi-Clock has by far the fewest context switches (no
+forced page faults); Memtis adds little kernel time (sampling only).
+"""
+
+from benchmarks.conftest import run_once, shape_assert
+from repro.harness.experiments import (
+    EVALUATED_POLICIES,
+    pmbench_processes,
+    run_policy_comparison,
+)
+from repro.harness.reporting import attribution_table
+
+
+def test_fig08_attribution(benchmark, standard_setup, record_figure):
+    results = run_once(
+        benchmark,
+        run_policy_comparison,
+        standard_setup,
+        lambda: pmbench_processes(standard_setup, read_write_ratio=0.7),
+        EVALUATED_POLICIES,
+    )
+    record_figure(
+        "fig08_attribution",
+        attribution_table(
+            results, "Figure 8: run-time characteristics"
+        ),
+    )
+
+    fmar = {n: r.fmar for n, r in results.items()}
+    ktime = {n: r.kernel_time_fraction for n, r in results.items()}
+    ctx = {n: r.context_switches_per_sec for n, r in results.items()}
+
+    # Chrono places the most traffic on the fast tier.
+    shape_assert(fmar["chrono"] == max(fmar.values()), fmar)
+    shape_assert(fmar["chrono"] > 1.5 * fmar["linux-nb"], fmar)
+    # AutoTiering's LAP bookkeeping costs the most kernel time of the
+    # fault-driven systems.
+    assert ktime["autotiering"] >= ktime["linux-nb"]
+    # Chrono's overhead stays moderate: well under the fault-storm
+    # baselines despite the DCSC machinery.
+    shape_assert(ktime["chrono"] < ktime["linux-nb"], ktime)
+    # No forced faults -> Multi-Clock and Memtis barely context switch.
+    assert ctx["multiclock"] < 0.1 * ctx["linux-nb"]
+    assert ctx["memtis"] < 0.1 * ctx["linux-nb"]

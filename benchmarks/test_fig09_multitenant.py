@@ -1,0 +1,105 @@
+"""Figure 9: DRAM page percentage per cgroup under mixed hotness.
+
+Fifty cgroups (scaled: sixteen) each run one uniform-pattern pmbench
+process, throttled progressively by the ``delay`` knob so tenant 0 is the
+hottest and the last tenant the coldest.  The paper's observation: the
+baselines give every tenant ~the average DRAM ratio (they cannot rank
+frequencies across processes; Memtis is process-level by design), while
+under Chrono the hottest tenants end up with nearly all their pages in
+DRAM and the cold ones release theirs.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once, shape_assert
+from repro.harness.engine import QuantumEngine
+from repro.harness.reporting import format_table
+from repro.harness.runner import summarize_run
+from repro.kernel.kernel import Kernel
+from repro.sim.rng import RngStreams
+from repro.sim.timeunits import SECOND
+from repro.workloads.multitenant import make_multitenant_processes
+
+N_TENANTS = 16
+PAGES_PER_TENANT = 2_048
+POLICIES = ("linux-nb", "multiclock", "memtis", "chrono")
+
+
+def run_policy(setup, policy_name):
+    kernel = Kernel(
+        machine=setup.run_config().build_machine(),
+        rng=RngStreams(setup.seed),
+        aging_period_ns=setup.aging_period_ns,
+    )
+    tenants = make_multitenant_processes(
+        n_tenants=N_TENANTS,
+        pages_per_tenant=PAGES_PER_TENANT,
+        delay_step_units=30,
+        seed=setup.seed,
+    )
+    for process, cgroup in tenants:
+        kernel.register_process(process, cgroup=cgroup)
+    kernel.allocate_initial_placement()
+    kernel.set_policy(setup.build_policy(policy_name))
+    engine = QuantumEngine(kernel, quantum_ns=setup.quantum_ns)
+    end = engine.run(setup.duration_ns)
+    summarize_run(kernel.policy, kernel, engine, end)
+    return [
+        kernel.cgroups.get(f"cgroup-{i}").dram_page_percentage()
+        for i in range(N_TENANTS)
+    ]
+
+
+def spread(dram_pcts):
+    """Hot-minus-cold DRAM share: how much the policy differentiates."""
+    hot = float(np.mean(dram_pcts[:3]))
+    cold = float(np.mean(dram_pcts[-3:]))
+    return hot - cold
+
+
+def test_fig09_multitenant(benchmark, standard_setup, record_figure):
+    def run():
+        return {
+            name: run_policy(standard_setup, name) for name in POLICIES
+        }
+
+    outcome = run_once(benchmark, run)
+
+    rows = []
+    shown = [0, 3, 7, 11, 15]
+    for name, pcts in outcome.items():
+        rows.append(
+            [name]
+            + [pcts[i] for i in shown]
+            + [spread(pcts)]
+        )
+    record_figure(
+        "fig09_multitenant",
+        format_table(
+            ["policy"]
+            + [f"cgroup-{i} DRAM%" for i in shown]
+            + ["hot-cold spread"],
+            rows,
+            title=(
+                "Figure 9: end-of-run DRAM page percentage per tenant "
+                "(tenant 0 hottest)"
+            ),
+        ),
+    )
+
+    # Chrono separates tenants by hotness far more than any baseline.
+    chrono_spread = spread(outcome["chrono"])
+    for name in POLICIES:
+        if name == "chrono":
+            continue
+        shape_assert(
+            chrono_spread > 1.5 * spread(outcome[name]),
+            (name, chrono_spread, spread(outcome[name])),
+        )
+    # The hottest tenant holds a large majority of its pages in DRAM...
+    shape_assert(outcome["chrono"][0] > 60.0, outcome["chrono"])
+    # ... while the coldest released almost everything.
+    shape_assert(outcome["chrono"][-1] < 20.0, outcome["chrono"])
+    # The MRU baseline hands everyone roughly the average share.
+    nb = outcome["linux-nb"]
+    shape_assert(spread(nb) < 25.0, nb)

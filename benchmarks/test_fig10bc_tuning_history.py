@@ -1,0 +1,73 @@
+"""Figure 10b/10c: CIT-threshold and rate-limit convergence.
+
+The paper tracks both auto-tuned parameters over a pmbench run: the CIT
+threshold converges to roughly the access-interval upper bound of the
+hottest 25% of pages (the fast-tier share), and the migration rate limit
+starts aggressive (placement is being fixed) and settles to a low, stable
+value once hot and cold pages are in place.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once, shape_assert
+from repro.harness.experiments import pmbench_processes
+from repro.harness.reporting import format_table
+from repro.harness.runner import run_experiment
+
+
+def test_fig10bc_tuning_history(benchmark, standard_setup, record_figure):
+    def run():
+        processes = pmbench_processes(standard_setup)
+        policy = standard_setup.build_policy("chrono")
+        result = run_experiment(
+            processes, policy, standard_setup.run_config()
+        )
+        return processes, result
+
+    processes, result = run_once(benchmark, run)
+
+    threshold = result.series("chrono.cit_threshold_ms")
+    rate = result.series("chrono.rate_limit_mbps")
+    rows = [
+        [f"{t / 1e9:.0f}s", th, r]
+        for t, th, r in zip(
+            threshold.times, threshold.values, rate.values
+        )
+    ]
+    step = max(len(rows) // 15, 1)
+    record_figure(
+        "fig10bc_tuning_history",
+        format_table(
+            ["time", "CIT threshold (ms)", "rate limit (MB/s)"],
+            rows[::step],
+            title="Figure 10b/c: adaptive parameter histories",
+        ),
+    )
+
+    # --- Threshold converges near the hottest-25% interval bound. ---
+    fast_capacity = result.kernel.machine.fast.capacity_pages
+    per_page_rates = []
+    for entry, process in zip(result.per_process, processes):
+        probs = process.workload.access_distribution()
+        per_page_rates.append(probs * entry["throughput_per_sec"])
+    rates = np.sort(np.concatenate(per_page_rates))[::-1]
+    boundary_interval_ms = 1e3 / rates[fast_capacity - 1]
+    converged = threshold.tail_mean(0.25)
+    # Within a small factor of the capacity-boundary interval (bucket
+    # quantization and the repeated-trial margin keep it below).
+    shape_assert(
+        0.1 * boundary_interval_ms
+        < converged
+        < 3 * boundary_interval_ms,
+        (converged, boundary_interval_ms),
+    )
+
+    # --- Threshold is stable at the end (no oscillation blow-up). ---
+    tail = list(threshold.values)[-8:]
+    shape_assert(max(tail) <= 4 * min(tail), tail)
+
+    # --- Rate limit decays from the aggressive start and stabilizes ---
+    early = np.mean(list(rate.values)[:4])
+    late = rate.tail_mean(0.25)
+    shape_assert(late <= early, (early, late))
+    assert late > 0

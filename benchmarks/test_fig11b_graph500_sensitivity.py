@@ -1,0 +1,86 @@
+"""Figure 11b: parameter sensitivity on Graph500.
+
+Same sweep as Figure 10d, driven by the Graph500 workload: scan step,
+scan period, P-victim, and delta step over powers of two around their
+defaults.  With all parameters in a reasonable range around the defaults,
+Chrono's performance stays stable -- the CIT scheme decouples frequency
+resolution from the scan cadence.
+"""
+
+import pytest
+
+from benchmarks.conftest import FAST_MODE, run_once, shape_assert
+from repro.harness.experiments import StandardSetup, graph500_processes
+from repro.harness.reporting import format_table
+from repro.harness.runner import run_experiment
+
+MULTIPLIERS = (0.25, 0.5, 1.0, 2.0, 4.0)
+PARAMS = ("scan_step", "scan_period", "p_victim", "delta_step")
+
+
+def run_with(setup: StandardSetup, param: str, multiplier: float):
+    overrides = {}
+    dcsc_overrides = {}
+    if param == "scan_step":
+        overrides["scan_step_pages"] = max(
+            int(setup.scan_step_pages * multiplier), 16
+        )
+    elif param == "scan_period":
+        overrides["scan_period_ns"] = max(
+            int(setup.scan_period_ns * multiplier), 250_000_000
+        )
+    elif param == "p_victim":
+        dcsc_overrides["victim_fraction"] = min(
+            max(setup.dcsc_victim_fraction * multiplier, 1e-6), 0.5
+        )
+    elif param == "delta_step":
+        overrides["delta"] = min(max(0.5 * multiplier, 0.0625), 1.0)
+    policy = setup.build_policy(
+        "chrono",
+        dcsc_config=setup.dcsc_config(**dcsc_overrides),
+        **overrides,
+    )
+    result = run_experiment(
+        graph500_processes(setup), policy, setup.run_config()
+    )
+    return result.throughput_per_sec
+
+
+def test_fig11b_graph500_sensitivity(
+    benchmark, standard_setup, record_figure
+):
+    multipliers = (0.25, 1.0, 4.0) if FAST_MODE else MULTIPLIERS
+
+    def run():
+        return {
+            param: {
+                m: run_with(standard_setup, param, m)
+                for m in multipliers
+            }
+            for param in PARAMS
+        }
+
+    sweep = run_once(benchmark, run)
+
+    rows = []
+    for param, series in sweep.items():
+        default = series[1.0]
+        rows.append(
+            [param] + [series[m] / default for m in multipliers]
+        )
+    record_figure(
+        "fig11b_graph500_sensitivity",
+        format_table(
+            ["parameter"] + [f"x{m:g}" for m in multipliers],
+            rows,
+            title="Figure 11b: Graph500 throughput relative to defaults",
+        ),
+    )
+
+    for param, series in sweep.items():
+        default = series[1.0]
+        for multiplier, value in series.items():
+            shape_assert(
+                0.4 < value / default < 1.5,
+                (param, multiplier, value / default),
+            )

@@ -1,0 +1,50 @@
+"""Table 2: Chrono's configurable parameters and defaults.
+
+Rendered live from the sysctl registry a ChronoPolicy installs, and
+checked against the paper's values: 256 MB scan step, 60 s scan period,
+0.003% P-victim, 28 CIT buckets, delta = 0.5, 1000 ms initial threshold,
+100 MBps initial rate limit.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.policy import ChronoPolicy
+from repro.kernel.kernel import Kernel
+from repro.sim.timeunits import MILLISECOND, SECOND
+
+
+def build_registry():
+    kernel = Kernel()
+    kernel.set_policy(ChronoPolicy())
+    return kernel
+
+
+def test_tab2_defaults(benchmark, record_figure):
+    kernel = run_once(benchmark, build_registry)
+    chrono_rows = "\n".join(
+        line
+        for line in kernel.sysctl.describe().splitlines()
+        if line.startswith(("Name", "-", "chrono."))
+    )
+    record_figure(
+        "tab2_defaults",
+        "Table 2: Chrono parameter defaults\n" + chrono_rows,
+    )
+
+    sysctl = kernel.sysctl
+    assert sysctl.get("chrono.scan_step_pages") == 65_536  # 256 MB
+    assert sysctl.get("chrono.scan_period_sec") == 60
+    assert sysctl.get("chrono.p_victim") == 0.00003  # 0.003%
+    assert sysctl.get("chrono.b_bucket") == 28
+    assert sysctl.get("chrono.delta_step") == 0.5
+    assert sysctl.get("chrono.cit_threshold_ms") == 1000
+    assert sysctl.get("chrono.rate_limit_mbps") == 100
+
+
+def test_tab2_policy_objects_match_registry():
+    policy = ChronoPolicy()
+    assert policy.scan_period_ns == 60 * SECOND
+    assert policy.scan_step_pages == 65_536
+    assert policy.cit_threshold_ns == 1000 * MILLISECOND
+    assert policy.dcsc_config.victim_fraction == 0.00003
+    assert policy.dcsc_config.n_buckets == 28
+    assert policy.tuner.delta == 0.5

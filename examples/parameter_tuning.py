@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Watch Chrono tune itself (the Figure 10 scenario).
+
+Runs Chrono's fully automatic (DCSC) configuration on a skewed workload and
+prints the CIT-threshold and promotion-rate-limit histories, plus the
+collected per-tier CIT heat maps -- the run-time hotness picture DCSC uses
+for its overlap identification.
+
+Run:  python examples/parameter_tuning.py
+"""
+
+import numpy as np
+
+from repro.analysis.plots import sparkline
+from repro.harness.experiments import (
+    StandardSetup,
+    pmbench_processes,
+)
+from repro.harness.runner import run_experiment
+from repro.harness.reporting import format_table
+from repro.mem.tier import FAST_TIER, SLOW_TIER
+from repro.sim.timeunits import SECOND
+
+
+def main() -> None:
+    setup = StandardSetup(
+        fast_pages=2_048,
+        slow_pages=16_384,
+        page_scale=32,
+        duration_ns=90 * SECOND,
+    )
+    policy = setup.build_policy("chrono")
+    result = run_experiment(
+        pmbench_processes(setup, n_procs=4, pages_per_proc=4_096),
+        policy,
+        setup.run_config(),
+    )
+
+    threshold = result.series("chrono.cit_threshold_ms")
+    rate = result.series("chrono.rate_limit_mbps")
+    print("CIT threshold history (ms):")
+    print(f"  {sparkline(list(threshold.values))}")
+    print(
+        f"  start={threshold.values[0]:.3f}  "
+        f"converged~{threshold.tail_mean():.3f}"
+    )
+    print("Promotion rate limit history (MB/s):")
+    print(f"  {sparkline(list(rate.values))}")
+    print(
+        f"  start={rate.values[0]:.2f}  converged~{rate.tail_mean():.2f}"
+    )
+
+    print("\nDCSC heat maps (samples per CIT bucket):")
+    rows = []
+    fast_map = policy.dcsc.heat_maps[FAST_TIER]
+    slow_map = policy.dcsc.heat_maps[SLOW_TIER]
+    unit_ms = policy.dcsc_config.cit_unit_ns / 1e6
+    for bucket in range(12):
+        low = 0 if bucket == 0 else (1 << (bucket - 1)) * unit_ms
+        high = (1 << bucket) * unit_ms
+        rows.append(
+            [
+                f"[{low:g}, {high:g}) ms",
+                round(float(fast_map[bucket]), 1),
+                round(float(slow_map[bucket]), 1),
+            ]
+        )
+    rows.append(
+        ["(colder)", round(float(fast_map[12:].sum()), 1),
+         round(float(slow_map[12:].sum()), 1)]
+    )
+    print(format_table(["CIT range", "fast tier", "slow tier"], rows))
+    print(
+        f"\nfinal FMAR {100 * result.fmar:.0f}%, "
+        f"promotions {result.stats['pgpromote']:.0f}, "
+        f"thrash events {result.stats['thrash_events']:.0f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

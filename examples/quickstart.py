@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: run Chrono against vanilla NUMA balancing.
+
+Builds a scaled-down DRAM+NVM tiered machine, runs the same pmbench-style
+skewed workload under Linux NUMA balancing and under Chrono, and prints the
+headline comparison: throughput, fast-tier access ratio (FMAR), kernel-time
+share, and migration volume.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.harness.experiments import (
+    StandardSetup,
+    pmbench_processes,
+    run_policy_comparison,
+)
+from repro.harness.reporting import attribution_table, throughput_table
+from repro.sim.timeunits import SECOND
+
+
+def main() -> None:
+    # The calibrated scaled-down testbed (see DESIGN.md): 4 K fast pages
+    # against 32 K slow pages, each simulated page standing in for 64
+    # real ones.
+    setup = StandardSetup(duration_ns=90 * SECOND)
+
+    def fleet():
+        return pmbench_processes(
+            setup,
+            n_procs=8,
+            pages_per_proc=4_096,
+            read_write_ratio=0.7,
+        )
+
+    print("simulating 90s of an 8-process pmbench workload ...")
+    results = run_policy_comparison(
+        setup, fleet, policies=("linux-nb", "chrono")
+    )
+
+    print()
+    print(throughput_table(results, "Throughput (higher is better)"))
+    print()
+    print(attribution_table(results, "Run-time characteristics"))
+    print()
+
+    chrono = results["chrono"]
+    threshold = chrono.series("chrono.cit_threshold_ms")
+    rate = chrono.series("chrono.rate_limit_mbps")
+    print(
+        f"Chrono converged: CIT threshold ~{threshold.tail_mean():.3f} ms, "
+        f"promotion rate ~{rate.tail_mean():.2f} MB/s"
+    )
+    speedup = chrono.normalized_to(results["linux-nb"])
+    print(f"Chrono speedup over Linux-NB: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

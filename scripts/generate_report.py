@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Assemble benchmarks/results/ into a single REPORT.md.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python scripts/generate_report.py [--output REPORT.md]
+
+The report orders the figures as the paper presents them and wraps every
+saved text table in a fenced code block.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+
+#: presentation order: (file stem, section heading)
+SECTIONS = [
+    ("fig01_access_frequency", "Figure 1 — access frequency by tier"),
+    ("fig02a_identification", "Figure 2a — identification quality"),
+    ("fig02b_pebs_bins", "Figure 2b — PEBS bin distribution"),
+    ("tab1_characteristics", "Table 1 — system characteristics"),
+    ("tab2_defaults", "Table 2 — Chrono defaults"),
+    ("fig06a_50proc_5gb", "Figure 6a — pmbench throughput (headline)"),
+    ("fig06b_32proc_8gb", "Figure 6b — pmbench throughput (large sets)"),
+    ("fig06c_32proc_4gb", "Figure 6c — pmbench throughput (small sets)"),
+    ("fig07a_baseline_cdf", "Figure 7a — baseline latency CDF"),
+    ("fig07b_rw95_5", "Figure 7b — latency, R/W 95:5"),
+    ("fig07c_rw70_30", "Figure 7c — latency, R/W 70:30"),
+    ("fig07d_rw30_70", "Figure 7d — latency, R/W 30:70"),
+    ("fig07e_rw5_95", "Figure 7e — latency, R/W 5:95"),
+    ("fig08_attribution", "Figure 8 — run-time characteristics"),
+    ("fig09_multitenant", "Figure 9 — multi-tenant DRAM share"),
+    ("fig10a_cit_correlation", "Figure 10a — CIT vs access frequency"),
+    ("fig10bc_tuning_history", "Figure 10b/c — tuning histories"),
+    ("fig10d_sensitivity", "Figure 10d — pmbench sensitivity"),
+    ("fig11a_graph500_base", "Figure 11a — Graph500 (base pages)"),
+    ("fig11a_graph500_huge", "Figure 11a — Graph500 (huge pages)"),
+    ("fig11b_graph500_sensitivity", "Figure 11b — Graph500 sensitivity"),
+    ("fig12_memcached", "Figure 12 — Memcached"),
+    ("fig12_redis", "Figure 12 — Redis"),
+    ("fig13_ablation", "Figure 13 — design-choice ablation"),
+    ("appb1_estimator_variance", "Appendix B.1 — estimator variance"),
+    ("figb1_density_family", "Figure B1 — h(x, α) densities"),
+    ("figb2_selection_efficiency", "Figure B2 — selection efficiency"),
+    ("ext_table1_systems", "Extension — Telescope & FlexMem"),
+    ("ext_adaptation", "Extension — phase-shift adaptation"),
+    ("ext_demotion_precision", "Extension — demotion-precision ablation"),
+    ("ext_cxl_tier", "Extension — CXL slow tier"),
+    ("ext_scan_scope", "Extension — scan-scope ablation"),
+]
+
+
+def build_report() -> str:
+    lines = [
+        "# Reproduction report",
+        "",
+        "Generated from `benchmarks/results/` "
+        "(see EXPERIMENTS.md for the paper-vs-measured discussion).",
+        "",
+    ]
+    missing = []
+    for stem, heading in SECTIONS:
+        path = RESULTS_DIR / f"{stem}.txt"
+        if not path.exists():
+            missing.append(stem)
+            continue
+        lines.append(f"## {heading}")
+        lines.append("")
+        lines.append("```text")
+        lines.append(path.read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+    if missing:
+        lines.append("## Missing results")
+        lines.append("")
+        lines.append(
+            "Run `pytest benchmarks/ --benchmark-only` to generate: "
+            + ", ".join(missing)
+        )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=str(pathlib.Path(__file__).parent.parent / "REPORT.md"),
+    )
+    args = parser.parse_args(argv)
+    report = build_report()
+    pathlib.Path(args.output).write_text(report)
+    print(f"wrote {args.output} ({len(report.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e . --no-build-isolation`` work on
+environments without the ``wheel`` package (offline installs)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""Chrono (EuroSys '25) reproduction: tiered-memory simulation.
+
+The public API in one import::
+
+    import repro
+
+    setup = repro.StandardSetup()
+    results = repro.run_policy_comparison(
+        setup,
+        lambda: repro.pmbench_processes(setup),
+        policies=("linux-nb", "chrono"),
+    )
+
+Subpackage map (see each package's docstring):
+
+* ``repro.sim`` / ``repro.mem`` / ``repro.vm`` / ``repro.kernel`` -- the
+  simulated machine and kernel substrates
+* ``repro.core`` -- Chrono itself
+* ``repro.policies`` -- the baseline tiering systems
+* ``repro.workloads`` -- synthetic workload generators
+* ``repro.harness`` -- engine, runner, calibrated experiment setups
+* ``repro.analysis`` -- metrics and the Appendix-B theory
+"""
+
+from repro.core.policy import ChronoPolicy, make_chrono_variant
+from repro.harness.experiments import (
+    EVALUATED_POLICIES,
+    StandardSetup,
+    graph500_processes,
+    kvstore_processes,
+    pmbench_processes,
+    run_policy_comparison,
+)
+from repro.harness.runner import RunConfig, RunResult, run_experiment
+from repro.kernel.kernel import Kernel
+from repro.mem.machine import MachineSpec, TieredMachine
+from repro.policies.registry import make_policy, policy_names
+from repro.vm.process import SimProcess
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChronoPolicy",
+    "EVALUATED_POLICIES",
+    "Kernel",
+    "MachineSpec",
+    "RunConfig",
+    "RunResult",
+    "SimProcess",
+    "StandardSetup",
+    "TieredMachine",
+    "graph500_processes",
+    "kvstore_processes",
+    "make_chrono_variant",
+    "make_policy",
+    "pmbench_processes",
+    "policy_names",
+    "run_experiment",
+    "run_policy_comparison",
+]

@@ -1,0 +1,26 @@
+"""Metrics, latency modelling, and the paper's theoretical analysis.
+
+* :mod:`repro.analysis.metrics` -- hot-page identification quality (F1,
+  PPR), FMAR, and summary statistics used across the evaluation.
+* :mod:`repro.analysis.latency` -- per-access latency mixtures and the
+  average/median/P99 statistics of Figure 7.
+* :mod:`repro.analysis.theory` -- Appendix B: the mean- vs max-value CIT
+  estimators, the h(x, alpha) hotness-density family, and the n-round
+  selection-efficiency analysis that justifies two-round filtering.
+"""
+
+from repro.analysis.latency import LatencyMixture
+from repro.analysis.metrics import (
+    f1_score,
+    fast_tier_access_ratio,
+    page_promotion_ratio,
+    precision_recall,
+)
+
+__all__ = [
+    "LatencyMixture",
+    "f1_score",
+    "fast_tier_access_ratio",
+    "page_promotion_ratio",
+    "precision_recall",
+]

@@ -1,0 +1,101 @@
+"""Hot-page identification quality metrics (Section 2.4 / Figure 2a).
+
+The paper scores identification methods with two metrics:
+
+* **F1-score** -- ground-truth positives are accesses to the constructed
+  hot region; predicted positives are accesses served by DRAM (promoted
+  pages).  We compute it access-weighted, exactly as the PMU-based
+  methodology does.
+* **Page promotion ratio (PPR)** -- pages promoted to DRAM over total
+  accessed slow-tier pages; lower is better for the same F1 (fewer wasted
+  migrations).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def precision_recall(
+    truth_mask: np.ndarray,
+    predicted_mask: np.ndarray,
+    weights: np.ndarray = None,
+) -> Tuple[float, float]:
+    """Precision and recall of a hot-page prediction.
+
+    ``weights`` (e.g. per-page access counts) makes the score
+    access-weighted; ``None`` scores pages equally.
+    """
+    truth_mask = np.asarray(truth_mask, dtype=bool)
+    predicted_mask = np.asarray(predicted_mask, dtype=bool)
+    if truth_mask.shape != predicted_mask.shape:
+        raise ValueError("masks must be the same shape")
+    if weights is None:
+        weights = np.ones(truth_mask.shape)
+    weights = np.asarray(weights, dtype=np.float64)
+
+    tp = weights[truth_mask & predicted_mask].sum()
+    fp = weights[~truth_mask & predicted_mask].sum()
+    fn = weights[truth_mask & ~predicted_mask].sum()
+    precision = tp / (tp + fp) if (tp + fp) > 0 else 0.0
+    recall = tp / (tp + fn) if (tp + fn) > 0 else 0.0
+    return float(precision), float(recall)
+
+
+def f1_score(
+    truth_mask: np.ndarray,
+    predicted_mask: np.ndarray,
+    weights: np.ndarray = None,
+) -> float:
+    """Harmonic mean of precision and recall."""
+    precision, recall = precision_recall(truth_mask, predicted_mask, weights)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def page_promotion_ratio(
+    pages_promoted: float, slow_pages_accessed: float
+) -> float:
+    """PPR: promotions over accessed slow-tier pages (lower is better)."""
+    if pages_promoted < 0 or slow_pages_accessed < 0:
+        raise ValueError("counts cannot be negative")
+    if slow_pages_accessed == 0:
+        return 0.0
+    return pages_promoted / slow_pages_accessed
+
+
+def fast_tier_access_ratio(
+    fast_accesses: float, total_accesses: float
+) -> float:
+    """FMAR: share of memory accesses served by the fast tier."""
+    if fast_accesses < 0 or total_accesses < 0:
+        raise ValueError("counts cannot be negative")
+    if total_accesses == 0:
+        return 0.0
+    if fast_accesses > total_accesses:
+        raise ValueError("fast accesses cannot exceed total accesses")
+    return fast_accesses / total_accesses
+
+
+def top_fraction_mask(values: np.ndarray, fraction: float) -> np.ndarray:
+    """Mask of the top ``fraction`` entries by value (at least one)."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    values = np.asarray(values)
+    n_top = max(1, int(values.size * fraction))
+    idx = np.argpartition(values, -n_top)[-n_top:]
+    mask = np.zeros(values.size, dtype=bool)
+    mask[idx] = True
+    return mask
+
+
+def normalized(values, baseline_index: int = 0) -> np.ndarray:
+    """Normalize a sequence to one of its entries (paper-style plots)."""
+    values = np.asarray(values, dtype=np.float64)
+    baseline = values[baseline_index]
+    if baseline == 0:
+        raise ValueError("baseline value is zero")
+    return values / baseline

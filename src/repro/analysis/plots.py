@@ -1,0 +1,112 @@
+"""Terminal-friendly plotting helpers.
+
+Everything in this repository reports through text, so these helpers give
+examples and reports lightweight visuals: sparklines for time series,
+horizontal bars for histograms/heat maps, and labeled series tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+_ASCII_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(
+    values: Sequence[float],
+    width: int = 60,
+    ascii_only: bool = False,
+) -> str:
+    """Render a series as a single-line sparkline.
+
+    Longer series are averaged into ``width`` buckets; the scale runs from
+    0 to the series maximum.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        chunks = np.array_split(values, width)
+        values = np.array([chunk.mean() for chunk in chunks])
+    blocks = _ASCII_BLOCKS if ascii_only else _BLOCKS
+    top = float(values.max())
+    if top <= 0:
+        return blocks[0] * values.size
+    indices = np.minimum(
+        (values / top * (len(blocks) - 1)).astype(int),
+        len(blocks) - 1,
+    )
+    return "".join(blocks[i] for i in indices)
+
+
+def hbar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with right-aligned values."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must be parallel")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return ""
+    top = float(values.max())
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = 0 if top <= 0 else int(round(value / top * width))
+        bar = "#" * filled
+        lines.append(
+            f"{label.ljust(label_width)}  {bar.ljust(width)}  "
+            f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def heat_map_rows(
+    heat_map: Sequence[float],
+    bucket_labels: Sequence[str],
+    max_rows: int = 14,
+) -> str:
+    """Render a CIT heat map (or any histogram) as labeled bars, folding
+    the tail buckets into a final "(colder)" row."""
+    heat_map = np.asarray(list(heat_map), dtype=np.float64)
+    if heat_map.size != len(bucket_labels):
+        raise ValueError("labels must cover every bucket")
+    if max_rows < 2:
+        raise ValueError("need at least two rows")
+    if heat_map.size > max_rows:
+        shown = heat_map[: max_rows - 1]
+        labels = list(bucket_labels[: max_rows - 1]) + ["(colder)"]
+        values = np.append(shown, heat_map[max_rows - 1:].sum())
+    else:
+        labels = list(bucket_labels)
+        values = heat_map
+    return hbar_chart(labels, values)
+
+
+def series_panel(
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    ascii_only: bool = False,
+) -> str:
+    """A panel of named sparklines with min/max annotations."""
+    lines = []
+    label_width = max((len(name) for name in series), default=0)
+    for name, values in series.items():
+        values = list(values)
+        spark = sparkline(values, width=width, ascii_only=ascii_only)
+        if values:
+            annotation = f"min {min(values):g}  max {max(values):g}"
+        else:
+            annotation = "(empty)"
+        lines.append(f"{name.ljust(label_width)}  {spark}  {annotation}")
+    return "\n".join(lines)

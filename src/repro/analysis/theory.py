@@ -1,0 +1,162 @@
+"""Appendix B: the statistics behind candidate filtering.
+
+Three results are reproduced here:
+
+* **B.1, estimator variance** -- with CIT samples ``t_i ~ U[0, T0]``, the
+  mean-value estimator ``T1 = (2/n) * sum(t_i)`` and the max-value
+  estimator ``T2 = ((n+1)/n) * max(t_i)`` are both unbiased, but
+  ``Var(T1) = T0^2 / (3n)`` while ``Var(T2) = T0^2 / (n(n+2))`` -- the
+  max-value estimator (what two-round filtering implements) is strictly
+  better, and is in fact the MVUE.
+* **B.2, selection efficiency** -- a cold page with access period ``T_i``
+  above the threshold ``TH`` still passes an ``n``-round filter with
+  probability ``(TH/T_i)^n``.  With hotness density ``f`` over
+  ``x = t/TH``, the real-hot ratio is ``R_f(n) = 1/(1+S_f(n))`` with
+  ``S_f(n) = integral_1^inf f(x) x^-n dx``, and the efficiency
+  ``E_f(n) = R_f(n)/n`` peaks at ``n = 2`` for realistic densities.
+* **The h(x, alpha) density family** (Figure B1) used to model realistic
+  hot-dense / cold-sparse distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy import integrate
+
+
+# ----------------------------------------------------------------------
+# B.1: estimator variance
+# ----------------------------------------------------------------------
+def mean_estimator_variance(n_rounds: int, period: float = 1.0) -> float:
+    """Closed-form variance of the mean-value estimator, T0^2 / (3n)."""
+    _check_rounds(n_rounds)
+    return period**2 / (3 * n_rounds)
+
+
+def max_estimator_variance(n_rounds: int, period: float = 1.0) -> float:
+    """Closed-form variance of the max-value estimator,
+    T0^2 / (n (n+2))."""
+    _check_rounds(n_rounds)
+    return period**2 / (n_rounds * (n_rounds + 2))
+
+
+def simulate_estimators(
+    n_rounds: int,
+    period: float,
+    trials: int,
+    rng: np.random.Generator,
+) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+    """Monte-Carlo check of both estimators.
+
+    Returns ``((mean_T1, var_T1), (mean_T2, var_T2))`` over ``trials``
+    experiments of ``n_rounds`` uniform CIT samples each.
+    """
+    _check_rounds(n_rounds)
+    if trials <= 0:
+        raise ValueError("need at least one trial")
+    samples = rng.uniform(0.0, period, size=(trials, n_rounds))
+    t1 = 2.0 / n_rounds * samples.sum(axis=1)
+    t2 = (n_rounds + 1) / n_rounds * samples.max(axis=1)
+    return (
+        (float(t1.mean()), float(t1.var())),
+        (float(t2.mean()), float(t2.var())),
+    )
+
+
+def _check_rounds(n_rounds: int) -> None:
+    if n_rounds < 1:
+        raise ValueError("need at least one scan round")
+
+
+# ----------------------------------------------------------------------
+# The h(x, alpha) density family (Figure B1)
+# ----------------------------------------------------------------------
+def h_density(x: np.ndarray, alpha: float) -> np.ndarray:
+    """The paper's hotness density ``h(x, alpha)``, unnormalized.
+
+    ``h(x, a) = x^(1 - 1/a) * a^(a x + 1/(a x))`` for x > 0, with
+    ``0 < a <= 1``.  Smaller alpha concentrates mass near x = 0 (dense hot
+    region) and thins the cold tail.
+    """
+    _check_alpha(alpha)
+    x = np.asarray(x, dtype=np.float64)
+    if np.any(x <= 0):
+        raise ValueError("h is defined for x > 0")
+    exponent = alpha * x + 1.0 / (alpha * x)
+    return np.power(x, 1.0 - 1.0 / alpha) * np.power(alpha, exponent)
+
+
+def h_normalization(alpha: float) -> float:
+    """``C_alpha`` such that the hot-region mass
+    ``integral_0^1 h(x, a)/C_a dx`` equals 1."""
+    _check_alpha(alpha)
+    value, _ = integrate.quad(
+        lambda x: float(h_density(np.array([x]), alpha)[0]),
+        0.0,
+        1.0,
+        limit=200,
+    )
+    if value <= 0:
+        raise ValueError(f"degenerate normalization for alpha={alpha}")
+    return value
+
+
+def h_density_normalized(x: np.ndarray, alpha: float) -> np.ndarray:
+    """``h(x, alpha) / C_alpha`` -- the f(x) used in the efficiency
+    integral."""
+    return h_density(x, alpha) / h_normalization(alpha)
+
+
+def _check_alpha(alpha: float) -> None:
+    if not 0 < alpha <= 1:
+        raise ValueError("alpha must be in (0, 1]")
+
+
+# ----------------------------------------------------------------------
+# B.2: selection efficiency
+# ----------------------------------------------------------------------
+def misclassified_mass(alpha: float, n_rounds: int) -> float:
+    """``S_f(n) = integral_1^inf f(x) x^-n dx`` for f = normalized h."""
+    _check_rounds(n_rounds)
+    norm = h_normalization(alpha)
+
+    def integrand(x: float) -> float:
+        return float(h_density(np.array([x]), alpha)[0]) / norm / x**n_rounds
+
+    value, _ = integrate.quad(integrand, 1.0, np.inf, limit=200)
+    return value
+
+
+def real_hot_ratio(alpha: float, n_rounds: int) -> float:
+    """``R_f(n) = 1 / (1 + S_f(n))`` -- purity of the selected hot set."""
+    return 1.0 / (1.0 + misclassified_mass(alpha, n_rounds))
+
+
+def selection_efficiency(alpha: float, n_rounds: int) -> float:
+    """``E_f(n) = R_f(n) / n`` -- purity per unit of scan cost."""
+    return real_hot_ratio(alpha, n_rounds) / n_rounds
+
+
+def selection_efficiency_uniform(n_rounds: int) -> float:
+    """Closed form for alpha = 1 (h == 1): ``E(n) = (n-1) / n^2``.
+
+    The integral ``S(n) = 1/(n-1)`` diverges for n = 1 -- a single-round
+    filter over an unbounded uniform period distribution admits unbounded
+    cold mass, so its efficiency is 0.
+    """
+    _check_rounds(n_rounds)
+    if n_rounds == 1:
+        return 0.0
+    return (n_rounds - 1) / n_rounds**2
+
+
+def best_round_count(alpha: float, max_rounds: int = 7) -> int:
+    """The round count maximizing selection efficiency for this alpha."""
+    if max_rounds < 2:
+        raise ValueError("need to consider at least two round counts")
+    efficiencies = [
+        selection_efficiency(alpha, n) for n in range(2, max_rounds + 1)
+    ]
+    return 2 + int(np.argmax(efficiencies))

@@ -1,0 +1,262 @@
+"""Command-line interface: ``chrono-sim``.
+
+Four subcommands:
+
+* ``chrono-sim run`` -- one experiment (policy x workload), printing the
+  headline metrics (optionally as JSON).
+* ``chrono-sim compare`` -- several policies on identical fleets,
+  printing the paper-style normalized tables.
+* ``chrono-sim policies`` -- the available tiering systems and the
+  Table 1 characteristics.
+* ``chrono-sim defaults`` -- Chrono's Table 2 parameter defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.harness.experiments import (
+    EVALUATED_POLICIES,
+    StandardSetup,
+    graph500_processes,
+    kvstore_processes,
+    pmbench_processes,
+    run_policy_comparison,
+)
+from repro.harness.reporting import (
+    attribution_table,
+    latency_table,
+    throughput_table,
+)
+from repro.harness.runner import run_experiment
+from repro.policies.registry import (
+    characteristics_table,
+    make_policy,
+    policy_names,
+)
+from repro.sim.rng import RngStreams
+from repro.sim.timeunits import SECOND
+from repro.vm.process import SimProcess
+from repro.workloads.dynamic import shifting_hotspot
+
+WORKLOADS = (
+    "pmbench", "graph500", "memcached", "redis", "shifting-hotspot",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chrono-sim",
+        description=(
+            "Chrono (EuroSys '25) tiered-memory simulator: run tiering "
+            "policies against synthetic memory-intensive workloads."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    _add_machine_args(run_p)
+    run_p.add_argument(
+        "--policy", default="chrono", choices=policy_names(),
+        help="tiering policy (default: chrono)",
+    )
+    run_p.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of a table",
+    )
+
+    cmp_p = sub.add_parser(
+        "compare", help="run several policies on identical fleets"
+    )
+    _add_machine_args(cmp_p)
+    cmp_p.add_argument(
+        "--policies", nargs="+", default=list(EVALUATED_POLICIES),
+        choices=policy_names(), metavar="POLICY",
+        help="policies to compare (default: the paper's six)",
+    )
+    cmp_p.add_argument(
+        "--baseline", default="linux-nb",
+        help="normalization baseline (default: linux-nb)",
+    )
+
+    sub.add_parser("policies", help="list policies and Table 1")
+    sub.add_parser("defaults", help="print Chrono's Table 2 defaults")
+    return parser
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", default="pmbench", choices=WORKLOADS,
+        help="workload family (default: pmbench)",
+    )
+    parser.add_argument("--procs", type=int, default=8,
+                        help="number of processes (default: 8)")
+    parser.add_argument("--pages", type=int, default=4_096,
+                        help="pages per process (default: 4096)")
+    parser.add_argument("--rw-ratio", type=float, default=0.95,
+                        help="read share for pmbench (default: 0.95)")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="simulated seconds (default: 60)")
+    parser.add_argument("--fast-pages", type=int, default=4_096,
+                        help="fast-tier capacity (default: 4096)")
+    parser.add_argument("--slow-pages", type=int, default=32_768,
+                        help="slow-tier capacity (default: 32768)")
+    parser.add_argument("--page-scale", type=int, default=64,
+                        help="real pages per simulated page (default: 64)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root RNG seed (default: 0)")
+
+
+def _setup_from_args(args) -> StandardSetup:
+    return StandardSetup(
+        fast_pages=args.fast_pages,
+        slow_pages=args.slow_pages,
+        page_scale=args.page_scale,
+        duration_ns=int(args.duration * SECOND),
+        seed=args.seed,
+    )
+
+
+def _fleet_factory(setup: StandardSetup, args):
+    workload = args.workload
+    if workload == "pmbench":
+        return lambda: pmbench_processes(
+            setup,
+            n_procs=args.procs,
+            pages_per_proc=args.pages,
+            read_write_ratio=args.rw_ratio,
+        )
+    if workload == "graph500":
+        return lambda: graph500_processes(
+            setup, n_procs=args.procs, pages_per_proc=args.pages
+        )
+    if workload in ("memcached", "redis"):
+        return lambda: kvstore_processes(
+            setup,
+            flavor=workload,
+            n_procs=args.procs,
+            pages_per_proc=args.pages,
+        )
+    if workload == "shifting-hotspot":
+
+        def build():
+            streams = RngStreams(setup.seed)
+            return [
+                SimProcess(
+                    pid=pid,
+                    workload=shifting_hotspot(
+                        n_pages=args.pages,
+                        phase_len_ns=setup.duration_ns // 2,
+                    ),
+                    rng=streams.spawn(f"shift-{pid}").get("access"),
+                )
+                for pid in range(args.procs)
+            ]
+
+        return build
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def cmd_run(args) -> int:
+    setup = _setup_from_args(args)
+    fleet = _fleet_factory(setup, args)
+    policy = setup.build_policy(args.policy)
+    result = run_experiment(fleet(), policy, setup.run_config())
+    if args.json:
+        payload = {
+            "policy": result.policy_name,
+            "workload": args.workload,
+            "duration_sec": result.duration_ns / 1e9,
+            "throughput_per_sec": result.throughput_per_sec,
+            "fmar": result.fmar,
+            "latency_ns": result.latency_summary,
+            "kernel_time_fraction": result.kernel_time_fraction,
+            "context_switches_per_sec": (
+                result.context_switches_per_sec
+            ),
+            "counters": result.stats,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"policy            {result.policy_name}")
+        print(f"workload          {args.workload}")
+        print(f"simulated         {result.duration_ns / 1e9:.1f} s")
+        print(
+            f"throughput        {result.throughput_per_sec:.3e} ops/s"
+        )
+        print(f"FMAR              {100 * result.fmar:.1f} %")
+        print(
+            "latency avg/med/p99  "
+            + " / ".join(
+                f"{result.latency_summary[k]:.0f} ns"
+                for k in ("average", "median", "p99")
+            )
+        )
+        print(
+            f"kernel time       "
+            f"{100 * result.kernel_time_fraction:.1f} %"
+        )
+        print(
+            f"promoted/demoted  {result.stats['pgpromote']:.0f} / "
+            f"{result.stats['pgdemote']:.0f} pages"
+        )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    setup = _setup_from_args(args)
+    fleet = _fleet_factory(setup, args)
+    if args.baseline not in args.policies:
+        print(
+            f"error: baseline {args.baseline!r} must be among the "
+            f"compared policies",
+            file=sys.stderr,
+        )
+        return 2
+    results = run_policy_comparison(
+        setup, fleet, policies=args.policies
+    )
+    title = (
+        f"{args.workload}, {args.procs} procs x {args.pages} pages, "
+        f"{args.duration:.0f}s simulated"
+    )
+    print(throughput_table(results, title, baseline=args.baseline))
+    print()
+    print(latency_table(results, "Latency", baseline=args.baseline))
+    print()
+    print(attribution_table(results, "Run-time characteristics"))
+    return 0
+
+
+def cmd_policies(_args) -> int:
+    print("Available policies:", ", ".join(policy_names()))
+    print()
+    print(characteristics_table())
+    return 0
+
+
+def cmd_defaults(_args) -> int:
+    from repro.kernel.kernel import Kernel
+
+    kernel = Kernel()
+    kernel.set_policy(make_policy("chrono"))
+    print(kernel.sysctl.describe())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "policies": cmd_policies,
+        "defaults": cmd_defaults,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

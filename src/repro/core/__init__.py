@@ -1,0 +1,47 @@
+"""Chrono: the paper's primary contribution.
+
+* :mod:`repro.core.cit` -- Captured Idle Time: bucketing, frequency
+  estimation, and the CIT metadata conventions.
+* :mod:`repro.core.candidates` -- the XArray-backed n-round candidate
+  filter (two rounds by default; Appendix B justifies the choice).
+* :mod:`repro.core.promotion` -- the rate-limited promotion queue.
+* :mod:`repro.core.tuning` -- semi-automatic CIT-threshold tuning.
+* :mod:`repro.core.dcsc` -- Dynamic CIT Statistic Collection: randomized
+  probing, per-tier heat maps, overlap identification, and fully automatic
+  threshold + rate-limit tuning.
+* :mod:`repro.core.demotion` -- the promotion-aware ``pro`` watermark and
+  the page-thrashing monitor.
+* :mod:`repro.core.hugepage` -- huge-page threshold scaling and heat-map
+  accounting.
+* :mod:`repro.core.policy` -- :class:`ChronoPolicy` tying it together,
+  plus the Figure 13 ablation variants.
+"""
+
+from repro.core.candidates import CandidateFilter
+from repro.core.cit import (
+    CIT_BUCKETS,
+    bucket_lower_bound_ns,
+    bucket_upper_bound_ns,
+    cit_bucket,
+    cit_to_frequency_per_sec,
+)
+from repro.core.dcsc import DcscCollector
+from repro.core.demotion import ThrashingMonitor
+from repro.core.policy import ChronoPolicy, make_chrono_variant
+from repro.core.promotion import PromotionQueue
+from repro.core.tuning import SemiAutoTuner
+
+__all__ = [
+    "CIT_BUCKETS",
+    "CandidateFilter",
+    "ChronoPolicy",
+    "DcscCollector",
+    "PromotionQueue",
+    "SemiAutoTuner",
+    "ThrashingMonitor",
+    "bucket_lower_bound_ns",
+    "bucket_upper_bound_ns",
+    "cit_bucket",
+    "cit_to_frequency_per_sec",
+    "make_chrono_variant",
+]

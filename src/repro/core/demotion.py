@@ -1,0 +1,75 @@
+"""Proactive demotion support: the ``pro`` watermark sizing and the
+page-thrashing monitor (Section 3.3).
+
+The watermark math lives in :class:`repro.kernel.reclaim.Watermarks`; this
+module computes Chrono's dynamic gap (twice the scan interval times the
+promotion rate limit) and tracks thrashing: a demoted page re-selected as a
+promotion candidate within one scan period is a wasted round trip.  When
+thrash events exceed 20% of promotions in a period, the promotion rate
+limit is halved for the next period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def pro_watermark_gap_pages(
+    scan_period_ns: int, rate_limit_pages_per_sec: float
+) -> int:
+    """Headroom above ``high``: two scan intervals of promotions."""
+    if scan_period_ns <= 0:
+        raise ValueError("scan period must be positive")
+    if rate_limit_pages_per_sec <= 0:
+        raise ValueError("rate limit must be positive")
+    return int(2.0 * (scan_period_ns / 1e9) * rate_limit_pages_per_sec)
+
+
+@dataclass
+class ThrashingMonitor:
+    """Thrash-event accounting with rate-limit backoff."""
+
+    threshold_ratio: float = 0.20
+    backoff_factor: float = 0.5
+    window_ns: int = 60_000_000_000  # one scan period
+
+    thrash_events: int = 0
+    promotions: int = 0
+    total_thrash_events: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.threshold_ratio < 1:
+            raise ValueError("threshold ratio must be in (0, 1)")
+        if not 0 < self.backoff_factor < 1:
+            raise ValueError("backoff factor must be in (0, 1)")
+        if self.window_ns <= 0:
+            raise ValueError("window must be positive")
+
+    def record_promotions(self, count: int) -> None:
+        if count < 0:
+            raise ValueError("promotion count cannot be negative")
+        self.promotions += count
+
+    def record_thrash(self, count: int) -> None:
+        """A recently demoted page became a promotion candidate again."""
+        if count < 0:
+            raise ValueError("thrash count cannot be negative")
+        self.thrash_events += count
+        self.total_thrash_events += count
+
+    def thrash_ratio(self) -> float:
+        if self.promotions == 0:
+            return 0.0
+        return self.thrash_events / self.promotions
+
+    def end_window(self, rate_limit_pages_per_sec: float) -> float:
+        """Close the window: return the (possibly halved) rate limit and
+        reset the counters."""
+        if rate_limit_pages_per_sec <= 0:
+            raise ValueError("rate limit must be positive")
+        new_rate = rate_limit_pages_per_sec
+        if self.thrash_ratio() > self.threshold_ratio:
+            new_rate = rate_limit_pages_per_sec * self.backoff_factor
+        self.thrash_events = 0
+        self.promotions = 0
+        return new_rate

@@ -1,0 +1,67 @@
+"""Chrono's huge-page support (Section 3.4).
+
+Hotness semantics stay consistent across page sizes by scaling the CIT
+threshold with the page's coverage: a 2 MB page aggregates 512 base pages'
+traffic, so the *same* per-byte hotness shows up as a 512x shorter idle
+gap, and the threshold shrinks accordingly:
+
+    TH_2MB = TH_4KB / 512        TH_1GB = TH_4KB / (512 * 512)
+
+For DCSC accounting a huge page's measurement is spread back over its base
+pages: a 2 MB page in CIT bucket ``i`` counts as 512 base pages in bucket
+``i + 9`` (adjacent buckets represent 2x frequency, and 512 = 2^9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vm.hugepage import HUGE_1GB_PAGES, HUGE_2MB_PAGES
+
+#: log2(512): bucket shift for distributing 2MB measurements to base pages
+HUGE_2MB_BUCKET_SHIFT: int = 9
+
+
+def scaled_threshold_ns(base_threshold_ns: float, hp_pages: int) -> float:
+    """CIT threshold for a huge page covering ``hp_pages`` base pages."""
+    if base_threshold_ns <= 0:
+        raise ValueError("threshold must be positive")
+    if hp_pages < 1:
+        raise ValueError("huge page must cover at least one base page")
+    return base_threshold_ns / hp_pages
+
+
+def threshold_2mb_ns(base_threshold_ns: float) -> float:
+    """``TH_2MB = TH_4KB / 512``."""
+    return scaled_threshold_ns(base_threshold_ns, HUGE_2MB_PAGES)
+
+
+def threshold_1gb_ns(base_threshold_ns: float) -> float:
+    """``TH_1GB = TH_4KB / (512 * 512)``."""
+    return scaled_threshold_ns(base_threshold_ns, HUGE_1GB_PAGES)
+
+
+def distribute_huge_buckets(
+    huge_buckets: np.ndarray,
+    n_buckets: int,
+    hp_pages: int = HUGE_2MB_PAGES,
+) -> np.ndarray:
+    """Convert per-huge-page bucket indices to base-page heat-map entries.
+
+    Returns ``(base_buckets, base_counts)`` flattened into a histogram
+    contribution array of length ``n_buckets``: each huge page in bucket
+    ``i`` contributes ``hp_pages`` base pages in bucket ``i + shift``
+    (saturating at the coldest bucket).
+    """
+    if n_buckets < 2:
+        raise ValueError("need at least two buckets")
+    if hp_pages < 1:
+        raise ValueError("huge page must cover at least one base page")
+    shift = int(round(np.log2(hp_pages)))
+    huge_buckets = np.asarray(huge_buckets, dtype=np.int64)
+    if np.any(huge_buckets < 0):
+        raise ValueError("bucket indices cannot be negative")
+    shifted = np.minimum(huge_buckets + shift, n_buckets - 1)
+    contribution = np.zeros(n_buckets)
+    np.add.at(contribution, shifted, float(hp_pages))
+    return contribution

@@ -1,0 +1,113 @@
+"""The rate-limited asynchronous promotion queue (Section 3.1.2).
+
+Promotion-ready pages are enqueued; a drain daemon migrates them
+asynchronously, at most ``rate_limit`` pages per second.  The queue tracks
+enqueue/dequeue rates so the tuning subsystems can steer the CIT threshold
+(semi-auto) or resize the rate limit itself (DCSC) -- and so the thrashing
+monitor can compare thrash events against the promotion volume.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Tuple
+
+import numpy as np
+
+from repro.vm.process import SimProcess
+
+
+class PromotionQueue:
+    """FIFO promotion queue with a pages-per-second drain budget."""
+
+    def __init__(self, rate_limit_pages_per_sec: float) -> None:
+        if rate_limit_pages_per_sec <= 0:
+            raise ValueError("rate limit must be positive")
+        self.rate_limit_pages_per_sec = float(rate_limit_pages_per_sec)
+        self._queue: "OrderedDict[Tuple[int, int], SimProcess]" = (
+            OrderedDict()
+        )
+        self.enqueued_total = 0
+        self.dequeued_total = 0
+        self._enqueued_window = 0
+        self._budget_carry = 0.0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def set_rate_limit(self, pages_per_sec: float) -> None:
+        if pages_per_sec <= 0:
+            raise ValueError("rate limit must be positive")
+        self.rate_limit_pages_per_sec = float(pages_per_sec)
+
+    def enqueue(self, process: SimProcess, vpns: np.ndarray) -> int:
+        """Add promotion-ready pages; duplicates are ignored.  Returns the
+        number of pages actually added.
+
+        The *window* counter records attempted submissions (duplicates
+        included): the semi-auto tuner compares submission pressure to
+        the rate limit, and a saturated, deduplicating queue would
+        otherwise pin the measured rate to the drain rate and starve the
+        feedback loop.
+        """
+        vpns = np.asarray(vpns, dtype=np.int64)
+        added = 0
+        for vpn in vpns:
+            key = (process.pid, int(vpn))
+            if key in self._queue:
+                continue
+            self._queue[key] = process
+            added += 1
+        self.enqueued_total += added
+        self._enqueued_window += int(vpns.size)
+        return added
+
+    def remove(self, process: SimProcess, vpns: np.ndarray) -> int:
+        """Drop queued pages (e.g. pages that were demoted meanwhile)."""
+        removed = 0
+        for vpn in np.asarray(vpns, dtype=np.int64):
+            if self._queue.pop((process.pid, int(vpn)), None) is not None:
+                removed += 1
+        return removed
+
+    def drain(
+        self, elapsed_ns: int
+    ) -> List[Tuple[SimProcess, np.ndarray]]:
+        """Dequeue up to the rate budget for ``elapsed_ns`` of wall time.
+
+        Fractional budget carries over between drains so small rate limits
+        still make progress.  Returns per-process vpn batches in FIFO
+        order.
+        """
+        if elapsed_ns < 0:
+            raise ValueError("elapsed time cannot be negative")
+        budget = (
+            self.rate_limit_pages_per_sec * (elapsed_ns / 1e9)
+            + self._budget_carry
+        )
+        take = min(int(budget), len(self._queue))
+        self._budget_carry = budget - take if take < len(self._queue) else 0.0
+
+        batches: Dict[int, Tuple[SimProcess, List[int]]] = {}
+        order: List[int] = []
+        for _ in range(take):
+            (pid, vpn), process = self._queue.popitem(last=False)
+            if pid not in batches:
+                batches[pid] = (process, [])
+                order.append(pid)
+            batches[pid][1].append(vpn)
+        self.dequeued_total += take
+
+        return [
+            (batches[pid][0], np.array(batches[pid][1], dtype=np.int64))
+            for pid in order
+        ]
+
+    def enqueue_rate_per_sec(self, window_ns: int) -> float:
+        """Average enqueue rate over the window just ended; resets the
+        window counter (the semi-auto tuner's input)."""
+        if window_ns <= 0:
+            raise ValueError("window must be positive")
+        rate = self._enqueued_window / (window_ns / 1e9)
+        self._enqueued_window = 0
+        return rate

@@ -1,0 +1,67 @@
+"""Semi-automatic CIT-threshold tuning (Section 3.2.1).
+
+The user fixes the promotion rate limit; Chrono steers the CIT threshold so
+the promotion *enqueue* rate converges to it.  Each Ticking-scan period:
+
+    r_i  = rate_limit / enqueue_rate
+    TH_{i+1} = (1 - delta + delta * r_i) * TH_i
+
+Too many candidates (r < 1) shrinks the threshold; too few (r > 1) grows
+it.  ``delta`` (the paper's adaption step, default 0.5) trades convergence
+speed against stability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SemiAutoTuner:
+    """Multiplicative threshold controller."""
+
+    threshold_ns: float
+    delta: float = 0.5
+    min_threshold_ns: float = 1e6  # 1 ms: the CIT unit
+    max_threshold_ns: float = float(1 << 27) * 1e6  # coldest CIT bucket
+    max_step_ratio: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.threshold_ns <= 0:
+            raise ValueError("threshold must be positive")
+        if not 0 < self.delta <= 1:
+            raise ValueError("delta must be in (0, 1]")
+        if self.min_threshold_ns <= 0:
+            raise ValueError("minimum threshold must be positive")
+        if self.max_threshold_ns <= self.min_threshold_ns:
+            raise ValueError("threshold bounds are inverted")
+        if self.max_step_ratio <= 1:
+            raise ValueError("step clamp must exceed 1")
+
+    def update(
+        self, rate_limit_pages_per_sec: float, enqueue_rate_per_sec: float
+    ) -> float:
+        """One tuning step; returns the new threshold (ns).
+
+        A zero enqueue rate means the threshold is far too tight; the
+        adjustment ratio is clamped to ``max_step_ratio`` per step so a
+        silent period cannot blow the threshold out in one jump.
+        """
+        if rate_limit_pages_per_sec <= 0:
+            raise ValueError("rate limit must be positive")
+        if enqueue_rate_per_sec < 0:
+            raise ValueError("enqueue rate cannot be negative")
+        if enqueue_rate_per_sec == 0:
+            ratio = self.max_step_ratio
+        else:
+            ratio = rate_limit_pages_per_sec / enqueue_rate_per_sec
+            ratio = min(max(ratio, 1.0 / self.max_step_ratio),
+                        self.max_step_ratio)
+        factor = 1.0 - self.delta + self.delta * ratio
+        self.threshold_ns = float(
+            min(
+                max(self.threshold_ns * factor, self.min_threshold_ns),
+                self.max_threshold_ns,
+            )
+        )
+        return self.threshold_ns

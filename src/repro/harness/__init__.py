@@ -1,0 +1,16 @@
+"""Experiment harness: the quantum engine, run configs, and reporting.
+
+* :mod:`repro.harness.engine` -- advances every process through fixed
+  wall-clock quanta, generating batched accesses, hint faults, and latency
+  accounting, while kernel daemons (scans, reclaim, tuning) fire from the
+  timer queue.
+* :mod:`repro.harness.runner` -- one-call experiment runner producing a
+  :class:`RunResult` with every metric the paper's figures need.
+* :mod:`repro.harness.reporting` -- plain-text tables in the shape of the
+  paper's figures.
+"""
+
+from repro.harness.engine import QuantumEngine
+from repro.harness.runner import RunConfig, RunResult, run_experiment
+
+__all__ = ["QuantumEngine", "RunConfig", "RunResult", "run_experiment"]

@@ -1,0 +1,128 @@
+"""Plain-text tables in the shape of the paper's figures.
+
+Every benchmark prints its figure through these helpers so the output of
+``pytest benchmarks/ --benchmark-only`` reads like the evaluation section:
+one table per figure, normalized the same way the paper normalizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def normalized_throughput_rows(
+    results: Mapping[str, "RunResult"],
+    baseline: str = "linux-nb",
+) -> List[List[object]]:
+    """(policy, absolute, normalized) rows, paper-style."""
+    base = results[baseline].throughput_per_sec
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                result.throughput_per_sec,
+                result.throughput_per_sec / base if base else 0.0,
+            ]
+        )
+    return rows
+
+
+def throughput_table(
+    results: Mapping[str, "RunResult"],
+    title: str,
+    baseline: str = "linux-nb",
+) -> str:
+    """The Figure 6/11/12-style normalized-throughput table."""
+    return format_table(
+        ["policy", "ops/sec", f"vs {baseline}"],
+        normalized_throughput_rows(results, baseline),
+        title=title,
+    )
+
+
+def latency_table(
+    results: Mapping[str, "RunResult"],
+    title: str,
+    baseline: str = "linux-nb",
+) -> str:
+    """The Figure 7-style normalized latency table."""
+    base = results[baseline].latency_summary
+    rows = []
+    for name, result in results.items():
+        summary = result.latency_summary
+        rows.append(
+            [
+                name,
+                summary["average"] / base["average"],
+                summary["median"] / base["median"],
+                summary["p99"] / base["p99"],
+            ]
+        )
+    return format_table(
+        ["policy", "avg (norm)", "median (norm)", "p99 (norm)"],
+        rows,
+        title=title,
+    )
+
+
+def attribution_table(
+    results: Mapping[str, "RunResult"], title: str
+) -> str:
+    """The Figure 8-style run-time characteristics table."""
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                100.0 * result.fmar,
+                100.0 * result.kernel_time_fraction,
+                result.context_switches_per_sec,
+                result.stats["pgpromote"],
+                result.stats["pgdemote"],
+            ]
+        )
+    return format_table(
+        [
+            "policy", "FMAR %", "kernel time %", "ctx switch /s",
+            "promoted", "demoted",
+        ],
+        rows,
+        title=title,
+    )

@@ -1,0 +1,31 @@
+"""Simulated kernel memory-management subsystems.
+
+These are the Linux MM facilities Chrono and the baseline policies are built
+from: the NUMA-balancing/Ticking address-space scanner, active/inactive LRU
+lists, watermark-driven reclaim (extended with the paper's promotion-aware
+``pro`` watermark), the page-migration engine, cgroup accounting, the sysctl
+tunable registry, and vmstat-style counters.
+"""
+
+from repro.kernel.cgroup import CgroupRegistry
+from repro.kernel.kernel import Kernel
+from repro.kernel.lru import LruLists
+from repro.kernel.migration import MigrationEngine
+from repro.kernel.reclaim import Watermarks, ReclaimDaemon
+from repro.kernel.scanner import TickingScanner
+from repro.kernel.stats import GlobalStats, TimeSeries
+from repro.kernel.sysctl import Sysctl, SysctlError
+
+__all__ = [
+    "CgroupRegistry",
+    "GlobalStats",
+    "Kernel",
+    "LruLists",
+    "MigrationEngine",
+    "ReclaimDaemon",
+    "Sysctl",
+    "SysctlError",
+    "TickingScanner",
+    "TimeSeries",
+    "Watermarks",
+]

@@ -1,0 +1,90 @@
+"""Minimal cgroup (memory controller) accounting.
+
+The multi-tenant experiment (Figure 9) runs one pmbench process per cgroup
+and reads each cgroup's ``memory.numa_stat`` to plot the DRAM page
+percentage over time.  This module provides exactly that: group membership,
+per-tier page counts, and an optional ``memory.limit`` that the kernel
+checks on behalf of reclaim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.vm.process import SimProcess
+
+
+@dataclass
+class Cgroup:
+    """One control group."""
+
+    name: str
+    processes: List[SimProcess] = field(default_factory=list)
+    memory_limit_pages: Optional[int] = None
+
+    def numa_stat(self, n_tiers: int) -> Dict[int, int]:
+        """Pages resident per tier across the group's processes."""
+        counts = {tier: 0 for tier in range(n_tiers)}
+        for process in self.processes:
+            tiers, tier_counts = np.unique(
+                process.pages.tier, return_counts=True
+            )
+            for tier, count in zip(tiers, tier_counts):
+                counts[int(tier)] += int(count)
+        return counts
+
+    def total_pages(self) -> int:
+        return sum(p.n_pages for p in self.processes)
+
+    def dram_page_percentage(self, fast_tier: int = 0) -> float:
+        """The Figure 9 metric: fast-tier share of the group's pages."""
+        total = self.total_pages()
+        if total == 0:
+            return 0.0
+        stat = self.numa_stat(fast_tier + 2)
+        return 100.0 * stat.get(fast_tier, 0) / total
+
+    def over_limit(self) -> bool:
+        if self.memory_limit_pages is None:
+            return False
+        return self.total_pages() > self.memory_limit_pages
+
+
+class CgroupRegistry:
+    """All cgroups on the machine; processes join by name."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, Cgroup] = {}
+
+    def create(
+        self, name: str, memory_limit_pages: Optional[int] = None
+    ) -> Cgroup:
+        if name in self._groups:
+            raise ValueError(f"cgroup {name!r} already exists")
+        group = Cgroup(name=name, memory_limit_pages=memory_limit_pages)
+        self._groups[name] = group
+        return group
+
+    def attach(self, process: SimProcess, name: str) -> None:
+        """Attach a process, creating the group on first use."""
+        if name not in self._groups:
+            self.create(name)
+        self._groups[name].processes.append(process)
+        process.cgroup = name
+
+    def get(self, name: str) -> Cgroup:
+        if name not in self._groups:
+            raise KeyError(f"unknown cgroup {name!r}")
+        return self._groups[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._groups)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._groups

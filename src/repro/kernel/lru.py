@@ -1,0 +1,162 @@
+"""Active/inactive LRU list bookkeeping.
+
+The kernel keeps per-node active and inactive lists; demotion candidates are
+taken from the cold end of the fast tier's inactive list.  In the simulator
+the list membership and ordering live in the per-process page arrays
+(``lru_active``, ``lru_gen``), and an *aging pass* plays the role of the
+kernel's periodic reference-bit harvesting:
+
+* a page referenced since the last pass gets a fresh generation stamp and
+  moves toward the active list,
+* a page that misses two consecutive passes drops to the inactive list
+  (second-chance behaviour).
+
+References are determined from the batched access model: with ``lam``
+expected accesses to a page over the window, the page was touched with
+probability ``1 - exp(-lam)``; hint faults always count as touches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.vm.process import SimProcess
+
+
+class LruLists:
+    """Machine-wide LRU aging and cold-page selection."""
+
+    #: consecutive aging misses after which an active page is deactivated
+    DEACTIVATE_AFTER: int = 2
+
+    def __init__(
+        self, rng: np.random.Generator, fine_grained: bool = False
+    ) -> None:
+        """``fine_grained=False`` (default) stamps every page touched in a
+        window with the same generation -- the honest model of
+        reference-bit LRU, which cannot rank recency inside an aging
+        window.  ``fine_grained=True`` stamps an estimated last-access
+        time instead (an idealized MGLRU-like recency oracle); it exists
+        for the demotion-precision ablation, not for the baselines."""
+        self._rng = rng
+        self.fine_grained = bool(fine_grained)
+        self._miss_counts: dict = {}
+        self._last_age_ns: dict = {}
+
+    def _misses(self, process: SimProcess) -> np.ndarray:
+        if process.pid not in self._miss_counts:
+            self._miss_counts[process.pid] = np.zeros(
+                process.n_pages, dtype=np.int32
+            )
+        return self._miss_counts[process.pid]
+
+    def age_process(self, process: SimProcess, now_ns: int) -> np.ndarray:
+        """Run one aging pass over a process; return the touched mask.
+
+        Consumes the window access accumulator and the PTE accessed bits
+        (both are cleared), stamps generations, and updates active/inactive
+        membership with second-chance hysteresis.
+
+        In the default coarse mode every touched page gets the same
+        generation stamp: reference bits carry one bit of information per
+        window, so pages referenced in the same window are
+        indistinguishable -- the measurement ceiling the paper's Section
+        2.3 attributes to hardware-bit methods.
+        """
+        pages = process.pages
+        window = max(now_ns - self._last_age_ns.get(process.pid, 0), 1)
+        self._last_age_ns[process.pid] = now_ns
+        lam = pages.last_window_count
+        touched = self._rng.random(pages.n_pages) < -np.expm1(-lam)
+        touched |= pages.accessed
+
+        misses = self._misses(process)
+        misses[touched] = 0
+        misses[~touched] += 1
+
+        if self.fine_grained:
+            rates = np.maximum(lam[touched], 1.0) / window
+            back_gaps = self._rng.exponential(1.0 / rates)
+            back_gaps = np.minimum(back_gaps, window - 1).astype(np.int64)
+            pages.lru_gen[touched] = now_ns - back_gaps
+        else:
+            pages.lru_gen[touched] = now_ns
+        pages.lru_active[touched] = True
+        pages.lru_active[misses >= self.DEACTIVATE_AFTER] = False
+
+        pages.accessed[:] = False
+        pages.clear_window_counts()
+        return touched
+
+    def coldest_pages(
+        self,
+        processes: Sequence[SimProcess],
+        tier_id: int,
+        n_pages: int,
+        inactive_only: bool = True,
+    ) -> List[Tuple[SimProcess, np.ndarray]]:
+        """Select up to ``n_pages`` coldest pages resident in ``tier_id``.
+
+        Pages are ranked by ascending generation (oldest reference first),
+        restricted to the inactive list unless ``inactive_only`` is False --
+        matching how kswapd scans the inactive list before touching active
+        pages.  Returns per-process vpn arrays.
+        """
+        if n_pages <= 0:
+            return []
+        gens: List[np.ndarray] = []
+        owners: List[int] = []
+        vpn_lists: List[np.ndarray] = []
+        for index, process in enumerate(processes):
+            pages = process.pages
+            mask = pages.tier == tier_id
+            if inactive_only:
+                mask &= ~pages.lru_active
+            vpns = np.flatnonzero(mask)
+            if vpns.size == 0:
+                continue
+            gens.append(pages.lru_gen[vpns])
+            owners.append(index)
+            vpn_lists.append(vpns)
+        if not gens:
+            return []
+
+        all_gens = np.concatenate(gens)
+        all_owner = np.concatenate(
+            [
+                np.full(v.size, owner, dtype=np.int32)
+                for owner, v in zip(owners, vpn_lists)
+            ]
+        )
+        all_vpns = np.concatenate(vpn_lists)
+
+        # Shuffle before the partial sort: pages sharing a generation
+        # (referenced in the same aging window) are indistinguishable, so
+        # ties must break randomly, not by address order.
+        shuffle = self._rng.permutation(all_gens.size)
+        all_gens = all_gens[shuffle]
+        all_owner = all_owner[shuffle]
+        all_vpns = all_vpns[shuffle]
+
+        take = min(n_pages, all_gens.size)
+        order = np.argpartition(all_gens, take - 1)[:take]
+
+        selected: List[Tuple[SimProcess, np.ndarray]] = []
+        for owner in np.unique(all_owner[order]):
+            vpns = all_vpns[order[all_owner[order] == owner]]
+            selected.append((processes[int(owner)], np.sort(vpns)))
+        return selected
+
+    def inactive_count(
+        self, processes: Iterable[SimProcess], tier_id: int
+    ) -> int:
+        """Number of inactive pages resident in ``tier_id``."""
+        total = 0
+        for process in processes:
+            pages = process.pages
+            total += int(
+                np.count_nonzero((pages.tier == tier_id) & ~pages.lru_active)
+            )
+        return total

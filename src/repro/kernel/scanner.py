@@ -1,0 +1,117 @@
+"""The Ticking-scan / NUMA-balancing address-space scanner.
+
+The kernel periodically walks each process's virtual address space, one
+*scan step* worth of pages at a time, marking PTEs ``PROT_NONE`` so the next
+access traps.  Vanilla NUMA balancing uses the trap to learn which CPU
+touched the page; Chrono's Ticking-scan additionally stamps the scan time on
+each marked page so the fault handler can compute CIT.
+
+Scan events for a process are spaced so that one full pass over its address
+space takes one *scan period* (default 60 s, as in the kernel), i.e. the
+inter-event gap is ``scan_period * scan_step / n_pages``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.vm.process import SimProcess
+
+ScanHook = Callable[["SimProcess", np.ndarray, int], None]
+
+
+@dataclass
+class ScanConfig:
+    """Scanner tunables (the paper's *Scan step* and *Scan period*)."""
+
+    scan_period_ns: int = 60_000_000_000  # 60 s to loop the address space
+    scan_step_pages: int = 65_536  # 256 MB of base pages
+    tier_filter: Optional[int] = None  # only mark pages in this tier
+
+    def __post_init__(self) -> None:
+        if self.scan_period_ns <= 0:
+            raise ValueError("scan period must be positive")
+        if self.scan_step_pages <= 0:
+            raise ValueError("scan step must be positive")
+
+
+class TickingScanner:
+    """Periodic PROT_NONE scanner over every registered process."""
+
+    def __init__(self, kernel: "Kernel", config: ScanConfig) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.on_scan: Optional[ScanHook] = None
+        self._started: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    def interval_ns(self, process: "SimProcess") -> int:
+        """Gap between consecutive scan events for ``process``."""
+        step = min(self.config.scan_step_pages, process.n_pages)
+        interval = self.config.scan_period_ns * step // process.n_pages
+        return max(interval, 1)
+
+    def start(self) -> None:
+        """Schedule the first scan event for every process.
+
+        Events are staggered across processes (by a deterministic fraction
+        of the interval) so 50 processes do not all scan in the same tick,
+        the same way task_numa_work is driven by each task's own timer.
+        """
+        for index, process in enumerate(self.kernel.processes):
+            if self._started.get(process.pid):
+                continue
+            self._started[process.pid] = True
+            interval = self.interval_ns(process)
+            offset = (index * interval) // max(
+                len(self.kernel.processes), 1
+            )
+            self._schedule(process, self.kernel.clock.now + offset + 1)
+
+    def _schedule(self, process: "SimProcess", when_ns: int) -> None:
+        self.kernel.scheduler.schedule(
+            when_ns,
+            lambda now, proc=process: self._tick(proc, now),
+            name=f"ticking-scan:{process.pid}",
+        )
+
+    def _tick(self, process: "SimProcess", now_ns: int) -> None:
+        if process.finished:
+            return
+        # Stamp protections with the *effective* time (the clock, already
+        # advanced to the engine boundary), but keep the drift-free cadence
+        # by rescheduling from the nominal expiry.
+        self.scan_once(process, self.kernel.clock.now)
+        self._schedule(process, now_ns + self.interval_ns(process))
+
+    # ------------------------------------------------------------------
+    def scan_once(self, process: "SimProcess", now_ns: int) -> np.ndarray:
+        """Run one scan event: mark a window PROT_NONE, stamp scan times.
+
+        Returns the window vpns (after tier filtering).  Charges the
+        per-page PTE-walk cost to the process and bumps the global scan
+        counters.
+        """
+        step = min(self.config.scan_step_pages, process.n_pages)
+        window, wrapped = process.aspace.next_scan_window(step)
+        if self.config.tier_filter is not None:
+            window = window[
+                process.pages.tier[window] == self.config.tier_filter
+            ]
+        marked = process.pages.protect(window, now_ns)
+
+        cost = window.size * self.kernel.machine.spec.effective_scan_cost_ns
+        process.charge_kernel(cost)
+        self.kernel.stats.kernel_time_ns += cost
+        self.kernel.stats.pages_scanned += marked
+        if wrapped:
+            self.kernel.stats.scan_passes += 1
+
+        if self.on_scan is not None:
+            self.on_scan(process, window, now_ns)
+        return window

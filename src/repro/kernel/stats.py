@@ -1,0 +1,120 @@
+"""vmstat-style global counters and time-series recorders.
+
+:class:`GlobalStats` aggregates the run-time characteristics the paper's
+evaluation reports (Figure 8): promotions, demotions, hint faults, scan
+work, kernel time, context switches, thrash events.  :class:`TimeSeries` is
+the recorder behind the history plots (Figure 9's DRAM-page-percentage
+curves, Figure 10b/c's threshold and rate-limit traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass
+class GlobalStats:
+    """Machine-wide counters, the simulator's ``/proc/vmstat``."""
+
+    pgpromote: int = 0
+    pgdemote: int = 0
+    hint_faults: int = 0
+    pages_scanned: int = 0
+    scan_passes: int = 0
+    kernel_time_ns: float = 0.0
+    migration_time_ns: float = 0.0
+    context_switches: int = 0
+    thrash_events: int = 0
+    promotion_enqueued: int = 0
+    promotion_dequeued: int = 0
+    promotion_dropped: int = 0
+    dcsc_probes: int = 0
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict copy (for reporting and assertions)."""
+        return {
+            "pgpromote": self.pgpromote,
+            "pgdemote": self.pgdemote,
+            "hint_faults": self.hint_faults,
+            "pages_scanned": self.pages_scanned,
+            "scan_passes": self.scan_passes,
+            "kernel_time_ns": self.kernel_time_ns,
+            "migration_time_ns": self.migration_time_ns,
+            "context_switches": self.context_switches,
+            "thrash_events": self.thrash_events,
+            "promotion_enqueued": self.promotion_enqueued,
+            "promotion_dequeued": self.promotion_dequeued,
+            "promotion_dropped": self.promotion_dropped,
+            "dcsc_probes": self.dcsc_probes,
+        }
+
+
+class TimeSeries:
+    """An append-only (time, value) series with summary helpers."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: List[int] = []
+        self._values: List[float] = []
+
+    def record(self, when_ns: int, value: float) -> None:
+        if self._times and when_ns < self._times[-1]:
+            raise ValueError(
+                f"time series {self.name!r} must be appended in time order"
+            )
+        self._times.append(int(when_ns))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> Sequence[int]:
+        return tuple(self._times)
+
+    @property
+    def values(self) -> Sequence[float]:
+        return tuple(self._values)
+
+    def last(self) -> Tuple[int, float]:
+        if not self._times:
+            raise IndexError(f"time series {self.name!r} is empty")
+        return self._times[-1], self._values[-1]
+
+    def mean(self) -> float:
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    def tail_mean(self, fraction: float = 0.25) -> float:
+        """Mean of the trailing ``fraction`` of samples -- used to read the
+        converged value out of a tuning history."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        if not self._values:
+            return 0.0
+        start = int(len(self._values) * (1 - fraction))
+        tail = self._values[start:]
+        return sum(tail) / len(tail)
+
+
+class SeriesBank:
+    """A named collection of :class:`TimeSeries`, created on first use."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def record(self, name: str, when_ns: int, value: float) -> None:
+        self.series(name).record(when_ns, value)
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series

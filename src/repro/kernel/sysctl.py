@@ -1,0 +1,124 @@
+"""Sysctl-style tunable registry.
+
+The paper exposes Chrono's parameters through sysctl and procfs controllers
+(Table 2).  This module provides the same interface for the simulator: a
+typed, documented, validated registry of tunables with defaults.  Every
+policy registers its knobs here so the benchmark harness can sweep them (the
+Figure 10d / 11b sensitivity analyses) and Table 2 can be rendered straight
+from the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+
+class SysctlError(KeyError):
+    """Raised for unknown tunables or rejected values."""
+
+
+@dataclass
+class SysctlEntry:
+    """One registered tunable."""
+
+    name: str
+    default: Any
+    description: str
+    validator: Optional[Callable[[Any], bool]] = None
+    unit: str = ""
+
+    def validate(self, value: Any) -> None:
+        if self.validator is not None and not self.validator(value):
+            raise SysctlError(
+                f"value {value!r} rejected for sysctl {self.name!r}"
+            )
+
+
+def positive(value: Any) -> bool:
+    """Validator: numeric and strictly positive."""
+    return isinstance(value, (int, float)) and value > 0
+
+
+def fraction(value: Any) -> bool:
+    """Validator: numeric in (0, 1]."""
+    return isinstance(value, (int, float)) and 0 < value <= 1
+
+
+def non_negative(value: Any) -> bool:
+    """Validator: numeric and >= 0."""
+    return isinstance(value, (int, float)) and value >= 0
+
+
+class Sysctl:
+    """A registry of named tunables with defaults and validation."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, SysctlEntry] = {}
+        self._values: Dict[str, Any] = {}
+
+    def register(
+        self,
+        name: str,
+        default: Any,
+        description: str,
+        validator: Optional[Callable[[Any], bool]] = None,
+        unit: str = "",
+    ) -> None:
+        """Register a tunable.  Re-registering an existing name with the
+        same default is a no-op; conflicting defaults are an error."""
+        if name in self._entries:
+            if self._entries[name].default != default:
+                raise SysctlError(
+                    f"sysctl {name!r} already registered with default "
+                    f"{self._entries[name].default!r}"
+                )
+            return
+        entry = SysctlEntry(name, default, description, validator, unit)
+        entry.validate(default)
+        self._entries[name] = entry
+        self._values[name] = default
+
+    def get(self, name: str) -> Any:
+        if name not in self._values:
+            raise SysctlError(f"unknown sysctl {name!r}")
+        return self._values[name]
+
+    def set(self, name: str, value: Any) -> None:
+        if name not in self._entries:
+            raise SysctlError(f"unknown sysctl {name!r}")
+        self._entries[name].validate(value)
+        self._values[name] = value
+
+    def reset(self, name: Optional[str] = None) -> None:
+        """Restore one tunable (or all of them) to the default."""
+        if name is None:
+            for key, entry in self._entries.items():
+                self._values[key] = entry.default
+            return
+        if name not in self._entries:
+            raise SysctlError(f"unknown sysctl {name!r}")
+        self._values[name] = self._entries[name].default
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[Tuple[str, SysctlEntry]]:
+        return iter(sorted(self._entries.items()))
+
+    def describe(self) -> str:
+        """Render the registry as a Table-2-style text table."""
+        rows = [("Name", "Default", "Unit", "Description")]
+        for name, entry in self:
+            rows.append(
+                (name, str(entry.default), entry.unit, entry.description)
+            )
+        widths = [max(len(row[i]) for row in rows) for i in range(4)]
+        lines = []
+        for i, row in enumerate(rows):
+            lines.append(
+                "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row))
+            )
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)

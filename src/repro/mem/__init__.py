@@ -1,0 +1,27 @@
+"""Simulated tiered-memory hardware.
+
+The paper's testbed is a two-socket Xeon with local DDR4 DRAM (the *fast
+tier*) and Intel Optane PMem configured as a CPU-less NUMA node (the *slow
+tier*).  This package models exactly the properties the tiering policies
+react to:
+
+* per-tier capacity (in pages),
+* per-tier read and write latency (Optane writes are markedly slower than
+  reads, which is why Chrono's advantage grows on write-heavy mixes),
+* per-tier bandwidth, charged both to workload traffic and page migrations,
+* a page-migration cost model (kernel fixed cost + data copy time).
+"""
+
+from repro.mem.machine import MachineSpec, TieredMachine
+from repro.mem.migration_cost import MigrationCostModel
+from repro.mem.tier import FAST_TIER, SLOW_TIER, MemoryTier, TierSpec
+
+__all__ = [
+    "FAST_TIER",
+    "MachineSpec",
+    "MemoryTier",
+    "MigrationCostModel",
+    "SLOW_TIER",
+    "TieredMachine",
+    "TierSpec",
+]

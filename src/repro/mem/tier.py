@@ -1,0 +1,148 @@
+"""A single memory tier (NUMA node).
+
+Each tier is a pool of physical page frames with uniform access
+characteristics.  Tier ids are small integers used to index numpy lookup
+tables throughout the simulator; by convention tier 0 is the fast (DRAM)
+tier and tier 1 the slow (NVM/CXL) tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+FAST_TIER: int = 0
+SLOW_TIER: int = 1
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Static description of a memory tier.
+
+    Latencies follow the paper's characterization: DRAM load latency in the
+    50-90 ns range, slow memory (Optane PM / CXL) in the 150-270 ns range
+    with asymmetric and slower writes.
+    """
+
+    name: str
+    capacity_pages: int
+    read_latency_ns: int
+    write_latency_ns: int
+    bandwidth_bytes_per_sec: float
+    cpu_local: bool = True
+    #: how much of the bandwidth budget one written byte consumes relative
+    #: to a read byte.  Optane PM writes cost ~3x (256 B internal write
+    #: blocks + asymmetric media), which is where the paper's growing
+    #: advantage on write-heavy mixes comes from.
+    write_bandwidth_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_pages <= 0:
+            raise ValueError(f"tier {self.name!r} needs positive capacity")
+        if self.read_latency_ns <= 0 or self.write_latency_ns <= 0:
+            raise ValueError(f"tier {self.name!r} needs positive latencies")
+        if self.bandwidth_bytes_per_sec <= 0:
+            raise ValueError(f"tier {self.name!r} needs positive bandwidth")
+        if self.write_bandwidth_multiplier < 1.0:
+            raise ValueError(
+                f"tier {self.name!r}: writes cannot be cheaper than reads"
+            )
+
+
+def dram_spec(capacity_pages: int) -> TierSpec:
+    """A DDR4-DRAM-like fast tier."""
+    return TierSpec(
+        name="dram",
+        capacity_pages=capacity_pages,
+        read_latency_ns=80,
+        write_latency_ns=85,
+        bandwidth_bytes_per_sec=100e9,
+        cpu_local=True,
+    )
+
+
+def optane_spec(capacity_pages: int) -> TierSpec:
+    """An Optane-PMem-like slow tier (CPU-less NUMA node).
+
+    Read latency ~250 ns; writes are slower and bandwidth-limited, matching
+    the biased read/write performance the paper attributes its write-heavy
+    gains to.
+    """
+    return TierSpec(
+        name="optane",
+        capacity_pages=capacity_pages,
+        read_latency_ns=250,
+        write_latency_ns=400,
+        bandwidth_bytes_per_sec=2.5e9,
+        cpu_local=False,
+        write_bandwidth_multiplier=3.0,
+    )
+
+
+def cxl_spec(capacity_pages: int) -> TierSpec:
+    """A CXL-attached-memory-like slow tier (symmetric, moderately slow)."""
+    return TierSpec(
+        name="cxl",
+        capacity_pages=capacity_pages,
+        read_latency_ns=200,
+        write_latency_ns=220,
+        bandwidth_bytes_per_sec=8e9,
+        cpu_local=False,
+        write_bandwidth_multiplier=1.5,
+    )
+
+
+@dataclass
+class MemoryTier:
+    """Run-time state of a tier: frame accounting on top of a spec."""
+
+    tier_id: int
+    spec: TierSpec
+    used_pages: int = 0
+    _migration_bytes: float = field(default=0.0, repr=False)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def capacity_pages(self) -> int:
+        return self.spec.capacity_pages
+
+    @property
+    def free_pages(self) -> int:
+        return self.spec.capacity_pages - self.used_pages
+
+    def allocate(self, n_pages: int) -> int:
+        """Reserve up to ``n_pages`` frames; return how many were granted."""
+        if n_pages < 0:
+            raise ValueError("cannot allocate a negative number of pages")
+        granted = min(n_pages, self.free_pages)
+        self.used_pages += granted
+        return granted
+
+    def release(self, n_pages: int) -> None:
+        """Return ``n_pages`` frames to the free pool."""
+        if n_pages < 0:
+            raise ValueError("cannot release a negative number of pages")
+        if n_pages > self.used_pages:
+            raise ValueError(
+                f"releasing {n_pages} pages but only "
+                f"{self.used_pages} are in use on {self.name}"
+            )
+        self.used_pages -= n_pages
+
+    def utilization(self) -> float:
+        """Fraction of frames in use, in [0, 1]."""
+        return self.used_pages / self.spec.capacity_pages
+
+    def charge_migration_bytes(self, nbytes: float) -> None:
+        """Account migration traffic against this tier's bandwidth."""
+        if nbytes < 0:
+            raise ValueError("migration traffic cannot be negative")
+        self._migration_bytes += nbytes
+
+    def consume_migration_bytes(self) -> float:
+        """Read and reset the migration-traffic accumulator."""
+        nbytes = self._migration_bytes
+        self._migration_bytes = 0.0
+        return nbytes

@@ -1,0 +1,17 @@
+"""PEBS (processor event-based sampling) substrate.
+
+Hardware event sampling is how HeMem/Memtis/FlexMem measure hotness.  Its
+defining constraint -- and the root of the paper's Section 2.3 critique --
+is the *bounded sample budget*: the kernel caps the sampling rate (and
+system designers lower it further for overhead), so the per-page counter
+mass available in a cooling period is fixed.  Spread over millions of base
+pages it is statistically meaningless; concentrated on thousands of huge
+pages it works.  :class:`PebsSampler` reproduces exactly that budget
+behaviour, and :class:`CoolingHistogram` the Memtis-style log-scale hotness
+histogram built on top of it.
+"""
+
+from repro.pebs.histogram import CoolingHistogram
+from repro.pebs.sampler import PebsSampler
+
+__all__ = ["CoolingHistogram", "PebsSampler"]

@@ -1,0 +1,112 @@
+"""Memtis-style cooling histogram over sampled access counts.
+
+Memtis keeps a per-page access counter fed by PEBS samples, periodically
+*cools* all counters (halving them), and maintains a global histogram over
+log2-scale bins.  The hot set is chosen by walking the histogram from the
+hottest bin down until the covered pages fill the fast tier -- the
+"fast-slow memory ratio configuration" classification criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+
+def bin_of(counts: np.ndarray) -> np.ndarray:
+    """log2-scale hotness bin of each counter value.
+
+    Bin 0 holds counters < 1; bin ``i`` (i >= 1) holds values in
+    ``[2^(i-1), 2^i)``.  This is the binning behind Figure 2b.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    bins = np.zeros(counts.shape, dtype=np.int64)
+    positive = counts >= 1
+    bins[positive] = np.floor(np.log2(counts[positive])).astype(np.int64) + 1
+    return bins
+
+
+@dataclass
+class CoolingHistogram:
+    """Per-page counters with periodic cooling and log-scale histogram.
+
+    Attributes:
+        n_pages: number of tracked (base or huge) pages.
+        n_bins: histogram bins (bin 0 = never sampled / cooled away).
+        cooling_period_ns: interval between halvings.
+    """
+
+    n_pages: int
+    n_bins: int = 16
+    cooling_period_ns: int = 2_000_000_000
+    counts: np.ndarray = field(init=False)
+    _last_cool_ns: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.n_pages <= 0:
+            raise ValueError("need at least one tracked page")
+        if self.n_bins < 2:
+            raise ValueError("need at least two bins")
+        if self.cooling_period_ns <= 0:
+            raise ValueError("cooling period must be positive")
+        self.counts = np.zeros(self.n_pages, dtype=np.float64)
+
+    def record(self, sampled_counts: np.ndarray) -> None:
+        """Add one sampling window's hits to the counters."""
+        sampled_counts = np.asarray(sampled_counts)
+        if sampled_counts.shape != self.counts.shape:
+            raise ValueError("sample array must match tracked pages")
+        self.counts += sampled_counts
+
+    def maybe_cool(self, now_ns: int) -> bool:
+        """Halve every counter if a cooling period elapsed."""
+        if now_ns - self._last_cool_ns < self.cooling_period_ns:
+            return False
+        self.counts *= 0.5
+        self._last_cool_ns = now_ns
+        return True
+
+    def histogram(self) -> np.ndarray:
+        """Page counts per hotness bin (clipped into ``n_bins``)."""
+        bins = np.minimum(bin_of(self.counts), self.n_bins - 1)
+        return np.bincount(bins, minlength=self.n_bins)
+
+    def hot_threshold_bin(self, fast_capacity_pages: int) -> int:
+        """Lowest bin considered hot, by the capacity-ratio criterion.
+
+        Walk bins from hottest to coldest, accumulating pages, and stop at
+        the last bin that still fits in ``fast_capacity_pages``.  Returns
+        ``n_bins`` when even the hottest bin overflows the fast tier.
+        """
+        if fast_capacity_pages < 0:
+            raise ValueError("capacity cannot be negative")
+        hist = self.histogram()
+        covered = 0
+        threshold = self.n_bins
+        for b in range(self.n_bins - 1, 0, -1):
+            if covered + hist[b] > fast_capacity_pages:
+                break
+            covered += hist[b]
+            threshold = b
+        return threshold
+
+    def classify(
+        self, fast_capacity_pages: int
+    ) -> Tuple[np.ndarray, int]:
+        """Return (hot-page mask, threshold bin)."""
+        threshold = self.hot_threshold_bin(fast_capacity_pages)
+        bins = np.minimum(bin_of(self.counts), self.n_bins - 1)
+        return bins >= threshold, threshold
+
+    def coefficient_of_variation(self) -> float:
+        """CV of the positive counters -- the paper's instability metric
+        for base-page PEBS classification (Section 2.4)."""
+        positive = self.counts[self.counts > 0]
+        if positive.size == 0:
+            return 0.0
+        mean = positive.mean()
+        if mean == 0:
+            return 0.0
+        return float(positive.std() / mean)

@@ -1,0 +1,91 @@
+"""Bounded-rate memory-access sampler.
+
+A PEBS counter fires every N-th retired load/store (the *sampling period*),
+so over a window of ``T`` seconds the whole system collects at most
+``rate * T`` samples no matter how many pages are live.  Each sample also
+costs CPU time to drain from the PEBS buffer -- the overhead that forces
+designers to keep the rate low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PebsConfig:
+    """Sampler tunables.
+
+    ``max_samples_per_sec`` is the system-wide budget (the kernel caps perf
+    sampling around 100k/s and tiering systems configure less than that).
+    ``sample_drain_cost_ns`` is the per-sample interrupt/drain overhead.
+    """
+
+    max_samples_per_sec: float = 100_000.0
+    sample_drain_cost_ns: int = 300
+
+    def __post_init__(self) -> None:
+        if self.max_samples_per_sec <= 0:
+            raise ValueError("sample budget must be positive")
+        if self.sample_drain_cost_ns < 0:
+            raise ValueError("drain cost cannot be negative")
+
+
+class PebsSampler:
+    """Samples page accesses under a fixed system-wide budget."""
+
+    def __init__(
+        self, config: PebsConfig, rng: np.random.Generator
+    ) -> None:
+        self.config = config
+        self._rng = rng
+        self.total_samples = 0.0
+        self.total_overhead_ns = 0.0
+
+    def sample_window(
+        self,
+        access_probs: np.ndarray,
+        n_accesses: float,
+        window_ns: int,
+        budget_share: float = 1.0,
+    ) -> np.ndarray:
+        """Sample one window of a process's traffic.
+
+        Args:
+            access_probs: per-page access distribution (sums to 1).
+            n_accesses: accesses the process issued in the window.
+            window_ns: window length.
+            budget_share: this process's share of the machine-wide sample
+                budget (1 / number of sampled processes).
+
+        Returns:
+            Per-page sampled hit counts.  The expected total is
+            ``min(n_accesses, rate * window * share)`` -- the budget cap in
+            action.  Counts are Poisson around the expectation, matching
+            the randomness of period-based sampling.
+        """
+        if not 0 < budget_share <= 1:
+            raise ValueError("budget share must be in (0, 1]")
+        if n_accesses < 0:
+            raise ValueError("access count cannot be negative")
+        budget = (
+            self.config.max_samples_per_sec * (window_ns / 1e9) * budget_share
+        )
+        n_samples = min(float(n_accesses), budget)
+        if n_samples <= 0:
+            return np.zeros_like(np.asarray(access_probs))
+        expected = np.asarray(access_probs, dtype=np.float64) * n_samples
+        counts = self._rng.poisson(expected).astype(np.float64)
+        self.total_samples += float(counts.sum())
+        self.total_overhead_ns += (
+            float(counts.sum()) * self.config.sample_drain_cost_ns
+        )
+        return counts
+
+    def drain_overhead_ns(self) -> float:
+        """Read and reset the accumulated sampling overhead."""
+        overhead = self.total_overhead_ns
+        self.total_overhead_ns = 0.0
+        return overhead

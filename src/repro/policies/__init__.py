@@ -1,0 +1,46 @@
+"""Tiering policies: the paper's baselines.
+
+Every policy plugs into the kernel through the same narrow surface
+(:class:`repro.policies.base.TieringPolicy`): it may configure the
+address-space scanner, react to hint faults, consume PEBS samples, drive
+migrations, and adjust watermarks -- nothing else.  The baselines:
+
+* :class:`LinuxNUMABalancing` -- vanilla NUMA balancing used as tiering
+  (MRU promotion on every hint fault).
+* :class:`AutoTieringPolicy` -- 8-bit LAP access-history vectors with
+  opportunistic promotion and background demotion (OPM-BD).
+* :class:`MultiClockPolicy` -- multi-level clock lists over hardware
+  access bits; no forced page faults.
+* :class:`TPPPolicy` -- hint faults gated by LRU recency, plus
+  watermark-driven proactive demotion.
+* :class:`MemtisPolicy` -- PEBS sampling into a cooling histogram with
+  capacity-ratio classification, huge-page granularity by default.
+"""
+
+from repro.policies.autotiering import AutoTieringPolicy
+from repro.policies.base import TieringPolicy
+from repro.policies.flexmem import FlexMemPolicy
+from repro.policies.linux_nb import LinuxNUMABalancing
+from repro.policies.memtis import MemtisPolicy
+from repro.policies.multiclock import MultiClockPolicy
+from repro.policies.registry import (
+    POLICY_CHARACTERISTICS,
+    make_policy,
+    policy_names,
+)
+from repro.policies.telescope import TelescopePolicy
+from repro.policies.tpp import TPPPolicy
+
+__all__ = [
+    "AutoTieringPolicy",
+    "FlexMemPolicy",
+    "TelescopePolicy",
+    "LinuxNUMABalancing",
+    "MemtisPolicy",
+    "MultiClockPolicy",
+    "POLICY_CHARACTERISTICS",
+    "TPPPolicy",
+    "TieringPolicy",
+    "make_policy",
+    "policy_names",
+]

@@ -1,0 +1,120 @@
+"""The tiering-policy interface.
+
+A policy's contract with the kernel:
+
+* ``attach(kernel)`` -- called once by :meth:`Kernel.set_policy`; the
+  policy configures the scanner, watermarks, and its sysctls here.
+* ``start()`` -- called from :meth:`Kernel.start`; schedule daemons here.
+* ``on_fault(process, batch)`` -- NUMA hint faults taken this quantum.
+* ``on_quantum(process, probs, n_accesses, start_ns, quantum_ns)`` --
+  per-quantum traffic summary (PEBS-style policies sample from it).
+* ``on_lru_age(process, touched, now_ns)`` -- one LRU aging pass finished
+  (access-bit policies read the touch mask here).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.vm.fault import FaultBatch
+    from repro.vm.process import SimProcess
+
+
+class PromotionRateLimiter:
+    """Token-bucket promotion throttle.
+
+    The kernel caps NUMA-balancing promotions (the
+    ``numa_balancing_promote_rate_limit_MBps`` sysctl); TPP inherits the
+    cap.  The budget is expressed in *real* MB/s and converted to
+    simulated pages using the machine's page scale.
+    """
+
+    def __init__(self, rate_mbps: float) -> None:
+        if rate_mbps <= 0:
+            raise ValueError("rate limit must be positive")
+        self.rate_mbps = float(rate_mbps)
+        self._pages_per_ns = 0.0
+        self._tokens = 0.0
+        self._last_ns = 0
+
+    def bind(self, kernel: "Kernel") -> None:
+        """Resolve the MB/s budget to simulated pages per nanosecond."""
+        bytes_per_sim_page = 4096 * kernel.machine.spec.page_scale
+        self._pages_per_ns = (
+            self.rate_mbps * 1e6 / bytes_per_sim_page / 1e9
+        )
+        self._last_ns = kernel.clock.now
+
+    def grant(self, requested: int, now_ns: int) -> int:
+        """Take up to ``requested`` pages from the bucket."""
+        if requested < 0:
+            raise ValueError("cannot request negative pages")
+        if self._pages_per_ns == 0.0:
+            raise RuntimeError("rate limiter is not bound to a kernel")
+        elapsed = max(now_ns - self._last_ns, 0)
+        self._last_ns = now_ns
+        # Cap the accumulated burst at one second of budget.
+        self._tokens = min(
+            self._tokens + elapsed * self._pages_per_ns,
+            self._pages_per_ns * 1e9,
+        )
+        granted = min(requested, int(self._tokens))
+        self._tokens -= granted
+        return granted
+
+
+class TieringPolicy(ABC):
+    """Base class wiring a policy into the kernel."""
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.kernel: Optional["Kernel"] = None
+
+    def attach(self, kernel: "Kernel") -> None:
+        """Bind to a kernel and configure its subsystems."""
+        if self.kernel is not None:
+            raise RuntimeError(
+                f"policy {self.name!r} is already attached to a kernel"
+            )
+        self.kernel = kernel
+        self._configure(kernel)
+
+    @abstractmethod
+    def _configure(self, kernel: "Kernel") -> None:
+        """Set up scanner / watermarks / sysctls on the kernel."""
+
+    def start(self) -> None:
+        """Schedule policy daemons (called from :meth:`Kernel.start`)."""
+
+    def on_fault(self, process: "SimProcess", batch: "FaultBatch") -> None:
+        """Handle a batch of NUMA hint faults."""
+
+    def on_quantum(
+        self,
+        process: "SimProcess",
+        probs: np.ndarray,
+        n_accesses: float,
+        start_ns: int,
+        quantum_ns: int,
+    ) -> None:
+        """Observe one quantum of traffic (sampling-based policies)."""
+
+    def on_lru_age(
+        self, process: "SimProcess", touched: np.ndarray, now_ns: int
+    ) -> None:
+        """Observe one LRU aging pass (access-bit policies)."""
+
+    # ------------------------------------------------------------------
+    def _require_kernel(self) -> "Kernel":
+        if self.kernel is None:
+            raise RuntimeError(f"policy {self.name!r} is not attached")
+        return self.kernel
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,72 @@
+"""Vanilla Linux NUMA balancing used as a tiering policy (Linux-NB).
+
+The slow tier is a CPU-less NUMA node, so every hint fault on a slow-tier
+page looks like a misplaced page to the balancer and triggers promotion --
+effectively a *most recently used* policy (Section 2.1).  It cannot tell a
+page that faults 1 ms after the scan from one that faults 50 s after; both
+get promoted.
+
+Two pieces of vanilla-kernel behaviour matter:
+
+* promotions are throttled by the global
+  ``numa_balancing_promote_rate_limit_MBps`` budget, and
+* the promotion path never reclaims synchronously -- if the fast tier has
+  no free page, the promotion is simply skipped and kswapd's
+  watermark-driven demotion (``vm.demotion_enabled``) frees space in the
+  background.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.scanner import ScanConfig
+from repro.mem.tier import SLOW_TIER
+from repro.policies.base import PromotionRateLimiter, TieringPolicy
+from repro.sim.timeunits import SECOND
+
+
+class LinuxNUMABalancing(TieringPolicy):
+    """MRU promotion on every hint fault; kswapd watermark demotion."""
+
+    name = "linux-nb"
+
+    def __init__(
+        self,
+        scan_period_ns: int = 60 * SECOND,
+        scan_step_pages: int = 65_536,
+        promote_rate_limit_mbps: float = 256.0,
+    ) -> None:
+        super().__init__()
+        # Tiering mode scans only the slow tier: hint faults exist to
+        # find promotion candidates, and CPU-less nodes need no locality
+        # balancing (the kernel skips toptier nodes in tiering mode).
+        self._scan_config = ScanConfig(
+            scan_period_ns=scan_period_ns,
+            scan_step_pages=scan_step_pages,
+            tier_filter=SLOW_TIER,
+        )
+        self.rate_limiter = PromotionRateLimiter(promote_rate_limit_mbps)
+
+    def _configure(self, kernel) -> None:
+        kernel.create_scanner(self._scan_config)
+        kernel.sysctl.set("kernel.numa_balancing", 1)
+        self.rate_limiter.bind(kernel)
+
+    def on_fault(self, process, batch) -> None:
+        kernel = self._require_kernel()
+        vpns = batch.vpns
+        slow = vpns[process.pages.tier[vpns] == SLOW_TIER]
+        if slow.size == 0:
+            return
+        budget = self.rate_limiter.grant(
+            int(slow.size), kernel.clock.now
+        )
+        budget = min(budget, kernel.machine.fast.free_pages)
+        if budget < slow.size:
+            kernel.stats.promotion_dropped += int(slow.size) - max(budget, 0)
+        if budget <= 0:
+            return
+        if budget < slow.size:
+            # The rate limiter admits whichever faults arrive first; with
+            # batched faults that is a random subset, not low addresses.
+            slow = process.rng.permutation(slow)[:budget]
+        kernel.migration.promote(process, slow)

@@ -1,0 +1,134 @@
+"""Policy registry and Table 1 characteristics.
+
+``make_policy(name)`` builds any policy (baselines and every Chrono
+variant) by its canonical name; ``POLICY_CHARACTERISTICS`` reproduces the
+paper's Table 1 rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.policies.autotiering import AutoTieringPolicy
+from repro.policies.base import TieringPolicy
+from repro.policies.flexmem import FlexMemPolicy
+from repro.policies.linux_nb import LinuxNUMABalancing
+from repro.policies.memtis import MemtisPolicy
+from repro.policies.multiclock import MultiClockPolicy
+from repro.policies.telescope import TelescopePolicy
+from repro.policies.tpp import TPPPolicy
+
+
+@dataclass(frozen=True)
+class PolicyTraits:
+    """One Table 1 row."""
+
+    solution: str
+    type: str
+    migration_criterion: str
+    effective_frequency_scale: str
+    default_page_size: str
+
+
+POLICY_CHARACTERISTICS: List[PolicyTraits] = [
+    PolicyTraits(
+        "Auto-Tiering", "System-wide", "Page-fault counters",
+        "0~1 access/min", "Base page",
+    ),
+    PolicyTraits(
+        "Multi-Clock", "System-wide", "Multi-level LRU lists",
+        "0~1 access/min", "Base page",
+    ),
+    PolicyTraits(
+        "Telescope", "System-wide", "Tree-structured PTE bits",
+        "0~5 access/sec", "Base page",
+    ),
+    PolicyTraits(
+        "TPP", "System-wide", "Page-fault + LRU lists",
+        "0~2 access/min", "Base page",
+    ),
+    PolicyTraits(
+        "Memtis", "Process level", "PEBS stats + Ratio config",
+        "0~10 access/sec", "Huge page",
+    ),
+    PolicyTraits(
+        "FlexMem", "Process level", "PEBS stats + Page fault",
+        "0~10 access/sec", "Huge page",
+    ),
+    PolicyTraits(
+        "Chrono [Ours]", "System-wide", "Dynamic CIT stats",
+        "0~1000 access/sec", "Base page",
+    ),
+]
+
+
+def _chrono_factory(**kwargs) -> TieringPolicy:
+    # Imported lazily: repro.core imports repro.policies.base.
+    from repro.core.policy import ChronoPolicy
+
+    return ChronoPolicy(**kwargs)
+
+
+def _chrono_variant_factory(variant: str) -> Callable[..., TieringPolicy]:
+    def factory(**kwargs) -> TieringPolicy:
+        from repro.core.policy import make_chrono_variant
+
+        return make_chrono_variant(variant, **kwargs)
+
+    return factory
+
+
+_FACTORIES: Dict[str, Callable[..., TieringPolicy]] = {
+    "linux-nb": LinuxNUMABalancing,
+    "autotiering": AutoTieringPolicy,
+    "multiclock": MultiClockPolicy,
+    "tpp": TPPPolicy,
+    "memtis": MemtisPolicy,
+    "telescope": TelescopePolicy,
+    "flexmem": FlexMemPolicy,
+    "chrono": _chrono_factory,
+    "chrono-basic": _chrono_variant_factory("basic"),
+    "chrono-twice": _chrono_variant_factory("twice"),
+    "chrono-thrice": _chrono_variant_factory("thrice"),
+    "chrono-full": _chrono_variant_factory("full"),
+    "chrono-manual": _chrono_variant_factory("manual"),
+}
+
+
+def policy_names() -> List[str]:
+    """Canonical names accepted by :func:`make_policy`."""
+    return sorted(_FACTORIES)
+
+
+def make_policy(name: str, **kwargs) -> TieringPolicy:
+    """Build a policy by name, forwarding constructor arguments."""
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown policy {name!r}; known: {', '.join(policy_names())}"
+        )
+    return _FACTORIES[name](**kwargs)
+
+
+def characteristics_table() -> str:
+    """Render Table 1 as text."""
+    header = (
+        "Solution", "Type", "Migration Criterion",
+        "Effective Frequency Scale", "Default Page Size",
+    )
+    rows = [header] + [
+        (
+            t.solution, t.type, t.migration_criterion,
+            t.effective_frequency_scale, t.default_page_size,
+        )
+        for t in POLICY_CHARACTERISTICS
+    ]
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""The virtual clock.
+
+A single :class:`VirtualClock` instance is shared by the machine, the kernel,
+and the workloads.  Time only moves forward, in integer nanoseconds.
+"""
+
+from __future__ import annotations
+
+from repro.sim.timeunits import format_ns
+
+
+class VirtualClock:
+    """Monotonic simulated clock with integer-nanosecond resolution."""
+
+    def __init__(self, start_ns: int = 0) -> None:
+        if start_ns < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now = int(start_ns)
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    def advance(self, delta_ns: int) -> int:
+        """Move the clock forward by ``delta_ns`` and return the new time."""
+        if delta_ns < 0:
+            raise ValueError(f"cannot advance clock by {delta_ns}ns")
+        self._now += int(delta_ns)
+        return self._now
+
+    def advance_to(self, when_ns: int) -> int:
+        """Move the clock forward to an absolute time ``when_ns``."""
+        if when_ns < self._now:
+            raise ValueError(
+                f"cannot rewind clock from {self._now}ns to {when_ns}ns"
+            )
+        self._now = int(when_ns)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={format_ns(self._now)})"

@@ -1,0 +1,86 @@
+"""Event scheduler used by kernel daemons.
+
+Kernel-side periodic work (Ticking-scan passes, DCSC probes, reclaim
+wakeups, tuning updates) registers callbacks here.  The simulation runner
+drains due events every time it advances the clock, which mirrors how the
+kernel's deferred work runs at timer-interrupt granularity rather than
+instantaneously.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+EventCallback = Callable[[int], None]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event in the timer queue, ordered by (time, insertion order)."""
+
+    when_ns: int
+    seq: int
+    callback: EventCallback = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when it becomes due."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """A min-heap timer queue over simulated time."""
+
+    def __init__(self) -> None:
+        self._heap: List[ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(
+        self, when_ns: int, callback: EventCallback, name: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback(now)`` to fire at absolute time ``when_ns``."""
+        if when_ns < 0:
+            raise ValueError("cannot schedule an event before time zero")
+        event = ScheduledEvent(
+            when_ns=int(when_ns),
+            seq=next(self._counter),
+            callback=callback,
+            name=name,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def next_due(self) -> Optional[int]:
+        """Time of the earliest pending event, or ``None`` if queue empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].when_ns
+
+    def run_due(self, now_ns: int) -> int:
+        """Fire every event with ``when_ns <= now_ns``; return count fired.
+
+        Callbacks receive the *scheduled* firing time, not ``now_ns``, so a
+        periodic daemon that reschedules itself keeps a drift-free cadence
+        even when the runner advances time in coarse quanta.
+        """
+        fired = 0
+        while self._heap and self._heap[0].when_ns <= now_ns:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            event.callback(event.when_ns)
+            fired += 1
+        return fired
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

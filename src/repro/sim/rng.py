@@ -1,0 +1,66 @@
+"""Deterministic named random-number streams.
+
+Every stochastic component of the simulator (each workload process, the
+Ticking-scan offset jitter, the DCSC victim sampler, the PEBS sampler, ...)
+draws from its *own* :class:`numpy.random.Generator`.  The streams are derived
+from a single root seed with :class:`numpy.random.SeedSequence` spawning, so:
+
+* two runs with the same root seed are bit-identical, and
+* adding a new consumer of randomness does not perturb existing streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+class RngStreams:
+    """A registry of named, independently seeded random generators."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._root = np.random.SeedSequence(self._seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """Root seed this registry was created with."""
+        return self._seed
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        The generator for a given (root seed, name) pair is always seeded
+        identically, regardless of creation order.
+        """
+        if name not in self._streams:
+            # Derive a child seed from the root seed and the stream name so
+            # the mapping is order-independent.
+            digest = np.random.SeedSequence(
+                [self._seed, _stable_hash(name)]
+            )
+            self._streams[name] = np.random.default_rng(digest)
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RngStreams":
+        """Create a child registry rooted at a name-derived seed.
+
+        Useful for giving each simulated process its own namespace of
+        streams.
+        """
+        return RngStreams(_stable_hash(f"{self._seed}:{name}"))
+
+
+def _stable_hash(name: str) -> int:
+    """A process-invariant 64-bit hash of ``name``.
+
+    Python's builtin :func:`hash` is randomized per interpreter run for
+    strings, which would break reproducibility, so we roll an FNV-1a hash.
+    """
+    value = 0xCBF29CE484222325
+    for byte in name.encode("utf-8"):
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value

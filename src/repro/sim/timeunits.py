@@ -1,0 +1,52 @@
+"""Time units for the simulator.
+
+All simulated time is kept as integer nanoseconds.  Integers keep the
+simulation deterministic (no floating-point drift between runs) and give us
+the full dynamic range the paper needs: CIT buckets span 1 ms .. 2^27 ms
+(about 37 hours), while memory access latencies are tens of nanoseconds.
+"""
+
+from __future__ import annotations
+
+NANOSECOND: int = 1
+MICROSECOND: int = 1_000
+MILLISECOND: int = 1_000_000
+SECOND: int = 1_000_000_000
+MINUTE: int = 60 * SECOND
+
+
+def ns_to_ms(ns: int) -> float:
+    """Convert integer nanoseconds to (float) milliseconds."""
+    return ns / MILLISECOND
+
+
+def ns_to_sec(ns: int) -> float:
+    """Convert integer nanoseconds to (float) seconds."""
+    return ns / SECOND
+
+
+def ms_to_ns(ms: float) -> int:
+    """Convert milliseconds to integer nanoseconds (rounded)."""
+    return int(round(ms * MILLISECOND))
+
+
+def sec_to_ns(sec: float) -> int:
+    """Convert seconds to integer nanoseconds (rounded)."""
+    return int(round(sec * SECOND))
+
+
+def format_ns(ns: int) -> str:
+    """Render a duration with a human-readable unit.
+
+    >>> format_ns(1_500_000)
+    '1.500ms'
+    >>> format_ns(250)
+    '250ns'
+    """
+    if ns >= SECOND:
+        return f"{ns / SECOND:.3f}s"
+    if ns >= MILLISECOND:
+        return f"{ns / MILLISECOND:.3f}ms"
+    if ns >= MICROSECOND:
+        return f"{ns / MICROSECOND:.3f}us"
+    return f"{ns}ns"

@@ -1,0 +1,94 @@
+"""Virtual address space layout: VMAs and scan cursors.
+
+The Ticking-scan (like the kernel's NUMA-balancing scan it extends) walks a
+process's VMAs in address order, one *scan step* worth of pages at a time,
+wrapping around at the end of the address space.  :class:`AddressSpace`
+provides exactly that iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VMArea:
+    """A contiguous virtual memory area ``[start_vpn, end_vpn)``."""
+
+    start_vpn: int
+    end_vpn: int
+
+    def __post_init__(self) -> None:
+        if self.start_vpn < 0 or self.end_vpn <= self.start_vpn:
+            raise ValueError(
+                f"invalid VMA [{self.start_vpn}, {self.end_vpn})"
+            )
+
+    @property
+    def n_pages(self) -> int:
+        return self.end_vpn - self.start_vpn
+
+    def contains(self, vpn: int) -> bool:
+        return self.start_vpn <= vpn < self.end_vpn
+
+
+class AddressSpace:
+    """An ordered set of non-overlapping VMAs with a scan cursor."""
+
+    def __init__(self, vmas: List[VMArea]) -> None:
+        if not vmas:
+            raise ValueError("address space needs at least one VMA")
+        ordered = sorted(vmas, key=lambda v: v.start_vpn)
+        for prev, cur in zip(ordered, ordered[1:]):
+            if cur.start_vpn < prev.end_vpn:
+                raise ValueError(
+                    f"overlapping VMAs: {prev} and {cur}"
+                )
+        self.vmas = ordered
+        self._scan_cursor = 0  # index into the flattened page sequence
+        self._flat_cache: np.ndarray = np.concatenate(
+            [np.arange(v.start_vpn, v.end_vpn) for v in self.vmas]
+        )
+
+    @classmethod
+    def linear(cls, n_pages: int) -> "AddressSpace":
+        """A single VMA covering ``[0, n_pages)`` -- the common case for the
+        synthetic workloads."""
+        return cls([VMArea(0, n_pages)])
+
+    @property
+    def total_pages(self) -> int:
+        return sum(v.n_pages for v in self.vmas)
+
+    def all_vpns(self) -> np.ndarray:
+        """Every mapped vpn, in address order."""
+        return self._flat_cache
+
+    def next_scan_window(self, n_pages: int) -> Tuple[np.ndarray, bool]:
+        """Return the next ``n_pages`` vpns under the scan cursor.
+
+        Returns ``(vpns, wrapped)`` where ``wrapped`` is True when the cursor
+        passed the end of the address space during this window (i.e. one full
+        pass over the process completed -- the paper's *scan period*
+        boundary).
+        """
+        if n_pages <= 0:
+            raise ValueError("scan window must cover at least one page")
+        total = self.total_pages
+        flat = self.all_vpns()
+        start = self._scan_cursor
+        end = start + min(n_pages, total)
+        wrapped = end >= total
+        if wrapped:
+            window = np.concatenate([flat[start:], flat[: end - total]])
+            self._scan_cursor = end - total
+        else:
+            window = flat[start:end]
+            self._scan_cursor = end
+        return window, wrapped
+
+    def reset_cursor(self) -> None:
+        self._scan_cursor = 0

@@ -1,0 +1,74 @@
+"""Huge-page geometry helpers.
+
+A 2 MB huge page covers 512 contiguous base (4 KB) pages; a 1 GB huge page
+covers 512 * 512.  Policies that operate at huge-page granularity (Memtis by
+default, Chrono with huge-page support enabled) aggregate base-page state
+over these fixed-size groups.  The helpers here are pure geometry --
+policy-specific behaviour (threshold scaling, bloat accounting) lives with
+the policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+HUGE_2MB_PAGES: int = 512
+HUGE_1GB_PAGES: int = 512 * 512
+
+
+def n_huge_pages(n_base_pages: int, hp_pages: int = HUGE_2MB_PAGES) -> int:
+    """Number of huge-page groups covering ``n_base_pages`` base pages."""
+    if n_base_pages <= 0:
+        raise ValueError("need a positive number of base pages")
+    if hp_pages <= 0:
+        raise ValueError("huge page size must be positive")
+    return -(-n_base_pages // hp_pages)  # ceil division
+
+
+def huge_id(vpns: np.ndarray, hp_pages: int = HUGE_2MB_PAGES) -> np.ndarray:
+    """Huge-page group id of each base vpn."""
+    return np.asarray(vpns) // hp_pages
+
+
+def aggregate_by_huge(
+    values: np.ndarray, hp_pages: int = HUGE_2MB_PAGES
+) -> np.ndarray:
+    """Sum a per-base-page array over huge-page groups.
+
+    ``values`` has one entry per base page; the result has one entry per
+    huge-page group (the tail group may be partial).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    groups = n_huge_pages(values.size, hp_pages)
+    ids = np.arange(values.size) // hp_pages
+    return np.bincount(ids, weights=values, minlength=groups)
+
+
+def base_vpns_of(
+    huge_ids: np.ndarray,
+    n_base_pages: int,
+    hp_pages: int = HUGE_2MB_PAGES,
+) -> np.ndarray:
+    """Expand huge-page group ids back to their base vpns (clipped to the
+    address-space end for the partial tail group)."""
+    huge_ids = np.asarray(huge_ids)
+    if huge_ids.size == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = huge_ids * hp_pages
+    offsets = np.arange(hp_pages)
+    vpns = (starts[:, None] + offsets[None, :]).ravel()
+    return vpns[vpns < n_base_pages].astype(np.int64)
+
+
+def bloat_ratio(
+    resident_fast_base_pages: int, hot_base_pages: int
+) -> float:
+    """Memory-bloat ratio: fast-tier residency versus truly hot footprint.
+
+    The paper reports Memtis bloating to ~145% on the KV-store workloads:
+    huge pages promoted for a few hot 4 KB regions drag their cold siblings
+    into DRAM.  Values above 1.0 mean bloat.
+    """
+    if hot_base_pages <= 0:
+        return 0.0
+    return resident_fast_base_pages / hot_base_pages

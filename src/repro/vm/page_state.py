@@ -1,0 +1,125 @@
+"""Per-process page metadata as a structure of arrays.
+
+This is the simulator's ``struct page`` + PTE state.  One instance describes
+every resident page of a process.  All fields are numpy arrays indexed by
+virtual page number (vpn), which lets the kernel subsystems and policies
+operate on whole address ranges with vectorised expressions -- the same way
+the real kernel batches PTE updates within a scan window.
+
+Fields and their kernel analogues:
+
+=================  ====================================================
+``tier``           node id in ``struct page`` (0 = fast, 1 = slow)
+``prot_none``      PTE has ``PROT_NONE`` set by a NUMA/Ticking scan
+``scan_ts_ns``     Chrono's 4-byte CIT metadata: time of last unmap
+``accessed``       PTE accessed bit (hardware-set, software-cleared)
+``dirty``          PTE dirty bit
+``probed``         Chrono's ``PG_probed`` flag (DCSC victim pages)
+``demoted``        Chrono's ``demoted`` flag (thrashing monitor)
+``candidate``      page sits in the XArray candidate set
+``candidate_cit``  first-round CIT recorded for a candidate
+``lru_active``     page is on the active (vs inactive) LRU list
+``lru_gen``        generation of last observed access (LRU ordering)
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mem.tier import FAST_TIER, SLOW_TIER
+
+NO_TIMESTAMP: int = -1
+
+
+class PageState:
+    """Structure-of-arrays page metadata for one process."""
+
+    def __init__(self, n_pages: int) -> None:
+        if n_pages <= 0:
+            raise ValueError("a process needs at least one page")
+        self.n_pages = int(n_pages)
+        self.tier = np.full(n_pages, SLOW_TIER, dtype=np.int8)
+        self.prot_none = np.zeros(n_pages, dtype=bool)
+        self.scan_ts_ns = np.full(n_pages, NO_TIMESTAMP, dtype=np.int64)
+        self.accessed = np.zeros(n_pages, dtype=bool)
+        self.dirty = np.zeros(n_pages, dtype=bool)
+        self.probed = np.zeros(n_pages, dtype=bool)
+        self.demoted = np.zeros(n_pages, dtype=bool)
+        self.demote_ts_ns = np.full(n_pages, NO_TIMESTAMP, dtype=np.int64)
+        self.candidate = np.zeros(n_pages, dtype=bool)
+        self.candidate_cit_ns = np.full(n_pages, NO_TIMESTAMP, dtype=np.int64)
+        self.lru_active = np.zeros(n_pages, dtype=bool)
+        self.lru_gen = np.zeros(n_pages, dtype=np.int64)
+        # Exact ground-truth access accounting (the simulator's PMU):
+        self.access_count = np.zeros(n_pages, dtype=np.float64)
+        self.last_window_count = np.zeros(n_pages, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Residency queries
+    # ------------------------------------------------------------------
+    def pages_in_tier(self, tier_id: int) -> np.ndarray:
+        """vpns of pages resident in ``tier_id``."""
+        return np.flatnonzero(self.tier == tier_id)
+
+    def count_in_tier(self, tier_id: int) -> int:
+        """Number of pages resident in ``tier_id``."""
+        return int(np.count_nonzero(self.tier == tier_id))
+
+    def fast_page_fraction(self) -> float:
+        """The paper's "DRAM page percentage" for this process."""
+        return self.count_in_tier(FAST_TIER) / self.n_pages
+
+    # ------------------------------------------------------------------
+    # PTE protection (scan / fault paths)
+    # ------------------------------------------------------------------
+    def protect(self, vpns: np.ndarray, now_ns: int) -> int:
+        """Mark pages PROT_NONE and stamp the scan time; return count.
+
+        Already-protected pages keep their original scan timestamp, the way
+        the kernel skips PTEs that are already ``pte_protnone``.
+        """
+        vpns = np.asarray(vpns)
+        fresh = vpns[~self.prot_none[vpns]]
+        self.prot_none[fresh] = True
+        self.scan_ts_ns[fresh] = now_ns
+        return int(fresh.size)
+
+    def protect_at(self, vpns: np.ndarray, ts_ns: np.ndarray) -> None:
+        """Mark pages PROT_NONE with per-page scan timestamps.
+
+        Used by DCSC's second measurement round (re-protection happens at
+        each page's own fault time) and by the thrashing monitor (the
+        demotion time substitutes for the scan time).  Unlike
+        :meth:`protect`, existing protection timestamps are overwritten.
+        """
+        vpns = np.asarray(vpns)
+        self.prot_none[vpns] = True
+        self.scan_ts_ns[vpns] = np.asarray(ts_ns, dtype=np.int64)
+
+    def unprotect(self, vpns: np.ndarray) -> None:
+        """Clear PROT_NONE after a fault restored the mapping."""
+        self.prot_none[np.asarray(vpns)] = False
+
+    def protected_pages(self) -> np.ndarray:
+        """vpns of all currently protected pages."""
+        return np.flatnonzero(self.prot_none)
+
+    # ------------------------------------------------------------------
+    # Residency updates (migration path)
+    # ------------------------------------------------------------------
+    def move_to_tier(self, vpns: np.ndarray, tier_id: int) -> None:
+        """Retarget pages to a new tier (frame accounting is the kernel's
+        job; this only updates the per-page node id)."""
+        self.tier[np.asarray(vpns)] = np.int8(tier_id)
+
+    def clear_window_counts(self) -> None:
+        """Roll the per-window ground-truth access counters."""
+        self.last_window_count[:] = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"PageState(n_pages={self.n_pages}, "
+            f"fast={self.count_in_tier(FAST_TIER)}, "
+            f"protected={int(self.prot_none.sum())})"
+        )

@@ -1,0 +1,32 @@
+"""Synthetic workload generators.
+
+Each workload drives one simulated process by exposing a per-page access
+probability distribution (optionally phase-changing over time), a read/write
+mix, and an optional per-access stall (pmbench's ``delay`` knob).  The
+distributions are constructed to match the footprint characteristics the
+paper's benchmarks exhibit:
+
+* :mod:`repro.workloads.pmbench` -- Gaussian/uniform patterns with stride,
+  the Section 5.1 microbenchmark.
+* :mod:`repro.workloads.graph500` -- degree-skewed BFS/SSSP page traffic
+  with frontier phases, the Section 5.2 macrobenchmark.
+* :mod:`repro.workloads.kvstore` -- memtier-driven Memcached/Redis-style
+  key-value traffic, the Section 5.3 applications.
+* :mod:`repro.workloads.multitenant` -- the 50-cgroup mixed-hotness setup
+  of Section 5.1.3.
+"""
+
+from repro.workloads.base import TraceWorkload, Workload
+from repro.workloads.graph500 import Graph500Workload
+from repro.workloads.kvstore import KVStoreWorkload
+from repro.workloads.multitenant import make_multitenant_processes
+from repro.workloads.pmbench import PmbenchWorkload
+
+__all__ = [
+    "Graph500Workload",
+    "KVStoreWorkload",
+    "PmbenchWorkload",
+    "TraceWorkload",
+    "Workload",
+    "make_multitenant_processes",
+]

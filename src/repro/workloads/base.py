@@ -1,0 +1,127 @@
+"""Workload interface.
+
+A workload answers three questions every simulation quantum:
+
+1. *Where* does the process access memory?  (``access_distribution`` -- a
+   probability vector over its pages.)
+2. *How* does it access memory?  (``write_fraction`` -- the store share.)
+3. *How fast* can it issue accesses?  (``delay_ns_per_access`` -- compute
+   stall between accesses; 0 for a pure memory-bound loop.)
+
+Workloads may be phase-changing: ``advance(now_ns)`` lets them rotate their
+distribution (BFS frontiers, diurnal key popularity, ...).  The cached
+distribution is only rebuilt when a phase actually changes, keeping the
+per-quantum cost at a single array read.
+
+Ground truth: ``hot_page_mask`` marks the pages the workload itself
+considers hot (e.g. the central 25% of a Gaussian pattern).  The F1/PPR
+experiments compare policies against this oracle.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+
+class Workload(ABC):
+    """Base class for access-distribution workloads."""
+
+    name: str = "workload"
+
+    def __init__(
+        self,
+        n_pages: int,
+        write_fraction: float = 0.05,
+        delay_ns_per_access: float = 0.0,
+    ) -> None:
+        if n_pages <= 0:
+            raise ValueError("workload needs at least one page")
+        if not 0 <= write_fraction <= 1:
+            raise ValueError("write fraction must be in [0, 1]")
+        if delay_ns_per_access < 0:
+            raise ValueError("delay cannot be negative")
+        self.n_pages = int(n_pages)
+        self.write_fraction = float(write_fraction)
+        self.delay_ns_per_access = float(delay_ns_per_access)
+
+    @abstractmethod
+    def access_distribution(self, now_ns: Optional[int] = None) -> np.ndarray:
+        """Per-page access probabilities (sum to 1).
+
+        ``now_ns=None`` means "the current phase" (whatever the last
+        ``advance`` selected); passing a time lets callers peek at a
+        specific phase.
+        """
+
+    def advance(self, now_ns: int) -> None:
+        """Hook for phase changes; stationary workloads do nothing."""
+
+    def hot_page_mask(self, hot_fraction: float = 0.25) -> np.ndarray:
+        """Oracle hot mask: the top ``hot_fraction`` of pages by access
+        probability."""
+        if not 0 < hot_fraction <= 1:
+            raise ValueError("hot fraction must be in (0, 1]")
+        probs = self.access_distribution()
+        n_hot = max(1, int(self.n_pages * hot_fraction))
+        threshold_idx = np.argpartition(probs, -n_hot)[-n_hot:]
+        mask = np.zeros(self.n_pages, dtype=bool)
+        mask[threshold_idx] = True
+        return mask
+
+    @staticmethod
+    def _normalize(weights: np.ndarray) -> np.ndarray:
+        weights = np.asarray(weights, dtype=np.float64)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("access weights must have positive mass")
+        return weights / total
+
+
+class TraceWorkload(Workload):
+    """A workload with an explicitly supplied (possibly phased) profile.
+
+    Useful for tests and for replaying recorded page-weight traces.
+    ``phases`` is a list of (duration_ns, weight-vector) pairs cycled
+    forever; a single phase makes the workload stationary.
+    """
+
+    name = "trace"
+
+    def __init__(
+        self,
+        phases,
+        write_fraction: float = 0.05,
+        delay_ns_per_access: float = 0.0,
+    ) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        durations, weights = zip(*phases)
+        if any(d <= 0 for d in durations):
+            raise ValueError("phase durations must be positive")
+        n_pages = len(weights[0])
+        if any(len(w) != n_pages for w in weights):
+            raise ValueError("all phases must cover the same pages")
+        super().__init__(n_pages, write_fraction, delay_ns_per_access)
+        self._durations = [int(d) for d in durations]
+        self._probs = [self._normalize(w) for w in weights]
+        self._cycle_ns = sum(self._durations)
+        self._phase = 0
+
+    def _phase_at(self, now_ns: int) -> int:
+        offset = now_ns % self._cycle_ns
+        for index, duration in enumerate(self._durations):
+            if offset < duration:
+                return index
+            offset -= duration
+        return len(self._durations) - 1  # pragma: no cover
+
+    def advance(self, now_ns: int) -> None:
+        self._phase = self._phase_at(now_ns)
+
+    def access_distribution(self, now_ns: Optional[int] = None) -> np.ndarray:
+        if now_ns is not None:
+            self._phase = self._phase_at(now_ns)
+        return self._probs[self._phase]

@@ -1,0 +1,104 @@
+"""Phase-changing workload builders.
+
+Chrono's adaptive tuning exists "to adjust its migration parameters
+transparently and adaptively" when access patterns shift; these builders
+produce the shifting patterns to exercise that claim (and the DCSC
+re-convergence extension benchmark).
+
+All builders return :class:`repro.workloads.base.TraceWorkload` instances
+(cycling phase schedules), so they compose with everything the static
+workloads do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import TraceWorkload
+
+
+def shifting_hotspot(
+    n_pages: int,
+    n_phases: int = 4,
+    phase_len_ns: int = 20_000_000_000,
+    sigma_fraction: float = 0.07,
+    background_fraction: float = 0.10,
+    write_fraction: float = 0.1,
+) -> TraceWorkload:
+    """A Gaussian hotspot that relocates every phase.
+
+    Phase ``i`` centres the hotspot at ``(i + 0.5) / n_phases`` of the
+    address space; each shift invalidates the previously learned placement
+    and the tiering system must re-identify the hot set from scratch.
+    """
+    if n_phases < 2:
+        raise ValueError("need at least two phases to shift between")
+    positions = np.arange(n_pages, dtype=np.float64)
+    sigma = max(sigma_fraction * n_pages, 1.0)
+    phases = []
+    for phase in range(n_phases):
+        center = (phase + 0.5) / n_phases * n_pages
+        weights = np.exp(-0.5 * ((positions - center) / sigma) ** 2)
+        weights = (
+            (1.0 - background_fraction) * weights / weights.sum()
+            + background_fraction / n_pages
+        )
+        phases.append((phase_len_ns, weights))
+    return TraceWorkload(phases, write_fraction=write_fraction)
+
+
+def expanding_working_set(
+    n_pages: int,
+    n_phases: int = 3,
+    phase_len_ns: int = 20_000_000_000,
+    start_fraction: float = 0.2,
+    write_fraction: float = 0.1,
+) -> TraceWorkload:
+    """A working set that grows phase by phase (memory-demand ramp).
+
+    Phase ``i`` accesses the first ``start + i * step`` fraction of pages
+    uniformly -- the classic warm-up-then-grow footprint that stresses the
+    demotion side (cold pages must vacate DRAM as pressure builds).
+    """
+    if n_phases < 1:
+        raise ValueError("need at least one phase")
+    if not 0 < start_fraction <= 1:
+        raise ValueError("start fraction must be in (0, 1]")
+    step = (1.0 - start_fraction) / max(n_phases - 1, 1)
+    phases = []
+    for phase in range(n_phases):
+        fraction = min(start_fraction + phase * step, 1.0)
+        boundary = max(int(n_pages * fraction), 1)
+        weights = np.zeros(n_pages)
+        weights[:boundary] = 1.0
+        phases.append((phase_len_ns, weights))
+    return TraceWorkload(phases, write_fraction=write_fraction)
+
+
+def diurnal_mix(
+    n_pages: int,
+    phase_len_ns: int = 20_000_000_000,
+    sigma_fraction: float = 0.08,
+    write_fraction: float = 0.1,
+) -> TraceWorkload:
+    """Two alternating hotspots of different intensity (day / night).
+
+    Daytime traffic hammers the front of the address space; night-time
+    batch work sweeps the back half more evenly -- a two-phase cycle that
+    rewards fast re-classification without full churn (half the hot set
+    carries over).
+    """
+    positions = np.arange(n_pages, dtype=np.float64)
+    sigma = max(sigma_fraction * n_pages, 1.0)
+    day = np.exp(-0.5 * ((positions - 0.25 * n_pages) / sigma) ** 2)
+    day = 0.85 * day / day.sum() + 0.15 / n_pages
+    night_zone = np.zeros(n_pages)
+    night_zone[n_pages // 2:] = 1.0
+    night = (
+        0.45 * day
+        + 0.55 * night_zone / max(night_zone.sum(), 1.0)
+    )
+    return TraceWorkload(
+        [(phase_len_ns, day), (phase_len_ns, night)],
+        write_fraction=write_fraction,
+    )

@@ -1,0 +1,129 @@
+"""Access-trace recording and replay.
+
+Research workflows often need to re-run the exact page-traffic history of
+one experiment under a different policy (or share it as an artifact).  The
+simulator's ground-truth counters make this cheap:
+
+* :class:`TraceRecorder` hooks the engine's observer, snapshotting each
+  process's per-window page-access counts;
+* :func:`save_trace` / :func:`load_trace` persist the windows as a
+  compressed ``.npz``;
+* :meth:`TraceRecorder.to_workload` / :func:`load_trace` rebuild a
+  :class:`~repro.workloads.base.TraceWorkload` that replays the recorded
+  phases.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.workloads.base import TraceWorkload
+
+PathLike = Union[str, pathlib.Path]
+
+TRACE_FORMAT_VERSION = 1
+
+
+class TraceRecorder:
+    """Snapshots per-process page-access counts at fixed intervals.
+
+    Use as an engine observer::
+
+        recorder = TraceRecorder(interval_ns=SECOND)
+        engine.run(duration, observer=recorder.observe,
+                   observe_every_ns=recorder.interval_ns)
+        workload = recorder.to_workload(pid=0)
+    """
+
+    def __init__(self, interval_ns: int) -> None:
+        if interval_ns <= 0:
+            raise ValueError("recording interval must be positive")
+        self.interval_ns = int(interval_ns)
+        self._windows: Dict[int, List[np.ndarray]] = {}
+        self._last_counts: Dict[int, np.ndarray] = {}
+        self._write_fraction: Dict[int, float] = {}
+
+    def observe(self, engine, now_ns: int) -> None:
+        """Engine observer hook: record one window per process."""
+        for process in engine.kernel.processes:
+            counts = process.pages.access_count
+            previous = self._last_counts.get(process.pid)
+            window = (
+                counts.copy() if previous is None else counts - previous
+            )
+            self._last_counts[process.pid] = counts.copy()
+            self._windows.setdefault(process.pid, []).append(window)
+            self._write_fraction[process.pid] = (
+                process.workload.write_fraction
+            )
+
+    def pids(self) -> List[int]:
+        return sorted(self._windows)
+
+    def n_windows(self, pid: int) -> int:
+        return len(self._windows.get(pid, []))
+
+    def to_workload(self, pid: int) -> TraceWorkload:
+        """Rebuild a replayable workload from a process's recorded
+        windows (windows without traffic are skipped)."""
+        windows = [
+            w for w in self._windows.get(pid, []) if w.sum() > 0
+        ]
+        if not windows:
+            raise ValueError(f"no recorded traffic for pid {pid}")
+        return TraceWorkload(
+            [(self.interval_ns, w) for w in windows],
+            write_fraction=self._write_fraction.get(pid, 0.05),
+        )
+
+    def save(self, path: PathLike, pid: int) -> None:
+        """Persist one process's trace."""
+        save_trace(
+            path,
+            self._windows.get(pid, []),
+            self.interval_ns,
+            self._write_fraction.get(pid, 0.05),
+        )
+
+
+def save_trace(
+    path: PathLike,
+    windows: List[np.ndarray],
+    interval_ns: int,
+    write_fraction: float = 0.05,
+) -> None:
+    """Write a page-access trace to a compressed ``.npz`` file."""
+    if not windows:
+        raise ValueError("cannot save an empty trace")
+    stacked = np.stack([np.asarray(w, dtype=np.float64) for w in windows])
+    np.savez_compressed(
+        path,
+        version=np.int64(TRACE_FORMAT_VERSION),
+        interval_ns=np.int64(interval_ns),
+        write_fraction=np.float64(write_fraction),
+        windows=stacked,
+    )
+
+
+def load_trace(path: PathLike) -> TraceWorkload:
+    """Load a trace file into a replayable workload."""
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version}"
+            )
+        interval_ns = int(data["interval_ns"])
+        write_fraction = float(data["write_fraction"])
+        windows = data["windows"]
+    phases = [
+        (interval_ns, windows[i])
+        for i in range(windows.shape[0])
+        if windows[i].sum() > 0
+    ]
+    if not phases:
+        raise ValueError(f"trace {path!r} contains no traffic")
+    return TraceWorkload(phases, write_fraction=write_fraction)

@@ -1,0 +1,72 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.mem.machine import MachineSpec, TieredMachine
+from repro.mem.tier import dram_spec, optane_spec
+from repro.sim.rng import RngStreams
+from repro.vm.process import SimProcess
+
+
+class StubWorkload:
+    """Minimal workload satisfying the engine's interface: a fixed access
+    distribution over ``n_pages`` pages."""
+
+    name = "stub"
+
+    def __init__(self, n_pages=64, hot_fraction=0.25, hot_weight=0.9,
+                 write_fraction=0.1, delay_ns=0.0):
+        self.n_pages = n_pages
+        self.write_fraction = write_fraction
+        self.delay_ns_per_access = delay_ns
+        n_hot = max(1, int(n_pages * hot_fraction))
+        if n_hot >= n_pages:
+            probs = np.full(n_pages, 1.0 / n_pages)
+        else:
+            probs = np.full(
+                n_pages, (1 - hot_weight) / (n_pages - n_hot)
+            )
+            probs[:n_hot] = hot_weight / n_hot
+        self._probs = probs / probs.sum()
+
+    def access_distribution(self, now_ns=0):
+        return self._probs
+
+    def advance(self, now_ns):
+        """Phase hook; the stub is stationary."""
+
+
+def make_machine(fast_pages=256, slow_pages=768):
+    spec = MachineSpec(tiers=(dram_spec(fast_pages), optane_spec(slow_pages)))
+    return TieredMachine(spec)
+
+
+def make_kernel(fast_pages=256, slow_pages=768, seed=0, **kwargs):
+    return Kernel(
+        machine=make_machine(fast_pages, slow_pages),
+        rng=RngStreams(seed),
+        **kwargs,
+    )
+
+
+def make_process(pid=1, n_pages=64, seed=0, **workload_kwargs):
+    rng = RngStreams(seed).spawn(f"proc-{pid}").get("access")
+    return SimProcess(
+        pid=pid,
+        workload=StubWorkload(n_pages=n_pages, **workload_kwargs),
+        rng=rng,
+    )
+
+
+@pytest.fixture
+def kernel():
+    return make_kernel()
+
+
+@pytest.fixture
+def process():
+    return make_process()

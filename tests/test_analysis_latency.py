@@ -1,0 +1,85 @@
+"""Tests for the discrete latency mixture."""
+
+import pytest
+
+from repro.analysis.latency import LatencyMixture
+
+
+def make_mixture():
+    mix = LatencyMixture()
+    mix.add(80, 70)  # fast reads
+    mix.add(250, 25)  # slow reads
+    mix.add(2500, 5)  # faulted accesses
+    return mix
+
+
+class TestAccumulation:
+    def test_total(self):
+        assert make_mixture().total == 100
+
+    def test_zero_count_ignored(self):
+        mix = LatencyMixture()
+        mix.add(80, 0)
+        assert mix.total == 0
+
+    def test_same_latency_accumulates(self):
+        mix = LatencyMixture()
+        mix.add(80, 10)
+        mix.add(80, 5)
+        assert mix.total == 15
+
+    def test_negative_rejected(self):
+        mix = LatencyMixture()
+        with pytest.raises(ValueError):
+            mix.add(80, -1)
+        with pytest.raises(ValueError):
+            mix.add(-80, 1)
+
+    def test_merge(self):
+        a = make_mixture()
+        b = LatencyMixture()
+        b.add(80, 30)
+        a.merge(b)
+        assert a.total == 130
+        assert a.quantile(0.5) == 80
+
+
+class TestStatistics:
+    def test_mean(self):
+        mix = make_mixture()
+        expected = (80 * 70 + 250 * 25 + 2500 * 5) / 100
+        assert mix.mean() == pytest.approx(expected)
+
+    def test_median_is_dominant_class(self):
+        assert make_mixture().median() == 80
+
+    def test_p99_reaches_fault_tail(self):
+        assert make_mixture().p99() == 2500
+
+    def test_quantile_monotone(self):
+        mix = make_mixture()
+        values = [mix.quantile(q) for q in (0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert values == sorted(values)
+
+    def test_quantile_bounds(self):
+        mix = make_mixture()
+        with pytest.raises(ValueError):
+            mix.quantile(-0.1)
+        with pytest.raises(ValueError):
+            mix.quantile(1.1)
+
+    def test_empty_mixture_raises(self):
+        with pytest.raises(ValueError):
+            LatencyMixture().mean()
+
+    def test_summary_keys(self):
+        summary = make_mixture().summary()
+        assert set(summary) == {"average", "median", "p99"}
+
+    def test_cdf_staircase(self):
+        points = make_mixture().cdf_points()
+        latencies = [p[0] for p in points]
+        fractions = [p[1] for p in points]
+        assert latencies == sorted(latencies)
+        assert fractions[-1] == pytest.approx(1.0)
+        assert fractions == sorted(fractions)

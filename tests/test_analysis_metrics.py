@@ -1,0 +1,116 @@
+"""Tests for identification-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    f1_score,
+    fast_tier_access_ratio,
+    normalized,
+    page_promotion_ratio,
+    precision_recall,
+    top_fraction_mask,
+)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        truth = np.array([True, True, False, False])
+        assert precision_recall(truth, truth) == (1.0, 1.0)
+
+    def test_half_precision(self):
+        truth = np.array([True, False, False, False])
+        pred = np.array([True, True, False, False])
+        precision, recall = precision_recall(truth, pred)
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(1.0)
+
+    def test_half_recall(self):
+        truth = np.array([True, True, False, False])
+        pred = np.array([True, False, False, False])
+        precision, recall = precision_recall(truth, pred)
+        assert precision == pytest.approx(1.0)
+        assert recall == pytest.approx(0.5)
+
+    def test_weights_shift_score(self):
+        truth = np.array([True, False])
+        pred = np.array([True, True])
+        weights = np.array([9.0, 1.0])
+        precision, _ = precision_recall(truth, pred, weights)
+        assert precision == pytest.approx(0.9)
+
+    def test_empty_prediction(self):
+        truth = np.array([True, False])
+        pred = np.array([False, False])
+        precision, recall = precision_recall(truth, pred)
+        assert precision == 0.0 and recall == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            precision_recall(np.array([True]), np.array([True, False]))
+
+
+class TestF1:
+    def test_perfect(self):
+        truth = np.array([True, False])
+        assert f1_score(truth, truth) == pytest.approx(1.0)
+
+    def test_zero_when_no_overlap(self):
+        truth = np.array([True, False])
+        pred = np.array([False, True])
+        assert f1_score(truth, pred) == 0.0
+
+    def test_harmonic_mean(self):
+        truth = np.array([True, True, False, False])
+        pred = np.array([True, False, True, False])
+        # precision = recall = 0.5 -> F1 = 0.5
+        assert f1_score(truth, pred) == pytest.approx(0.5)
+
+
+class TestRatios:
+    def test_ppr(self):
+        assert page_promotion_ratio(25, 100) == pytest.approx(0.25)
+
+    def test_ppr_zero_denominator(self):
+        assert page_promotion_ratio(5, 0) == 0.0
+
+    def test_ppr_negative_rejected(self):
+        with pytest.raises(ValueError):
+            page_promotion_ratio(-1, 10)
+
+    def test_fmar(self):
+        assert fast_tier_access_ratio(77, 100) == pytest.approx(0.77)
+
+    def test_fmar_zero(self):
+        assert fast_tier_access_ratio(0, 0) == 0.0
+
+    def test_fmar_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            fast_tier_access_ratio(11, 10)
+
+
+class TestHelpers:
+    def test_top_fraction_mask(self):
+        mask = top_fraction_mask(np.array([5.0, 1.0, 9.0, 2.0]), 0.5)
+        np.testing.assert_array_equal(mask, [True, False, True, False])
+
+    def test_top_fraction_at_least_one(self):
+        assert top_fraction_mask(np.ones(100), 0.001).sum() == 1
+
+    def test_top_fraction_bad(self):
+        with pytest.raises(ValueError):
+            top_fraction_mask(np.ones(4), 0)
+
+    def test_normalized(self):
+        np.testing.assert_allclose(
+            normalized([2.0, 4.0, 6.0]), [1.0, 2.0, 3.0]
+        )
+
+    def test_normalized_other_baseline(self):
+        np.testing.assert_allclose(
+            normalized([2.0, 4.0], baseline_index=1), [0.5, 1.0]
+        )
+
+    def test_normalized_zero_baseline(self):
+        with pytest.raises(ValueError):
+            normalized([0.0, 1.0])

@@ -1,0 +1,87 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.analysis.plots import (
+    hbar_chart,
+    heat_map_rows,
+    series_panel,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3], ascii_only=True)
+        assert len(line) == 4
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_downsamples_to_width(self):
+        line = sparkline(list(range(1000)), width=20)
+        assert len(line) == 20
+
+    def test_all_zero(self):
+        assert sparkline([0, 0, 0], ascii_only=True) == "   "
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            sparkline([1], width=0)
+
+
+class TestHbar:
+    def test_bars_scale(self):
+        chart = hbar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+        assert "2" in lines[1]
+
+    def test_unit_suffix(self):
+        chart = hbar_chart(["x"], [3.0], unit="ms")
+        assert "3ms" in chart
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            hbar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert hbar_chart([], []) == ""
+
+
+class TestHeatMapRows:
+    def test_folds_tail(self):
+        rows = heat_map_rows(
+            [1.0] * 20, [f"b{i}" for i in range(20)], max_rows=5
+        )
+        lines = rows.splitlines()
+        assert len(lines) == 5
+        assert "(colder)" in lines[-1]
+        assert "16" in lines[-1]  # folded mass
+
+    def test_short_map_unfolded(self):
+        rows = heat_map_rows([1.0, 2.0], ["a", "b"], max_rows=5)
+        assert len(rows.splitlines()) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heat_map_rows([1.0], ["a", "b"])
+        with pytest.raises(ValueError):
+            heat_map_rows([1.0], ["a"], max_rows=1)
+
+
+class TestSeriesPanel:
+    def test_panel_lines(self):
+        panel = series_panel(
+            {"threshold": [1, 2, 3], "rate": [3, 2, 1]},
+            ascii_only=True,
+        )
+        lines = panel.splitlines()
+        assert len(lines) == 2
+        assert "min 1" in lines[0] and "max 3" in lines[0]
+
+    def test_empty_series(self):
+        panel = series_panel({"x": []})
+        assert "(empty)" in panel

@@ -1,0 +1,138 @@
+"""Tests for the Appendix B theory module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import theory
+from repro.sim.rng import RngStreams
+
+
+class TestEstimatorVariance:
+    def test_max_beats_mean_for_all_n(self):
+        for n in range(1, 10):
+            assert theory.max_estimator_variance(
+                n
+            ) <= theory.mean_estimator_variance(n)
+
+    def test_strictly_better_for_n_ge_2(self):
+        for n in range(2, 10):
+            assert theory.max_estimator_variance(
+                n
+            ) < theory.mean_estimator_variance(n)
+
+    def test_equal_at_n_1(self):
+        assert theory.max_estimator_variance(1) == pytest.approx(
+            theory.mean_estimator_variance(1)
+        )
+
+    def test_closed_forms(self):
+        assert theory.mean_estimator_variance(3, period=2.0) == pytest.approx(
+            4.0 / 9.0
+        )
+        assert theory.max_estimator_variance(3, period=2.0) == pytest.approx(
+            4.0 / 15.0
+        )
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            theory.mean_estimator_variance(0)
+
+    def test_monte_carlo_matches_closed_form(self):
+        rng = RngStreams(4).get("theory")
+        (mean1, var1), (mean2, var2) = theory.simulate_estimators(
+            n_rounds=2, period=1.0, trials=200_000, rng=rng
+        )
+        # Both unbiased around T0 = 1.
+        assert mean1 == pytest.approx(1.0, abs=0.01)
+        assert mean2 == pytest.approx(1.0, abs=0.01)
+        assert var1 == pytest.approx(
+            theory.mean_estimator_variance(2), rel=0.05
+        )
+        assert var2 == pytest.approx(
+            theory.max_estimator_variance(2), rel=0.05
+        )
+
+    def test_simulate_validation(self):
+        rng = RngStreams(0).get("x")
+        with pytest.raises(ValueError):
+            theory.simulate_estimators(0, 1.0, 10, rng)
+        with pytest.raises(ValueError):
+            theory.simulate_estimators(2, 1.0, 0, rng)
+
+
+class TestHDensity:
+    def test_alpha_1_is_constant(self):
+        x = np.linspace(0.1, 5.0, 20)
+        np.testing.assert_allclose(theory.h_density(x, 1.0), np.ones(20))
+
+    def test_small_alpha_concentrates_hot_mass(self):
+        """Smaller alpha -> taller peak in the hot region (Figure B1)."""
+        x = np.linspace(0.01, 1.0, 500)
+        peak_small = theory.h_density_normalized(x, 0.3).max()
+        peak_large = theory.h_density_normalized(x, 0.9).max()
+        assert peak_small > peak_large
+
+    def test_deep_cold_tail_thins_with_small_alpha(self):
+        """Asymptotically the alpha^(alpha x) factor dominates: small
+        alpha decays faster in the deep cold region."""
+        tail_small = theory.h_density_normalized(np.array([10.0]), 0.3)[0]
+        tail_large = theory.h_density_normalized(np.array([10.0]), 0.9)[0]
+        assert tail_small < tail_large
+
+    def test_normalization_integrates_to_one(self):
+        from scipy import integrate
+
+        for alpha in (0.25, 0.5, 1.0):
+            value, _ = integrate.quad(
+                lambda x: float(
+                    theory.h_density_normalized(np.array([x]), alpha)[0]
+                ),
+                0.0,
+                1.0,
+                limit=200,
+            )
+            assert value == pytest.approx(1.0, rel=1e-6)
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            theory.h_density(np.array([0.0]), 0.5)
+        with pytest.raises(ValueError):
+            theory.h_density(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            theory.h_density(np.array([1.0]), 1.5)
+
+
+class TestSelectionEfficiency:
+    def test_uniform_closed_form(self):
+        # E(n) = (n-1)/n^2.
+        assert theory.selection_efficiency_uniform(2) == pytest.approx(0.25)
+        assert theory.selection_efficiency_uniform(3) == pytest.approx(2 / 9)
+        assert theory.selection_efficiency_uniform(1) == 0.0
+
+    def test_uniform_maximum_at_2(self):
+        values = [
+            theory.selection_efficiency_uniform(n) for n in range(1, 8)
+        ]
+        assert int(np.argmax(values)) + 1 == 2
+
+    def test_integral_matches_closed_form_at_alpha_1(self):
+        # S(n) = 1/(n-1) for h == 1.
+        assert theory.misclassified_mass(1.0, 3) == pytest.approx(
+            0.5, rel=1e-6
+        )
+        assert theory.real_hot_ratio(1.0, 3) == pytest.approx(2 / 3)
+        assert theory.selection_efficiency(1.0, 3) == pytest.approx(2 / 9)
+
+    def test_more_rounds_improve_purity(self):
+        purities = [theory.real_hot_ratio(0.6, n) for n in (2, 3, 4)]
+        assert purities == sorted(purities)
+
+    def test_two_rounds_best_for_realistic_alphas(self):
+        """Figure B2: n = 2 maximizes efficiency across the realistic
+        alpha range."""
+        for alpha in (0.4, 0.6, 0.8, 1.0):
+            assert theory.best_round_count(alpha) == 2
+
+    def test_best_round_validation(self):
+        with pytest.raises(ValueError):
+            theory.best_round_count(0.5, max_rounds=1)

@@ -1,0 +1,103 @@
+"""Tests for the chrono-sim command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST_ARGS = [
+    "--duration", "3",
+    "--procs", "2",
+    "--pages", "256",
+    "--fast-pages", "256",
+    "--slow-pages", "1024",
+    "--page-scale", "8",
+]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.policy == "chrono"
+        assert args.workload == "pmbench"
+        assert args.duration == 60.0
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "nope"])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "spec"])
+
+
+class TestRun:
+    def test_run_text_output(self, capsys):
+        assert main(["run", "--policy", "multiclock"] + FAST_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "FMAR" in out
+
+    def test_run_json_output(self, capsys):
+        assert (
+            main(["run", "--policy", "multiclock", "--json"] + FAST_ARGS)
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "multiclock"
+        assert payload["throughput_per_sec"] > 0
+        assert 0 <= payload["fmar"] <= 1
+        assert "p99" in payload["latency_ns"]
+
+    @pytest.mark.parametrize(
+        "workload",
+        ["graph500", "memcached", "redis", "shifting-hotspot"],
+    )
+    def test_run_other_workloads(self, workload, capsys):
+        assert (
+            main(
+                ["run", "--policy", "multiclock",
+                 "--workload", workload] + FAST_ARGS
+            )
+            == 0
+        )
+        assert "throughput" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_two_policies(self, capsys):
+        code = main(
+            ["compare", "--policies", "linux-nb", "multiclock"]
+            + FAST_ARGS
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vs linux-nb" in out
+        assert "multiclock" in out
+
+    def test_baseline_must_be_compared(self, capsys):
+        code = main(
+            ["compare", "--policies", "multiclock", "--baseline",
+             "linux-nb"] + FAST_ARGS
+        )
+        assert code == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestInfoCommands:
+    def test_policies(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "Chrono [Ours]" in out
+        assert "chrono-full" in out
+
+    def test_defaults(self, capsys):
+        assert main(["defaults"]) == 0
+        out = capsys.readouterr().out
+        assert "chrono.scan_period_sec" in out
+        assert "chrono.p_victim" in out

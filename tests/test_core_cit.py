@@ -1,0 +1,97 @@
+"""Tests for CIT bucketing and frequency estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.cit import (
+    CIT_BUCKETS,
+    bucket_lower_bound_ns,
+    bucket_upper_bound_ns,
+    cit_bucket,
+    cit_to_frequency_per_sec,
+    max_measurable_frequency_per_sec,
+)
+from repro.sim.timeunits import MILLISECOND
+
+
+class TestBucketing:
+    def test_default_bucket_count_is_28(self):
+        assert CIT_BUCKETS == 28
+
+    def test_sub_unit_values_in_bucket_zero(self):
+        cits = np.array([0, 1, MILLISECOND - 1])
+        np.testing.assert_array_equal(cit_bucket(cits), [0, 0, 0])
+
+    def test_bucket_boundaries_are_powers_of_two_ms(self):
+        # Bucket i holds [2^(i-1), 2^i) ms.
+        for i in range(1, 10):
+            low = (1 << (i - 1)) * MILLISECOND
+            high = (1 << i) * MILLISECOND - 1
+            assert cit_bucket(np.array([low]))[0] == i
+            assert cit_bucket(np.array([high]))[0] == i
+
+    def test_saturates_at_last_bucket(self):
+        huge = np.array([(1 << 40) * MILLISECOND])
+        assert cit_bucket(huge)[0] == CIT_BUCKETS - 1
+
+    def test_sentinel_is_coldest(self):
+        assert cit_bucket(np.array([-1]))[0] == CIT_BUCKETS - 1
+
+    def test_custom_unit(self):
+        cits = np.array([30_000])  # 30 us
+        assert cit_bucket(cits, unit_ns=20_000)[0] == 1
+        assert cit_bucket(cits, unit_ns=MILLISECOND)[0] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cit_bucket(np.array([1]), n_buckets=1)
+        with pytest.raises(ValueError):
+            cit_bucket(np.array([1]), unit_ns=0)
+
+
+class TestBounds:
+    def test_bounds_partition_the_axis(self):
+        for bucket in range(1, 12):
+            assert bucket_lower_bound_ns(bucket) == bucket_upper_bound_ns(
+                bucket - 1
+            )
+
+    def test_bucket_zero(self):
+        assert bucket_lower_bound_ns(0) == 0
+        assert bucket_upper_bound_ns(0) == MILLISECOND
+
+    def test_values_fall_inside_their_bucket(self):
+        for value in [500_000, 3 * MILLISECOND, 100 * MILLISECOND]:
+            bucket = int(cit_bucket(np.array([value]))[0])
+            assert bucket_lower_bound_ns(bucket) <= value
+            assert value < bucket_upper_bound_ns(bucket)
+
+    def test_custom_unit_bounds(self):
+        assert bucket_upper_bound_ns(3, unit_ns=20_000) == 160_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bucket_lower_bound_ns(-1)
+        with pytest.raises(ValueError):
+            bucket_upper_bound_ns(0, unit_ns=0)
+
+
+class TestFrequency:
+    def test_frequency_inverse_of_period(self):
+        # E[CIT] = T/2, so a 1 ms CIT implies a 2 ms period = 500 Hz.
+        freq = cit_to_frequency_per_sec(np.array([MILLISECOND]))
+        assert freq[0] == pytest.approx(500.0)
+
+    def test_lower_cit_means_higher_frequency(self):
+        freqs = cit_to_frequency_per_sec(
+            np.array([100_000, MILLISECOND, 10 * MILLISECOND])
+        )
+        assert freqs[0] > freqs[1] > freqs[2]
+
+    def test_sentinels_map_to_zero(self):
+        freqs = cit_to_frequency_per_sec(np.array([-1, 0]))
+        np.testing.assert_array_equal(freqs, [0.0, 0.0])
+
+    def test_headline_capability(self):
+        # Millisecond timers resolve up to ~1000 accesses/second (Table 1).
+        assert max_measurable_frequency_per_sec() == pytest.approx(1000.0)

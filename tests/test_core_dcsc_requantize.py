@@ -1,0 +1,60 @@
+"""Tests for DCSC's engine-boundary requantization."""
+
+import numpy as np
+import pytest
+
+from repro.core.dcsc import DcscCollector, DcscConfig
+from repro.sim.rng import RngStreams
+from tests.conftest import make_process
+
+
+def make_collector(requantize_ns):
+    return DcscCollector(
+        DcscConfig(
+            victim_fraction=0.5,
+            min_victims_per_process=8,
+            requantize_ns=requantize_ns,
+        ),
+        RngStreams(3).get("requant"),
+    )
+
+
+class TestRequantize:
+    def test_round_two_restarts_at_boundary(self):
+        collector = make_collector(requantize_ns=1_000)
+        process = make_process(n_pages=32)
+        collector.probe_process(process, now_ns=0)
+        vpn = int(np.flatnonzero(process.pages.probed)[0])
+        # Fault mid-quantum at t = 2_300.
+        collector.on_probed_fault(
+            process, np.array([vpn]), np.array([2_300]),
+            np.array([2_300]),
+        )
+        # Re-protection stamped at the *next* boundary (3_000).
+        assert process.pages.scan_ts_ns[vpn] == 3_000
+
+    def test_boundary_fault_moves_to_next_boundary(self):
+        collector = make_collector(requantize_ns=1_000)
+        process = make_process(n_pages=32)
+        collector.probe_process(process, now_ns=0)
+        vpn = int(np.flatnonzero(process.pages.probed)[0])
+        collector.on_probed_fault(
+            process, np.array([vpn]), np.array([2_000]),
+            np.array([2_000]),
+        )
+        assert process.pages.scan_ts_ns[vpn] == 3_000
+
+    def test_disabled_stamps_fault_time(self):
+        collector = make_collector(requantize_ns=0)
+        process = make_process(n_pages=32)
+        collector.probe_process(process, now_ns=0)
+        vpn = int(np.flatnonzero(process.pages.probed)[0])
+        collector.on_probed_fault(
+            process, np.array([vpn]), np.array([2_300]),
+            np.array([2_300]),
+        )
+        assert process.pages.scan_ts_ns[vpn] == 2_300
+
+    def test_negative_hint_rejected(self):
+        with pytest.raises(ValueError):
+            DcscConfig(requantize_ns=-1)

@@ -1,0 +1,126 @@
+"""Tests for the pro-watermark sizing, thrashing monitor, and Chrono's
+huge-page scaling."""
+
+import numpy as np
+import pytest
+
+from repro.core.demotion import ThrashingMonitor, pro_watermark_gap_pages
+from repro.core.hugepage import (
+    HUGE_2MB_BUCKET_SHIFT,
+    distribute_huge_buckets,
+    scaled_threshold_ns,
+    threshold_1gb_ns,
+    threshold_2mb_ns,
+)
+from repro.sim.timeunits import SECOND
+
+
+class TestProGap:
+    def test_two_scan_intervals_of_promotions(self):
+        # 60 s scan, 100 pages/s -> 12000 pages of headroom.
+        gap = pro_watermark_gap_pages(60 * SECOND, 100.0)
+        assert gap == 12_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pro_watermark_gap_pages(0, 100)
+        with pytest.raises(ValueError):
+            pro_watermark_gap_pages(SECOND, 0)
+
+
+class TestThrashingMonitor:
+    def test_ratio(self):
+        monitor = ThrashingMonitor()
+        monitor.record_promotions(100)
+        monitor.record_thrash(25)
+        assert monitor.thrash_ratio() == pytest.approx(0.25)
+
+    def test_no_promotions_zero_ratio(self):
+        assert ThrashingMonitor().thrash_ratio() == 0.0
+
+    def test_halves_rate_above_threshold(self):
+        monitor = ThrashingMonitor(threshold_ratio=0.20)
+        monitor.record_promotions(100)
+        monitor.record_thrash(30)
+        assert monitor.end_window(200.0) == pytest.approx(100.0)
+
+    def test_keeps_rate_below_threshold(self):
+        monitor = ThrashingMonitor(threshold_ratio=0.20)
+        monitor.record_promotions(100)
+        monitor.record_thrash(10)
+        assert monitor.end_window(200.0) == 200.0
+
+    def test_window_resets_counters(self):
+        monitor = ThrashingMonitor()
+        monitor.record_promotions(10)
+        monitor.record_thrash(9)
+        monitor.end_window(100.0)
+        assert monitor.promotions == 0
+        assert monitor.thrash_events == 0
+        assert monitor.total_thrash_events == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThrashingMonitor(threshold_ratio=0)
+        with pytest.raises(ValueError):
+            ThrashingMonitor(backoff_factor=1.0)
+        with pytest.raises(ValueError):
+            ThrashingMonitor(window_ns=0)
+        monitor = ThrashingMonitor()
+        with pytest.raises(ValueError):
+            monitor.record_promotions(-1)
+        with pytest.raises(ValueError):
+            monitor.record_thrash(-1)
+        with pytest.raises(ValueError):
+            monitor.end_window(0)
+
+
+class TestHugePageThresholds:
+    def test_2mb_scaling(self):
+        # TH_2MB = TH_4KB / 512.
+        assert threshold_2mb_ns(512_000.0) == pytest.approx(1_000.0)
+
+    def test_1gb_scaling(self):
+        assert threshold_1gb_ns(512 * 512 * 7.0) == pytest.approx(7.0)
+
+    def test_generic(self):
+        assert scaled_threshold_ns(800.0, 8) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scaled_threshold_ns(0, 512)
+        with pytest.raises(ValueError):
+            scaled_threshold_ns(100, 0)
+
+
+class TestBucketDistribution:
+    def test_shift_is_log2_512(self):
+        assert HUGE_2MB_BUCKET_SHIFT == 9
+
+    def test_huge_page_counts_as_512_base_pages(self):
+        contribution = distribute_huge_buckets(
+            np.array([3]), n_buckets=28
+        )
+        assert contribution[3 + 9] == 512.0
+        assert contribution.sum() == 512.0
+
+    def test_saturates_at_last_bucket(self):
+        contribution = distribute_huge_buckets(
+            np.array([27]), n_buckets=28
+        )
+        assert contribution[27] == 512.0
+
+    def test_custom_group_size(self):
+        contribution = distribute_huge_buckets(
+            np.array([2]), n_buckets=16, hp_pages=8
+        )
+        # shift = log2(8) = 3.
+        assert contribution[5] == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            distribute_huge_buckets(np.array([0]), n_buckets=1)
+        with pytest.raises(ValueError):
+            distribute_huge_buckets(np.array([0]), n_buckets=4, hp_pages=0)
+        with pytest.raises(ValueError):
+            distribute_huge_buckets(np.array([-1]), n_buckets=4)

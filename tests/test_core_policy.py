@@ -1,0 +1,261 @@
+"""Integration tests for ChronoPolicy and its ablation variants."""
+
+import numpy as np
+import pytest
+
+from repro.core.dcsc import DcscConfig
+from repro.core.policy import ChronoPolicy, make_chrono_variant
+from repro.mem.tier import FAST_TIER, SLOW_TIER
+from repro.sim.timeunits import MILLISECOND, SECOND
+from repro.vm.fault import FaultBatch
+from tests.conftest import make_kernel, make_process
+
+
+def make_chrono(**overrides):
+    defaults = dict(
+        scan_period_ns=SECOND,
+        scan_step_pages=64,
+        tune_period_ns=SECOND,
+        drain_period_ns=SECOND // 10,
+        cit_threshold_ns=MILLISECOND,
+    )
+    defaults.update(overrides)
+    return ChronoPolicy(**defaults)
+
+
+def attach(policy, fast_pages=64, slow_pages=512, n_pages=128):
+    kernel = make_kernel(fast_pages=fast_pages, slow_pages=slow_pages)
+    process = make_process(n_pages=n_pages)
+    kernel.register_process(process)
+    kernel.allocate_initial_placement()
+    kernel.set_policy(policy)
+    return kernel, process
+
+
+def fault_batch(process, vpns, cits, now=1_000):
+    vpns = np.asarray(vpns, dtype=np.int64)
+    return FaultBatch(
+        pid=process.pid,
+        vpns=vpns,
+        fault_ts_ns=np.full(vpns.size, now, dtype=np.int64),
+        cit_ns=np.asarray(cits, dtype=np.int64),
+    )
+
+
+class TestConfiguration:
+    def test_attach_sets_tiering_mode(self):
+        kernel, _ = attach(make_chrono())
+        assert kernel.sysctl.get("kernel.numa_balancing") == 2
+        assert kernel.scanner is not None
+        assert kernel.reclaim.mark_demoted
+
+    def test_table2_sysctls_registered(self):
+        kernel, _ = attach(make_chrono())
+        for name in [
+            "chrono.scan_step_pages",
+            "chrono.scan_period_sec",
+            "chrono.p_victim",
+            "chrono.b_bucket",
+            "chrono.delta_step",
+            "chrono.cit_threshold_ms",
+            "chrono.rate_limit_mbps",
+        ]:
+            assert name in kernel.sysctl
+
+    def test_default_rate_derived_from_machine(self):
+        kernel, _ = attach(make_chrono())
+        assert make_chrono().base_rate_limit == 0.0  # before attach
+        policy = kernel.policy
+        assert policy.base_rate_limit == pytest.approx(
+            kernel.machine.fast.capacity_pages / 20.0
+        )
+
+    def test_semi_mode_has_no_dcsc(self):
+        kernel, _ = attach(make_chrono(tuning="semi"))
+        assert kernel.policy.dcsc is None
+
+    def test_pro_watermark_sized(self):
+        kernel, _ = attach(make_chrono())
+        assert kernel.watermarks.pro_gap_pages > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(tuning="nope"),
+            dict(page_granularity="giant"),
+            dict(cit_threshold_ns=0),
+            dict(drain_period_ns=0),
+            dict(hp_pages=1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ChronoPolicy(**kwargs)
+
+
+class TestFaultPath:
+    def test_two_round_promotion_via_queue(self):
+        policy = make_chrono(tuning="semi", rate_limit_pages_per_sec=1e6)
+        kernel, process = attach(policy)
+        vpn = int(process.pages.pages_in_tier(SLOW_TIER)[0])
+        policy.on_fault(process, fault_batch(process, [vpn], [100]))
+        assert len(policy.queue) == 0  # round one only
+        policy.on_fault(process, fault_batch(process, [vpn], [100]))
+        assert len(policy.queue) == 1
+        kernel.start()
+        kernel.advance_to(SECOND // 10 + 1)  # drain tick
+        assert process.pages.tier[vpn] == FAST_TIER
+
+    def test_cold_cit_not_enqueued(self):
+        policy = make_chrono(tuning="semi")
+        kernel, process = attach(policy)
+        vpn = int(process.pages.pages_in_tier(SLOW_TIER)[0])
+        for _ in range(3):
+            policy.on_fault(
+                process, fault_batch(process, [vpn], [10 * MILLISECOND])
+            )
+        assert len(policy.queue) == 0
+
+    def test_fast_tier_faults_ignored(self):
+        policy = make_chrono(tuning="semi")
+        kernel, process = attach(policy)
+        vpn = int(process.pages.pages_in_tier(FAST_TIER)[0])
+        for _ in range(3):
+            policy.on_fault(process, fault_batch(process, [vpn], [100]))
+        assert len(policy.queue) == 0
+
+    def test_probed_faults_routed_to_dcsc(self):
+        policy = make_chrono(
+            dcsc_config=DcscConfig(
+                victim_fraction=0.05, min_victims_per_process=4
+            )
+        )
+        kernel, process = attach(policy)
+        policy.dcsc.probe_process(process, now_ns=0)
+        vpns = np.flatnonzero(process.pages.probed)
+        policy.on_fault(
+            process, fault_batch(process, vpns, np.full(vpns.size, 100))
+        )
+        # Round-one handling: still probed, not in promotion queue.
+        assert process.pages.probed[vpns].all()
+        assert len(policy.queue) == 0
+
+    def test_thrash_detection_within_window(self):
+        policy = make_chrono(tuning="semi")
+        kernel, process = attach(policy)
+        vpn = int(process.pages.pages_in_tier(FAST_TIER)[0])
+        kernel.migration.migrate(
+            process, np.array([vpn]), SLOW_TIER, mark_demoted=True
+        )
+        for _ in range(2):
+            policy.on_fault(process, fault_batch(process, [vpn], [100]))
+        assert kernel.stats.thrash_events == 1
+        assert process.stats.thrash_events == 1
+
+    def test_old_demotion_is_not_thrash(self):
+        policy = make_chrono(tuning="semi")
+        kernel, process = attach(policy)
+        vpn = int(process.pages.pages_in_tier(FAST_TIER)[0])
+        kernel.migration.migrate(
+            process, np.array([vpn]), SLOW_TIER, mark_demoted=True
+        )
+        kernel.clock.advance(10 * SECOND)  # well past the scan period
+        for _ in range(2):
+            policy.on_fault(process, fault_batch(process, [vpn], [100]))
+        assert kernel.stats.thrash_events == 0
+
+
+class TestTuning:
+    def test_semi_auto_threshold_responds(self):
+        policy = make_chrono(
+            tuning="semi",
+            rate_limit_pages_per_sec=10.0,
+            cit_threshold_ns=10 * MILLISECOND,
+        )
+        kernel, process = attach(policy)
+        kernel.start()
+        # Flood the queue beyond the rate limit.
+        slow = process.pages.pages_in_tier(SLOW_TIER)[:50]
+        for _ in range(2):
+            policy.on_fault(
+                process, fault_batch(process, slow, np.full(slow.size, 10))
+            )
+        before = policy.cit_threshold_ns
+        kernel.advance_to(SECOND + 1)  # tune tick
+        assert policy.cit_threshold_ns < before
+
+    def test_thrash_backoff_cuts_rate(self):
+        policy = make_chrono(tuning="semi", rate_limit_pages_per_sec=100.0)
+        kernel, process = attach(policy)
+        kernel.start()
+        policy.monitor.record_promotions(10)
+        policy.monitor.record_thrash(9)
+        kernel.advance_to(SECOND + 1)
+        assert policy.queue.rate_limit_pages_per_sec < 100.0
+
+    def test_histories_recorded(self):
+        policy = make_chrono(tuning="semi")
+        kernel, _ = attach(policy)
+        kernel.start()
+        kernel.advance_to(3 * SECOND + 1)
+        assert len(kernel.series.series("chrono.cit_threshold_ms")) >= 3
+        assert len(kernel.series.series("chrono.rate_limit_mbps")) >= 3
+
+    def test_dcsc_probe_daemon_runs(self):
+        policy = make_chrono(
+            dcsc_config=DcscConfig(
+                victim_fraction=0.05,
+                probe_period_ns=SECOND // 2,
+                min_victims_per_process=4,
+            )
+        )
+        kernel, process = attach(policy)
+        kernel.start()
+        kernel.advance_to(2 * SECOND)
+        assert kernel.stats.dcsc_probes > 0
+        assert process.pages.probed.any() or policy.dcsc.samples_recorded
+
+
+class TestHugeMode:
+    def test_group_promotion(self):
+        policy = make_chrono(
+            tuning="semi",
+            page_granularity="huge",
+            hp_pages=8,
+            rate_limit_pages_per_sec=1e6,
+            cit_threshold_ns=8 * MILLISECOND,  # TH/8 = 1 ms per group
+        )
+        kernel, process = attach(
+            policy, fast_pages=256, slow_pages=1024, n_pages=512
+        )
+        slow_vpns = process.pages.pages_in_tier(SLOW_TIER)
+        # A group whose 8 pages are all slow-resident.
+        groups = slow_vpns // 8
+        ids, counts = np.unique(groups, return_counts=True)
+        group = int(ids[counts == 8][0])
+        vpn = group * 8 + 3
+        for _ in range(2):
+            policy.on_fault(process, fault_batch(process, [vpn], [100]))
+        # The whole 8-page group is queued.
+        assert len(policy.queue) == 8
+
+
+class TestVariants:
+    def test_presets(self):
+        assert make_chrono_variant("basic").filter.n_rounds == 1
+        assert make_chrono_variant("basic").tuning == "semi"
+        assert make_chrono_variant("twice").filter.n_rounds == 2
+        assert make_chrono_variant("thrice").filter.n_rounds == 3
+        assert make_chrono_variant("full").tuning == "dcsc"
+        assert make_chrono_variant("manual").tuning == "semi"
+
+    def test_names(self):
+        assert make_chrono_variant("full").name == "chrono-full"
+
+    def test_overrides_forwarded(self):
+        policy = make_chrono_variant("twice", scan_period_ns=SECOND)
+        assert policy.scan_period_ns == SECOND
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            make_chrono_variant("ultra")

@@ -1,0 +1,99 @@
+"""Tests for semi-automatic CIT-threshold tuning."""
+
+import pytest
+
+from repro.core.tuning import SemiAutoTuner
+
+
+def make_tuner(threshold=10_000_000.0, delta=0.5):
+    return SemiAutoTuner(threshold_ns=threshold, delta=delta)
+
+
+class TestUpdateDirection:
+    def test_excess_enqueue_shrinks_threshold(self):
+        tuner = make_tuner()
+        new = tuner.update(
+            rate_limit_pages_per_sec=100, enqueue_rate_per_sec=200
+        )
+        # r = 0.5, factor = 1 - 0.5 + 0.25 = 0.75.
+        assert new == pytest.approx(7_500_000.0)
+
+    def test_scarce_enqueue_grows_threshold(self):
+        tuner = make_tuner()
+        new = tuner.update(100, 50)
+        # r = 2, factor = 1 - 0.5 + 1 = 1.5.
+        assert new == pytest.approx(15_000_000.0)
+
+    def test_balanced_is_stable(self):
+        tuner = make_tuner()
+        assert tuner.update(100, 100) == pytest.approx(10_000_000.0)
+
+    def test_delta_scales_step(self):
+        gentle = make_tuner(delta=0.1)
+        brisk = make_tuner(delta=0.9)
+        gentle.update(100, 200)
+        brisk.update(100, 200)
+        assert gentle.threshold_ns > brisk.threshold_ns
+
+
+class TestConvergence:
+    def test_converges_to_rate_limit(self):
+        """With enqueue rate proportional to threshold, the loop drives
+        the enqueue rate to the limit (Section 3.2.1's claim)."""
+        tuner = make_tuner(threshold=8_000_000.0)
+        rate_limit = 100.0
+        for _ in range(40):
+            # Model: enqueue rate proportional to threshold.
+            enqueue = tuner.threshold_ns / 10_000.0
+            tuner.update(rate_limit, enqueue)
+        final_enqueue = tuner.threshold_ns / 10_000.0
+        assert final_enqueue == pytest.approx(rate_limit, rel=0.05)
+
+
+class TestGuards:
+    def test_zero_enqueue_clamped_growth(self):
+        tuner = make_tuner()
+        new = tuner.update(100, 0)
+        # factor with clamped ratio 4: 1 - 0.5 + 2 = 2.5.
+        assert new == pytest.approx(25_000_000.0)
+
+    def test_step_ratio_clamped_both_ways(self):
+        up = make_tuner()
+        up.update(1_000_000, 1)  # enormous ratio
+        assert up.threshold_ns == pytest.approx(25_000_000.0)
+        down = make_tuner()
+        down.update(1, 1_000_000)  # tiny ratio
+        # factor = 1 - 0.5 + 0.5 * 0.25 = 0.625.
+        assert down.threshold_ns == pytest.approx(6_250_000.0)
+
+    def test_bounds_enforced(self):
+        tuner = SemiAutoTuner(
+            threshold_ns=2e6, min_threshold_ns=1e6, max_threshold_ns=4e6
+        )
+        for _ in range(10):
+            tuner.update(100, 0)  # keeps growing
+        assert tuner.threshold_ns == 4e6
+        for _ in range(10):
+            tuner.update(1, 1000)  # keeps shrinking
+        assert tuner.threshold_ns == 1e6
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SemiAutoTuner(threshold_ns=0)
+        with pytest.raises(ValueError):
+            SemiAutoTuner(threshold_ns=1, delta=0)
+        with pytest.raises(ValueError):
+            SemiAutoTuner(threshold_ns=1, delta=1.5)
+        with pytest.raises(ValueError):
+            SemiAutoTuner(
+                threshold_ns=1, min_threshold_ns=10, max_threshold_ns=5
+            )
+        with pytest.raises(ValueError):
+            SemiAutoTuner(threshold_ns=1, max_step_ratio=1.0)
+
+    def test_update_validation(self):
+        tuner = make_tuner()
+        with pytest.raises(ValueError):
+            tuner.update(0, 10)
+        with pytest.raises(ValueError):
+            tuner.update(10, -1)

@@ -1,0 +1,164 @@
+"""Tests for the quantum execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.harness.engine import QuantumEngine
+from repro.mem.tier import FAST_TIER, SLOW_TIER
+from repro.sim.timeunits import MILLISECOND, SECOND
+from tests.conftest import make_kernel, make_process
+
+
+def build(n_procs=1, n_pages=128, fast_pages=64, slow_pages=512,
+          quantum_ns=10 * MILLISECOND, **workload_kwargs):
+    kernel = make_kernel(fast_pages=fast_pages, slow_pages=slow_pages)
+    processes = [
+        make_process(pid=i, n_pages=n_pages, **workload_kwargs)
+        for i in range(n_procs)
+    ]
+    for process in processes:
+        kernel.register_process(process)
+    kernel.allocate_initial_placement()
+    engine = QuantumEngine(kernel, quantum_ns=quantum_ns)
+    return kernel, engine, processes
+
+
+class TestRunBasics:
+    def test_time_advances_to_duration(self):
+        kernel, engine, _ = build()
+        end = engine.run(SECOND)
+        assert end == SECOND
+        assert kernel.clock.now == SECOND
+
+    def test_accesses_accumulate(self):
+        _, engine, (process,) = build()
+        engine.run(SECOND)
+        assert process.stats.accesses > 0
+        assert process.stats.user_time_ns > 0
+
+    def test_throughput_scales_with_placement(self):
+        # All-fast placement beats all-slow placement.
+        kernel_fast, engine_fast, (p_fast,) = build(
+            n_pages=32, fast_pages=64
+        )
+        p_fast.pages.move_to_tier(np.arange(32), FAST_TIER)
+        engine_fast.run(SECOND)
+
+        kernel_slow, engine_slow, (p_slow,) = build(
+            n_pages=32, fast_pages=64
+        )
+        p_slow.pages.move_to_tier(np.arange(32), SLOW_TIER)
+        engine_slow.run(SECOND)
+        assert p_fast.stats.accesses > 1.5 * p_slow.stats.accesses
+
+    def test_delay_throttles_throughput(self):
+        _, engine_fast, (quick,) = build()
+        engine_fast.run(SECOND)
+        _, engine_slow, (slowed,) = build(delay_ns=5_000)
+        engine_slow.run(SECOND)
+        assert quick.stats.accesses > 10 * slowed.stats.accesses
+
+    def test_rejects_bad_params(self):
+        kernel, engine, _ = build()
+        with pytest.raises(ValueError):
+            QuantumEngine(kernel, quantum_ns=0)
+        with pytest.raises(ValueError):
+            engine.run(0)
+
+
+class TestFaultGeneration:
+    def test_protected_hot_pages_fault(self):
+        kernel, engine, (process,) = build()
+        process.pages.protect(np.arange(16), now_ns=0)  # hot stub pages
+        engine.run(200 * MILLISECOND)
+        assert kernel.stats.hint_faults > 0
+        assert not process.pages.prot_none[:16].all()
+
+    def test_fault_costs_charged(self):
+        kernel, engine, (process,) = build()
+        process.pages.protect(np.arange(16), now_ns=0)
+        engine.run(200 * MILLISECOND)
+        assert process.stats.kernel_time_ns > 0
+
+    def test_never_accessed_pages_do_not_fault(self):
+        kernel, engine, (process,) = build()
+        # Stub workload touches every page; zero out the tail.
+        probs = process.workload._probs
+        probs[-16:] = 0
+        probs /= probs.sum()
+        process.pages.protect(
+            np.arange(process.n_pages - 16, process.n_pages), now_ns=0
+        )
+        engine.run(SECOND)
+        assert process.pages.prot_none[-16:].all()
+
+    def test_ground_truth_counters_accumulate(self):
+        _, engine, (process,) = build()
+        engine.run(SECOND)
+        counts = process.pages.access_count
+        assert counts.sum() == pytest.approx(
+            process.stats.accesses, rel=1e-6
+        )
+        # Stub workload: first quarter of pages is hot.
+        assert counts[:16].mean() > counts[32:].mean()
+
+
+class TestObservers:
+    def test_observer_called_each_quantum_by_default(self):
+        _, engine, _ = build(quantum_ns=100 * MILLISECOND)
+        ticks = []
+        engine.run(SECOND, observer=lambda e, now: ticks.append(now))
+        assert len(ticks) == 10
+
+    def test_observe_every(self):
+        _, engine, _ = build(quantum_ns=100 * MILLISECOND)
+        ticks = []
+        engine.run(
+            SECOND,
+            observer=lambda e, now: ticks.append(now),
+            observe_every_ns=500 * MILLISECOND,
+        )
+        assert len(ticks) == 2
+
+    def test_stop_when_finished(self):
+        kernel, engine, (process,) = build()
+        process.target_accesses = 1000.0
+        end = engine.run(60 * SECOND, stop_when_finished=True)
+        assert process.finished
+        assert end < 60 * SECOND
+
+
+class TestLatencyAccounting:
+    def test_mixture_populated(self):
+        _, engine, (process,) = build()
+        engine.run(SECOND)
+        assert engine.latency.total > 0
+        assert process.pid in engine.latency_by_pid
+        summary = engine.latency.summary()
+        assert summary["p99"] >= summary["median"]
+
+    def test_slow_heavy_placement_raises_latency(self):
+        _, engine_a, (pa,) = build(n_pages=32)
+        pa.pages.move_to_tier(np.arange(32), FAST_TIER)
+        engine_a.run(SECOND)
+        _, engine_b, (pb,) = build(n_pages=32)
+        pb.pages.move_to_tier(np.arange(32), SLOW_TIER)
+        engine_b.run(SECOND)
+        assert engine_b.latency.mean() > engine_a.latency.mean()
+
+
+class TestContentionFeedback:
+    def test_demand_tracked(self):
+        _, engine, _ = build(n_procs=4)
+        engine.run(SECOND)
+        assert engine._prev_demand_bytes_per_sec.sum() > 0
+
+    def test_write_heavy_mix_raises_slow_demand(self):
+        _, engine_r, _ = build(n_procs=4, write_fraction=0.0)
+        engine_r.run(SECOND)
+        _, engine_w, _ = build(n_procs=4, write_fraction=1.0)
+        engine_w.run(SECOND)
+        # Optane write weighting triples the charged bytes per access.
+        read_demand = engine_r._prev_demand_bytes_per_sec[SLOW_TIER]
+        write_demand = engine_w._prev_demand_bytes_per_sec[SLOW_TIER]
+        assert write_demand > 1.5 * read_demand

@@ -1,0 +1,74 @@
+"""Edge-case tests for the reporting helpers."""
+
+import pytest
+
+from repro.harness.reporting import (
+    _fmt,
+    format_table,
+    normalized_throughput_rows,
+)
+
+
+class FakeResult:
+    def __init__(self, throughput):
+        self.throughput_per_sec = throughput
+        self.latency_summary = {
+            "average": 100.0, "median": 80.0, "p99": 400.0,
+        }
+
+
+class TestFormatting:
+    def test_fmt_small_numbers_scientific(self):
+        assert _fmt(0.0001) == "0.0001"
+        assert _fmt(0.000012) == "1.2e-05"
+
+    def test_fmt_large_numbers_scientific(self):
+        assert _fmt(123456.0) == "1.23e+05"
+
+    def test_fmt_zero(self):
+        assert _fmt(0.0) == "0"
+
+    def test_fmt_trailing_zeros_stripped(self):
+        assert _fmt(1.5) == "1.5"
+        assert _fmt(2.0) == "2"
+
+    def test_fmt_non_float_passthrough(self):
+        assert _fmt("text") == "text"
+        assert _fmt(7) == "7"
+
+    def test_empty_table(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "-" in text
+
+    def test_title_optional(self):
+        with_title = format_table(["x"], [[1]], title="T")
+        without = format_table(["x"], [[1]])
+        assert with_title.startswith("T")
+        assert not without.startswith("T")
+
+
+class TestNormalizedRows:
+    def test_rows_against_baseline(self):
+        results = {
+            "linux-nb": FakeResult(100.0),
+            "chrono": FakeResult(250.0),
+        }
+        rows = normalized_throughput_rows(results, baseline="linux-nb")
+        by_name = {row[0]: row for row in rows}
+        assert by_name["linux-nb"][2] == pytest.approx(1.0)
+        assert by_name["chrono"][2] == pytest.approx(2.5)
+
+    def test_custom_baseline(self):
+        results = {
+            "a": FakeResult(100.0),
+            "b": FakeResult(50.0),
+        }
+        rows = normalized_throughput_rows(results, baseline="b")
+        by_name = {row[0]: row for row in rows}
+        assert by_name["a"][2] == pytest.approx(2.0)
+
+    def test_zero_baseline(self):
+        results = {"a": FakeResult(0.0), "b": FakeResult(5.0)}
+        rows = normalized_throughput_rows(results, baseline="a")
+        by_name = {row[0]: row for row in rows}
+        assert by_name["b"][2] == 0.0

@@ -1,0 +1,146 @@
+"""Tests for the experiment runner and standard setups."""
+
+import pytest
+
+from repro.harness.experiments import (
+    EVALUATED_POLICIES,
+    StandardSetup,
+    graph500_processes,
+    kvstore_processes,
+    pmbench_processes,
+    run_policy_comparison,
+)
+from repro.harness.runner import RunConfig, run_experiment
+from repro.harness.reporting import (
+    attribution_table,
+    format_table,
+    latency_table,
+    throughput_table,
+)
+from repro.policies import make_policy
+from repro.sim.timeunits import SECOND
+from tests.conftest import make_process
+
+
+def tiny_setup(**overrides):
+    defaults = dict(
+        fast_pages=512,
+        slow_pages=4096,
+        duration_ns=3 * SECOND,
+        page_scale=8,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return StandardSetup(**defaults)
+
+
+class TestRunConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunConfig(fast_pages=0)
+        with pytest.raises(ValueError):
+            RunConfig(duration_ns=0)
+        with pytest.raises(ValueError):
+            RunConfig(page_scale=0)
+
+    def test_machine_built_with_scale(self):
+        config = RunConfig(page_scale=16)
+        machine = config.build_machine()
+        assert machine.spec.page_scale == 16
+
+
+class TestRunExperiment:
+    def test_end_to_end_smoke(self):
+        processes = [make_process(pid=i, n_pages=128) for i in range(2)]
+        result = run_experiment(
+            processes,
+            make_policy("linux-nb", scan_period_ns=SECOND,
+                        scan_step_pages=64),
+            RunConfig(fast_pages=128, slow_pages=512,
+                      duration_ns=2 * SECOND),
+        )
+        assert result.policy_name == "linux-nb"
+        assert result.throughput_per_sec > 0
+        assert 0 <= result.fmar <= 1
+        assert len(result.per_process) == 2
+
+    def test_requires_processes(self):
+        with pytest.raises(ValueError):
+            run_experiment([], make_policy("multiclock"))
+
+    def test_cgroup_parallel_check(self):
+        with pytest.raises(ValueError):
+            run_experiment(
+                [make_process()], make_policy("multiclock"),
+                cgroups=["a", "b"],
+            )
+
+    def test_normalized_to(self):
+        processes = lambda: [make_process(pid=0, n_pages=128)]
+        config = RunConfig(
+            fast_pages=128, slow_pages=512, duration_ns=SECOND
+        )
+        a = run_experiment(processes(), make_policy("multiclock"), config)
+        b = run_experiment(processes(), make_policy("multiclock"), config)
+        assert a.normalized_to(b) == pytest.approx(1.0, rel=0.05)
+
+
+class TestStandardSetup:
+    def test_builders_produce_fresh_processes(self):
+        setup = tiny_setup()
+        a = pmbench_processes(setup, n_procs=2, pages_per_proc=128)
+        b = pmbench_processes(setup, n_procs=2, pages_per_proc=128)
+        assert a[0] is not b[0]
+        assert a[0].pid == b[0].pid
+
+    def test_policy_builders(self):
+        setup = tiny_setup()
+        for name in EVALUATED_POLICIES:
+            policy = setup.build_policy(name)
+            assert policy is not None
+
+    def test_chrono_gets_scaled_dcsc(self):
+        setup = tiny_setup()
+        policy = setup.build_policy("chrono")
+        assert policy.dcsc_config.cit_unit_ns == setup.cit_unit_ns
+
+    def test_graph_and_kv_builders(self):
+        setup = tiny_setup()
+        graphs = graph500_processes(setup, n_procs=1, pages_per_proc=64)
+        assert graphs[0].workload.name == "graph500"
+        kvs = kvstore_processes(
+            setup, flavor="redis", n_procs=1, pages_per_proc=128
+        )
+        assert kvs[0].workload.flavor == "redis"
+
+
+class TestComparison:
+    def test_comparison_runs_selected_policies(self):
+        setup = tiny_setup()
+        results = run_policy_comparison(
+            setup,
+            lambda: pmbench_processes(setup, n_procs=2, pages_per_proc=256),
+            policies=("linux-nb", "chrono"),
+        )
+        assert set(results) == {"linux-nb", "chrono"}
+        for result in results.values():
+            assert result.throughput_per_sec > 0
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(
+            ["a", "b"], [["x", 1.5], ["y", 0.001]], title="T"
+        )
+        assert "T" in text and "x" in text and "0.001" in text
+
+    def test_tables_render(self):
+        setup = tiny_setup()
+        results = run_policy_comparison(
+            setup,
+            lambda: pmbench_processes(setup, n_procs=1, pages_per_proc=256),
+            policies=("linux-nb", "multiclock"),
+        )
+        assert "vs linux-nb" in throughput_table(results, "fig")
+        assert "p99" in latency_table(results, "fig")
+        assert "FMAR" in attribution_table(results, "fig")

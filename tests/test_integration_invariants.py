@@ -1,0 +1,130 @@
+"""End-to-end invariant tests: full runs under every policy must keep the
+machine's books consistent."""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import (
+    EVALUATED_POLICIES,
+    StandardSetup,
+    pmbench_processes,
+)
+from repro.harness.runner import run_experiment
+from repro.mem.tier import FAST_TIER, SLOW_TIER
+from repro.sim.timeunits import SECOND
+
+
+def small_setup():
+    return StandardSetup(
+        fast_pages=512,
+        slow_pages=4_096,
+        duration_ns=6 * SECOND,
+        page_scale=8,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module", params=EVALUATED_POLICIES)
+def run_result(request):
+    setup = small_setup()
+    processes = pmbench_processes(
+        setup, n_procs=3, pages_per_proc=512
+    )
+    return run_experiment(
+        processes,
+        setup.build_policy(request.param),
+        setup.run_config(),
+    )
+
+
+class TestFrameConservation:
+    def test_tier_usage_matches_residency(self, run_result):
+        kernel = run_result.kernel
+        for tier_id in (FAST_TIER, SLOW_TIER):
+            resident = sum(
+                p.pages.count_in_tier(tier_id)
+                for p in kernel.processes
+            )
+            assert resident == kernel.machine.tiers[tier_id].used_pages
+
+    def test_every_page_resides_somewhere(self, run_result):
+        for process in run_result.kernel.processes:
+            tiers = process.pages.tier
+            assert np.isin(tiers, [FAST_TIER, SLOW_TIER]).all()
+
+    def test_fast_tier_never_oversubscribed(self, run_result):
+        fast = run_result.kernel.machine.fast
+        assert 0 <= fast.used_pages <= fast.capacity_pages
+
+
+class TestAccountingConsistency:
+    def test_promotions_and_demotions_match_process_stats(
+        self, run_result
+    ):
+        kernel = run_result.kernel
+        assert kernel.stats.pgpromote == sum(
+            p.stats.pages_promoted for p in kernel.processes
+        )
+        assert kernel.stats.pgdemote == sum(
+            p.stats.pages_demoted for p in kernel.processes
+        )
+
+    def test_fmar_bounds(self, run_result):
+        assert 0.0 <= run_result.fmar <= 1.0
+        for entry in run_result.per_process:
+            assert 0.0 <= entry["fmar"] <= 1.0
+
+    def test_time_budget_respected(self, run_result):
+        """Per-process CPU time never exceeds wall time (single thread
+        per process)."""
+        wall = run_result.duration_ns
+        for process in run_result.kernel.processes:
+            assert process.stats.total_time_ns <= wall * 1.02
+
+    def test_hint_faults_match(self, run_result):
+        kernel = run_result.kernel
+        assert kernel.stats.hint_faults == sum(
+            p.stats.hint_faults for p in kernel.processes
+        )
+
+    def test_latency_mass_matches_accesses(self, run_result):
+        total_accesses = sum(
+            p.stats.accesses for p in run_result.kernel.processes
+        )
+        assert run_result.engine.latency.total == pytest.approx(
+            total_accesses, rel=1e-6
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        def one():
+            setup = small_setup()
+            processes = pmbench_processes(
+                setup, n_procs=2, pages_per_proc=256
+            )
+            return run_experiment(
+                processes,
+                setup.build_policy("chrono"),
+                setup.run_config(),
+            )
+
+        a, b = one(), one()
+        assert a.throughput_per_sec == b.throughput_per_sec
+        assert a.fmar == b.fmar
+        assert a.stats == b.stats
+
+    def test_different_seed_differs(self):
+        def one(seed):
+            setup = small_setup()
+            setup.seed = seed
+            processes = pmbench_processes(
+                setup, n_procs=2, pages_per_proc=256
+            )
+            return run_experiment(
+                processes,
+                setup.build_policy("chrono"),
+                setup.run_config(),
+            )
+
+        assert one(1).throughput_per_sec != one(2).throughput_per_sec

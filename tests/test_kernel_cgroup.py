@@ -1,0 +1,88 @@
+"""Tests for cgroup accounting."""
+
+import numpy as np
+import pytest
+
+from repro.kernel.cgroup import CgroupRegistry
+from repro.mem.tier import FAST_TIER, SLOW_TIER
+from tests.conftest import make_process
+
+
+@pytest.fixture
+def registry():
+    return CgroupRegistry()
+
+
+class TestRegistry:
+    def test_create_and_get(self, registry):
+        group = registry.create("tenant-0")
+        assert registry.get("tenant-0") is group
+
+    def test_duplicate_create_rejected(self, registry):
+        registry.create("x")
+        with pytest.raises(ValueError):
+            registry.create("x")
+
+    def test_attach_creates_group(self, registry):
+        process = make_process()
+        registry.attach(process, "auto")
+        assert "auto" in registry
+        assert process.cgroup == "auto"
+        assert registry.get("auto").processes == [process]
+
+    def test_unknown_get(self, registry):
+        with pytest.raises(KeyError):
+            registry.get("nope")
+
+    def test_names_and_len(self, registry):
+        registry.create("b")
+        registry.create("a")
+        assert registry.names() == ["a", "b"]
+        assert len(registry) == 2
+
+
+class TestNumaStat:
+    def test_counts_pages_per_tier(self, registry):
+        process = make_process(n_pages=10)
+        process.pages.tier[:4] = FAST_TIER
+        registry.attach(process, "g")
+        stat = registry.get("g").numa_stat(n_tiers=2)
+        assert stat[FAST_TIER] == 4
+        assert stat[SLOW_TIER] == 6
+
+    def test_aggregates_processes(self, registry):
+        a = make_process(pid=1, n_pages=10)
+        b = make_process(pid=2, n_pages=10)
+        a.pages.tier[:5] = FAST_TIER
+        b.pages.tier[:1] = FAST_TIER
+        registry.attach(a, "g")
+        registry.attach(b, "g")
+        group = registry.get("g")
+        assert group.numa_stat(2)[FAST_TIER] == 6
+        assert group.total_pages() == 20
+
+    def test_dram_page_percentage(self, registry):
+        process = make_process(n_pages=10)
+        process.pages.tier[:3] = FAST_TIER
+        registry.attach(process, "g")
+        assert registry.get("g").dram_page_percentage() == pytest.approx(30.0)
+
+    def test_empty_group_percentage(self, registry):
+        registry.create("empty")
+        assert registry.get("empty").dram_page_percentage() == 0.0
+
+
+class TestLimits:
+    def test_over_limit(self, registry):
+        process = make_process(n_pages=100)
+        registry.attach(process, "g")
+        group = registry.get("g")
+        group.memory_limit_pages = 50
+        assert group.over_limit()
+        group.memory_limit_pages = 200
+        assert not group.over_limit()
+
+    def test_no_limit(self, registry):
+        process = make_process(n_pages=100)
+        registry.attach(process, "g")
+        assert not registry.get("g").over_limit()

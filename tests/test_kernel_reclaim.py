@@ -1,0 +1,115 @@
+"""Tests for watermarks and the proactive-demotion reclaim daemon."""
+
+import numpy as np
+import pytest
+
+from repro.kernel.reclaim import ReclaimDaemon, Watermarks
+from repro.mem.tier import FAST_TIER, SLOW_TIER
+from tests.conftest import make_kernel, make_process
+
+
+class TestWatermarks:
+    def test_ordering(self):
+        marks = Watermarks(capacity_pages=1000)
+        assert marks.min_pages <= marks.low_pages <= marks.high_pages
+
+    def test_pro_defaults_to_high(self):
+        marks = Watermarks(capacity_pages=1000)
+        assert marks.pro_pages == marks.high_pages
+
+    def test_pro_gap_raises_target(self):
+        marks = Watermarks(capacity_pages=1000)
+        marks.set_pro_gap(30)
+        assert marks.pro_pages == marks.high_pages + 30
+
+    def test_pro_gap_clamped_to_max_fraction(self):
+        marks = Watermarks(capacity_pages=1000)
+        marks.set_pro_gap(900)
+        assert marks.pro_pages <= int(
+            1000 * Watermarks.MAX_PRO_FRACTION
+        )
+
+    def test_negative_gap_rejected(self):
+        marks = Watermarks(capacity_pages=1000)
+        with pytest.raises(ValueError):
+            marks.set_pro_gap(-1)
+
+    def test_invalid_fracs_rejected(self):
+        with pytest.raises(ValueError):
+            Watermarks(capacity_pages=100, min_frac=0.5, low_frac=0.1)
+
+
+def make_pressured_kernel(fast_pages=64, slow_pages=256, n_pages=128):
+    """A kernel whose fast tier is full of a process's coldest-ranked
+    pages, so reclaim has work to do."""
+    kernel = make_kernel(fast_pages=fast_pages, slow_pages=slow_pages)
+    process = make_process(n_pages=n_pages)
+    kernel.register_process(process)
+    process.pages.tier[:fast_pages] = FAST_TIER
+    process.pages.tier[fast_pages:] = SLOW_TIER
+    kernel.machine.fast.allocate(fast_pages)
+    kernel.machine.slow.allocate(n_pages - fast_pages)
+    process.pages.lru_active[:] = False
+    process.pages.lru_gen[:] = np.arange(n_pages)
+    return kernel, process
+
+
+class TestReclaim:
+    def test_no_demotion_above_high(self):
+        kernel, _ = make_pressured_kernel()
+        kernel.machine.fast.release(32)  # plenty free
+        assert kernel.reclaim.run_once(now_ns=0) == 0
+
+    def test_demotes_to_target_under_pressure(self):
+        kernel, process = make_pressured_kernel()
+        demoted = kernel.reclaim.run_once(now_ns=0)
+        assert demoted == kernel.watermarks.high_pages
+        assert kernel.machine.fast.free_pages == kernel.watermarks.high_pages
+
+    def test_demotes_coldest_first(self):
+        kernel, process = make_pressured_kernel()
+        kernel.reclaim.run_once(now_ns=0)
+        demoted_vpns = np.flatnonzero(
+            process.pages.tier[:64] == SLOW_TIER
+        )
+        # Generations were ascending with vpn, so lowest vpns go first.
+        expected = np.arange(kernel.watermarks.high_pages)
+        np.testing.assert_array_equal(demoted_vpns, expected)
+
+    def test_pro_watermark_demotes_more(self):
+        setup = dict(fast_pages=512, slow_pages=2048, n_pages=1024)
+        plain_kernel, _ = make_pressured_kernel(**setup)
+        plain = plain_kernel.reclaim.run_once(now_ns=0)
+
+        pro_kernel, _ = make_pressured_kernel(**setup)
+        pro_kernel.watermarks.set_pro_gap(10)
+        pro = pro_kernel.reclaim.run_once(now_ns=0)
+        assert pro == plain + 10
+
+    def test_falls_back_to_active_pages(self):
+        kernel, process = make_pressured_kernel()
+        process.pages.lru_active[:] = True  # nothing inactive
+        demoted = kernel.reclaim.run_once(now_ns=0)
+        assert demoted > 0
+
+    def test_mark_demoted_flag(self):
+        kernel, process = make_pressured_kernel()
+        kernel.reclaim.mark_demoted = True
+        kernel.reclaim.run_once(now_ns=0)
+        assert process.pages.demoted.any()
+
+    def test_slow_tier_full_blocks_demotion(self):
+        kernel, process = make_pressured_kernel(slow_pages=64)
+        kernel.machine.slow.allocate(kernel.machine.slow.free_pages)
+        assert kernel.reclaim.run_once(now_ns=0) == 0
+
+    def test_periodic_daemon_runs(self):
+        kernel, _ = make_pressured_kernel()
+        kernel.reclaim.start()
+        kernel.advance_to(kernel.reclaim.period_ns + 1)
+        assert kernel.stats.pgdemote > 0
+
+    def test_bad_period_rejected(self):
+        kernel, _ = make_pressured_kernel()
+        with pytest.raises(ValueError):
+            ReclaimDaemon(kernel, kernel.watermarks, period_ns=0)

@@ -1,0 +1,129 @@
+"""Tests for the Ticking-scan / NUMA-balancing scanner."""
+
+import numpy as np
+import pytest
+
+from repro.kernel.scanner import ScanConfig, TickingScanner
+from repro.mem.tier import FAST_TIER, SLOW_TIER
+from repro.sim.timeunits import SECOND
+from tests.conftest import make_kernel, make_process
+
+
+@pytest.fixture
+def setup():
+    kernel = make_kernel()
+    process = make_process(n_pages=64)
+    kernel.register_process(process)
+    return kernel, process
+
+
+class TestScanConfig:
+    def test_defaults_match_paper(self):
+        config = ScanConfig()
+        assert config.scan_period_ns == 60 * SECOND
+        assert config.scan_step_pages == 65_536  # 256 MB
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            ScanConfig(scan_period_ns=0)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            ScanConfig(scan_step_pages=0)
+
+
+class TestScanOnce:
+    def test_marks_window_prot_none(self, setup):
+        kernel, process = setup
+        scanner = kernel.create_scanner(
+            ScanConfig(scan_period_ns=SECOND, scan_step_pages=16)
+        )
+        window = scanner.scan_once(process, now_ns=100)
+        assert window.size == 16
+        assert process.pages.prot_none[window].all()
+        assert (process.pages.scan_ts_ns[window] == 100).all()
+
+    def test_charges_kernel_time(self, setup):
+        kernel, process = setup
+        scanner = kernel.create_scanner(
+            ScanConfig(scan_period_ns=SECOND, scan_step_pages=16)
+        )
+        scanner.scan_once(process, now_ns=0)
+        expected = 16 * kernel.machine.spec.scan_page_cost_ns
+        assert process.pending_kernel_ns == expected
+        assert kernel.stats.pages_scanned == 16
+
+    def test_tier_filter(self, setup):
+        kernel, process = setup
+        process.pages.tier[:32] = FAST_TIER
+        process.pages.tier[32:] = SLOW_TIER
+        scanner = kernel.create_scanner(
+            ScanConfig(
+                scan_period_ns=SECOND,
+                scan_step_pages=64,
+                tier_filter=SLOW_TIER,
+            )
+        )
+        window = scanner.scan_once(process, now_ns=0)
+        assert (window >= 32).all()
+        assert not process.pages.prot_none[:32].any()
+
+    def test_scan_pass_counted_on_wrap(self, setup):
+        kernel, process = setup
+        scanner = kernel.create_scanner(
+            ScanConfig(scan_period_ns=SECOND, scan_step_pages=64)
+        )
+        scanner.scan_once(process, now_ns=0)
+        assert kernel.stats.scan_passes == 1
+
+    def test_on_scan_hook(self, setup):
+        kernel, process = setup
+        scanner = kernel.create_scanner(
+            ScanConfig(scan_period_ns=SECOND, scan_step_pages=8)
+        )
+        seen = []
+        scanner.on_scan = lambda proc, vpns, now: seen.append(
+            (proc.pid, vpns.size, now)
+        )
+        scanner.scan_once(process, now_ns=7)
+        assert seen == [(process.pid, 8, 7)]
+
+
+class TestScheduling:
+    def test_interval_spreads_pass_over_period(self, setup):
+        kernel, process = setup
+        scanner = kernel.create_scanner(
+            ScanConfig(scan_period_ns=SECOND, scan_step_pages=16)
+        )
+        # 64 pages / 16 per event = 4 events per period.
+        assert scanner.interval_ns(process) == SECOND // 4
+
+    def test_periodic_scanning_covers_address_space(self, setup):
+        kernel, process = setup
+        kernel.create_scanner(
+            ScanConfig(scan_period_ns=SECOND, scan_step_pages=16)
+        )
+        kernel.scanner.start()
+        kernel.advance_to(SECOND + 1)
+        # After one full period every page has been marked at least once.
+        assert process.pages.prot_none.all()
+
+    def test_start_idempotent(self, setup):
+        kernel, process = setup
+        kernel.create_scanner(
+            ScanConfig(scan_period_ns=SECOND, scan_step_pages=64)
+        )
+        kernel.scanner.start()
+        pending_before = len(kernel.scheduler)
+        kernel.scanner.start()
+        assert len(kernel.scheduler) == pending_before
+
+    def test_finished_process_not_rescanned(self, setup):
+        kernel, process = setup
+        kernel.create_scanner(
+            ScanConfig(scan_period_ns=SECOND, scan_step_pages=16)
+        )
+        kernel.scanner.start()
+        process.finished = True
+        kernel.advance_to(2 * SECOND)
+        assert kernel.stats.pages_scanned == 0

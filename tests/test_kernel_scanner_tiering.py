@@ -1,0 +1,62 @@
+"""Tests for tiering-mode (slow-tier-only) scanning across policies."""
+
+import numpy as np
+import pytest
+
+from repro.mem.tier import FAST_TIER, SLOW_TIER
+from repro.policies import make_policy
+from repro.sim.timeunits import SECOND
+from tests.conftest import make_kernel, make_process
+
+
+def attach(policy_name, **kwargs):
+    kernel = make_kernel(fast_pages=64, slow_pages=512)
+    process = make_process(n_pages=128)
+    kernel.register_process(process)
+    kernel.allocate_initial_placement()
+    kernel.set_policy(
+        make_policy(policy_name, scan_period_ns=SECOND,
+                    scan_step_pages=128, **kwargs)
+    )
+    return kernel, process
+
+
+@pytest.mark.parametrize("policy_name", ["linux-nb", "tpp", "chrono"])
+class TestTieringScanScope:
+    def test_scanner_filters_to_slow_tier(self, policy_name):
+        kernel, process = attach(policy_name)
+        assert kernel.scanner.config.tier_filter == SLOW_TIER
+
+    def test_fast_pages_never_protected_by_scan(self, policy_name):
+        kernel, process = attach(policy_name)
+        kernel.scanner.scan_once(process, now_ns=5)
+        fast = process.pages.tier == FAST_TIER
+        assert not process.pages.prot_none[fast].any()
+
+    def test_slow_pages_do_get_protected(self, policy_name):
+        kernel, process = attach(policy_name)
+        kernel.scanner.scan_once(process, now_ns=5)
+        slow = process.pages.tier == SLOW_TIER
+        # The 128-page window covers the whole space, so every slow page
+        # in it is marked.
+        assert process.pages.prot_none[slow].all()
+
+
+class TestDcscCoversFastTier:
+    def test_probes_include_fast_pages(self):
+        """The scanner skips the fast tier, but DCSC's random victims
+        must still cover it (the fast heat map needs samples)."""
+        from repro.core.dcsc import DcscCollector, DcscConfig
+        from repro.sim.rng import RngStreams
+
+        collector = DcscCollector(
+            DcscConfig(victim_fraction=0.5, min_victims_per_process=64),
+            RngStreams(2).get("cover"),
+        )
+        process = make_process(n_pages=128)
+        process.pages.tier[:64] = FAST_TIER
+        collector.probe_process(process, now_ns=0)
+        probed_fast = process.pages.probed & (
+            process.pages.tier == FAST_TIER
+        )
+        assert probed_fast.any()

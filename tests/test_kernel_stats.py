@@ -1,0 +1,90 @@
+"""Tests for vmstat counters and time-series recorders."""
+
+import pytest
+
+from repro.kernel.stats import GlobalStats, SeriesBank, TimeSeries
+
+
+class TestGlobalStats:
+    def test_snapshot_roundtrip(self):
+        stats = GlobalStats()
+        stats.pgpromote = 10
+        stats.kernel_time_ns = 123.0
+        snap = stats.snapshot()
+        assert snap["pgpromote"] == 10
+        assert snap["kernel_time_ns"] == 123.0
+
+    def test_snapshot_is_copy(self):
+        stats = GlobalStats()
+        snap = stats.snapshot()
+        stats.pgpromote = 5
+        assert snap["pgpromote"] == 0
+
+
+class TestTimeSeries:
+    def test_record_and_read(self):
+        series = TimeSeries("x")
+        series.record(0, 1.0)
+        series.record(10, 2.0)
+        assert len(series) == 2
+        assert series.times == (0, 10)
+        assert series.values == (1.0, 2.0)
+
+    def test_monotonic_time_enforced(self):
+        series = TimeSeries("x")
+        series.record(10, 1.0)
+        with pytest.raises(ValueError):
+            series.record(5, 2.0)
+
+    def test_equal_times_allowed(self):
+        series = TimeSeries("x")
+        series.record(10, 1.0)
+        series.record(10, 2.0)
+        assert len(series) == 2
+
+    def test_last(self):
+        series = TimeSeries("x")
+        series.record(3, 7.0)
+        assert series.last() == (3, 7.0)
+
+    def test_last_empty_raises(self):
+        with pytest.raises(IndexError):
+            TimeSeries("x").last()
+
+    def test_mean(self):
+        series = TimeSeries("x")
+        for i in range(4):
+            series.record(i, float(i))
+        assert series.mean() == pytest.approx(1.5)
+
+    def test_mean_empty(self):
+        assert TimeSeries("x").mean() == 0.0
+
+    def test_tail_mean_converged_value(self):
+        series = TimeSeries("x")
+        # Transient then convergence to 100.
+        for i, value in enumerate([500, 400, 300, 100, 100, 100, 100, 100]):
+            series.record(i, value)
+        assert series.tail_mean(0.5) == pytest.approx(100.0)
+
+    def test_tail_mean_bad_fraction(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x").tail_mean(0)
+
+
+class TestSeriesBank:
+    def test_created_on_first_use(self):
+        bank = SeriesBank()
+        bank.record("a", 0, 1.0)
+        assert "a" in bank
+        assert bank.series("a").values == (1.0,)
+
+    def test_names_sorted(self):
+        bank = SeriesBank()
+        bank.record("z", 0, 1.0)
+        bank.record("a", 0, 1.0)
+        assert bank.names() == ["a", "z"]
+
+    def test_same_series_returned(self):
+        bank = SeriesBank()
+        assert bank.series("s") is bank.series("s")

@@ -1,0 +1,108 @@
+"""Tests for the sysctl tunable registry."""
+
+import pytest
+
+from repro.kernel.sysctl import (
+    Sysctl,
+    SysctlError,
+    fraction,
+    non_negative,
+    positive,
+)
+
+
+@pytest.fixture
+def sysctl():
+    registry = Sysctl()
+    registry.register(
+        "vm.scan_period_sec", 60, "scan period", validator=positive,
+        unit="sec",
+    )
+    return registry
+
+
+class TestRegistration:
+    def test_default_applied(self, sysctl):
+        assert sysctl.get("vm.scan_period_sec") == 60
+
+    def test_duplicate_same_default_is_noop(self, sysctl):
+        sysctl.register("vm.scan_period_sec", 60, "scan period")
+        assert sysctl.get("vm.scan_period_sec") == 60
+
+    def test_duplicate_conflicting_default_rejected(self, sysctl):
+        with pytest.raises(SysctlError):
+            sysctl.register("vm.scan_period_sec", 30, "scan period")
+
+    def test_invalid_default_rejected(self):
+        registry = Sysctl()
+        with pytest.raises(SysctlError):
+            registry.register("x", -1, "bad", validator=positive)
+
+    def test_contains(self, sysctl):
+        assert "vm.scan_period_sec" in sysctl
+        assert "nope" not in sysctl
+
+
+class TestGetSet:
+    def test_set_and_get(self, sysctl):
+        sysctl.set("vm.scan_period_sec", 30)
+        assert sysctl.get("vm.scan_period_sec") == 30
+
+    def test_unknown_get(self, sysctl):
+        with pytest.raises(SysctlError):
+            sysctl.get("nope")
+
+    def test_unknown_set(self, sysctl):
+        with pytest.raises(SysctlError):
+            sysctl.set("nope", 1)
+
+    def test_validator_enforced_on_set(self, sysctl):
+        with pytest.raises(SysctlError):
+            sysctl.set("vm.scan_period_sec", -5)
+
+    def test_reset_one(self, sysctl):
+        sysctl.set("vm.scan_period_sec", 10)
+        sysctl.reset("vm.scan_period_sec")
+        assert sysctl.get("vm.scan_period_sec") == 60
+
+    def test_reset_all(self, sysctl):
+        sysctl.register("a", 1, "a")
+        sysctl.set("a", 2)
+        sysctl.set("vm.scan_period_sec", 5)
+        sysctl.reset()
+        assert sysctl.get("a") == 1
+        assert sysctl.get("vm.scan_period_sec") == 60
+
+    def test_reset_unknown(self, sysctl):
+        with pytest.raises(SysctlError):
+            sysctl.reset("nope")
+
+
+class TestValidators:
+    def test_positive(self):
+        assert positive(1) and positive(0.5)
+        assert not positive(0) and not positive(-1)
+        assert not positive("x")
+
+    def test_fraction(self):
+        assert fraction(0.5) and fraction(1)
+        assert not fraction(0) and not fraction(1.5)
+
+    def test_non_negative(self):
+        assert non_negative(0) and non_negative(3)
+        assert not non_negative(-0.1)
+
+
+class TestDescribe:
+    def test_table_contains_entries(self, sysctl):
+        text = sysctl.describe()
+        assert "vm.scan_period_sec" in text
+        assert "60" in text
+        assert "Name" in text
+
+    def test_iteration_sorted(self):
+        registry = Sysctl()
+        registry.register("b", 1, "b")
+        registry.register("a", 1, "a")
+        names = [name for name, _ in registry]
+        assert names == ["a", "b"]

@@ -1,0 +1,135 @@
+"""Tests for the tiered machine model and access pricing."""
+
+import numpy as np
+import pytest
+
+from repro.mem.machine import (
+    MachineSpec,
+    TieredMachine,
+    default_machine_spec,
+)
+from repro.mem.migration_cost import MigrationCostModel
+from repro.mem.tier import FAST_TIER, SLOW_TIER, dram_spec, optane_spec
+
+
+@pytest.fixture
+def machine():
+    return TieredMachine(default_machine_spec(fast_pages=1000, slow_pages=3000))
+
+
+class TestMachineSpec:
+    def test_default_fast_ratio_is_25_percent(self):
+        machine = TieredMachine()
+        assert machine.fast_tier_ratio() == pytest.approx(0.25)
+
+    def test_needs_two_tiers(self):
+        with pytest.raises(ValueError):
+            MachineSpec(tiers=(dram_spec(10),))
+
+    def test_needs_cpus(self):
+        with pytest.raises(ValueError):
+            MachineSpec(
+                tiers=(dram_spec(10), optane_spec(10)), cpu_cores=0
+            )
+
+
+class TestAccessPricing:
+    def test_vectorised_latency(self, machine):
+        tiers = np.array([FAST_TIER, SLOW_TIER, SLOW_TIER])
+        writes = np.array([False, False, True])
+        lat = machine.access_latency_ns(tiers, writes)
+        assert lat[0] == machine.fast.spec.read_latency_ns
+        assert lat[1] == machine.slow.spec.read_latency_ns
+        assert lat[2] == machine.slow.spec.write_latency_ns
+        assert lat[2] > lat[1] > lat[0]
+
+    def test_mean_cost_pure_fast_reads(self, machine):
+        cost = machine.mean_access_cost_ns(
+            np.array([100.0, 0.0]), write_fraction=0.0
+        )
+        assert cost == pytest.approx(machine.fast.spec.read_latency_ns)
+
+    def test_mean_cost_mixed(self, machine):
+        cost = machine.mean_access_cost_ns(
+            np.array([50.0, 50.0]), write_fraction=0.0
+        )
+        expected = 0.5 * (
+            machine.fast.spec.read_latency_ns
+            + machine.slow.spec.read_latency_ns
+        )
+        assert cost == pytest.approx(expected)
+
+    def test_mean_cost_writes_cost_more_on_slow(self, machine):
+        reads = machine.mean_access_cost_ns(np.array([0.0, 1.0]), 0.0)
+        writes = machine.mean_access_cost_ns(np.array([0.0, 1.0]), 1.0)
+        assert writes > reads
+
+    def test_mean_cost_empty_mix(self, machine):
+        assert machine.mean_access_cost_ns(np.array([0.0, 0.0]), 0.5) > 0
+
+
+class TestContention:
+    def test_negligible_at_low_utilization(self, machine):
+        assert machine.contention_multiplier(FAST_TIER, 0.0) == 1.0
+        capacity = machine.bandwidth_bytes[FAST_TIER]
+        low = machine.contention_multiplier(FAST_TIER, 0.01 * capacity)
+        assert low == pytest.approx(1.0, abs=0.02)
+
+    def test_queueing_curve(self, machine):
+        capacity = machine.bandwidth_bytes[SLOW_TIER]
+        half = machine.contention_multiplier(SLOW_TIER, 0.5 * capacity)
+        assert half == pytest.approx(2.0)
+        deep = machine.contention_multiplier(SLOW_TIER, 0.8 * capacity)
+        assert deep == pytest.approx(5.0)
+
+    def test_monotone_in_demand(self, machine):
+        capacity = machine.bandwidth_bytes[SLOW_TIER]
+        values = [
+            machine.contention_multiplier(SLOW_TIER, frac * capacity)
+            for frac in (0.0, 0.3, 0.6, 0.9, 1.5)
+        ]
+        assert values == sorted(values)
+
+    def test_capped_at_saturation(self, machine):
+        capacity = machine.bandwidth_bytes[SLOW_TIER]
+        assert (
+            machine.contention_multiplier(SLOW_TIER, 5 * capacity)
+            == machine.MAX_CONTENTION
+        )
+
+    def test_negative_demand_rejected(self, machine):
+        with pytest.raises(ValueError):
+            machine.contention_multiplier(SLOW_TIER, -1.0)
+
+
+class TestMigrationCostModel:
+    def test_cost_scales_with_pages(self):
+        model = MigrationCostModel()
+        one = model.migrate_cost_ns(1, 1e9, 1e9)
+        ten = model.migrate_cost_ns(10, 1e9, 1e9)
+        assert ten == 10 * one
+
+    def test_zero_pages_zero_cost(self):
+        assert MigrationCostModel().migrate_cost_ns(0, 1e9, 1e9) == 0
+
+    def test_bottleneck_is_slower_side(self):
+        model = MigrationCostModel()
+        slow_src = model.migrate_cost_ns(1, 1e9, 100e9)
+        slow_dst = model.migrate_cost_ns(1, 100e9, 1e9)
+        assert slow_src == slow_dst
+
+    def test_copy_time_included(self):
+        model = MigrationCostModel(page_size=4096, fixed_kernel_ns=0)
+        # 4096 bytes at 4.096 GB/s = 1000 ns
+        assert model.migrate_cost_ns(1, 4.096e9, 4.096e9) == 1000
+
+    def test_negative_pages_rejected(self):
+        with pytest.raises(ValueError):
+            MigrationCostModel().migrate_cost_ns(-1, 1e9, 1e9)
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            MigrationCostModel().page_copy_ns(0)
+
+    def test_migrate_bytes(self):
+        assert MigrationCostModel(page_size=4096).migrate_bytes(3) == 12288

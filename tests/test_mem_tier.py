@@ -1,0 +1,110 @@
+"""Tests for memory tiers and frame accounting."""
+
+import pytest
+
+from repro.mem.tier import (
+    FAST_TIER,
+    SLOW_TIER,
+    MemoryTier,
+    TierSpec,
+    cxl_spec,
+    dram_spec,
+    optane_spec,
+)
+
+
+def make_tier(capacity=100):
+    return MemoryTier(tier_id=0, spec=dram_spec(capacity))
+
+
+class TestTierSpec:
+    def test_dram_is_faster_than_optane(self):
+        dram = dram_spec(100)
+        optane = optane_spec(100)
+        assert dram.read_latency_ns < optane.read_latency_ns
+        assert dram.write_latency_ns < optane.write_latency_ns
+
+    def test_optane_write_read_asymmetry(self):
+        spec = optane_spec(100)
+        assert spec.write_latency_ns > spec.read_latency_ns
+
+    def test_slow_tiers_are_cpu_less(self):
+        assert not optane_spec(10).cpu_local
+        assert not cxl_spec(10).cpu_local
+        assert dram_spec(10).cpu_local
+
+    def test_latency_ranges_match_paper(self):
+        # DRAM 50-90 ns, slow memory 150-270 ns (Section 1).
+        assert 50 <= dram_spec(1).read_latency_ns <= 90
+        assert 150 <= optane_spec(1).read_latency_ns <= 270
+        assert 150 <= cxl_spec(1).read_latency_ns <= 270
+
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_rejects_bad_capacity(self, capacity):
+        with pytest.raises(ValueError):
+            TierSpec("x", capacity, 100, 100, 1e9)
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ValueError):
+            TierSpec("x", 10, 0, 100, 1e9)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            TierSpec("x", 10, 100, 100, 0)
+
+
+class TestFrameAccounting:
+    def test_allocate_within_capacity(self):
+        tier = make_tier(100)
+        assert tier.allocate(40) == 40
+        assert tier.used_pages == 40
+        assert tier.free_pages == 60
+
+    def test_allocate_clamps_to_free(self):
+        tier = make_tier(100)
+        tier.allocate(90)
+        assert tier.allocate(20) == 10
+        assert tier.free_pages == 0
+
+    def test_release(self):
+        tier = make_tier(100)
+        tier.allocate(50)
+        tier.release(20)
+        assert tier.used_pages == 30
+
+    def test_release_more_than_used_rejected(self):
+        tier = make_tier(100)
+        tier.allocate(5)
+        with pytest.raises(ValueError):
+            tier.release(6)
+
+    def test_negative_allocate_rejected(self):
+        with pytest.raises(ValueError):
+            make_tier().allocate(-1)
+
+    def test_negative_release_rejected(self):
+        with pytest.raises(ValueError):
+            make_tier().release(-1)
+
+    def test_utilization(self):
+        tier = make_tier(200)
+        tier.allocate(50)
+        assert tier.utilization() == pytest.approx(0.25)
+
+
+class TestMigrationTraffic:
+    def test_charge_and_consume(self):
+        tier = make_tier()
+        tier.charge_migration_bytes(4096)
+        tier.charge_migration_bytes(4096)
+        assert tier.consume_migration_bytes() == 8192
+        assert tier.consume_migration_bytes() == 0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            make_tier().charge_migration_bytes(-1)
+
+
+def test_tier_id_constants():
+    assert FAST_TIER == 0
+    assert SLOW_TIER == 1

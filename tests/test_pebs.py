@@ -1,0 +1,185 @@
+"""Tests for the PEBS sampler and the Memtis-style cooling histogram."""
+
+import numpy as np
+import pytest
+
+from repro.pebs.histogram import CoolingHistogram, bin_of
+from repro.pebs.sampler import PebsConfig, PebsSampler
+from repro.sim.rng import RngStreams
+from repro.sim.timeunits import SECOND
+
+
+@pytest.fixture
+def rng():
+    return RngStreams(11).get("pebs")
+
+
+def make_sampler(rate=100_000.0, rng=None):
+    return PebsSampler(
+        PebsConfig(max_samples_per_sec=rate),
+        rng or RngStreams(11).get("pebs"),
+    )
+
+
+class TestPebsConfig:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PebsConfig(max_samples_per_sec=0)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            PebsConfig(sample_drain_cost_ns=-1)
+
+
+class TestSampler:
+    def test_budget_caps_samples(self, rng):
+        sampler = make_sampler(rate=1_000, rng=rng)
+        probs = np.full(100, 0.01)
+        counts = sampler.sample_window(
+            probs, n_accesses=1e9, window_ns=SECOND
+        )
+        # Budget is 1000 samples/sec * 1 sec = 1000, Poisson noise aside.
+        assert 800 < counts.sum() < 1200
+
+    def test_low_traffic_samples_all(self, rng):
+        sampler = make_sampler(rate=1e9, rng=rng)
+        probs = np.full(10, 0.1)
+        counts = sampler.sample_window(
+            probs, n_accesses=100, window_ns=SECOND
+        )
+        assert 50 < counts.sum() < 160  # ~100 expected
+
+    def test_budget_share_divides(self, rng):
+        sampler = make_sampler(rate=10_000, rng=rng)
+        probs = np.full(50, 0.02)
+        counts = sampler.sample_window(
+            probs, n_accesses=1e9, window_ns=SECOND, budget_share=0.1
+        )
+        assert 700 < counts.sum() < 1300  # ~1000 expected
+
+    def test_hot_pages_get_more_samples(self, rng):
+        sampler = make_sampler(rng=rng)
+        probs = np.array([0.9] + [0.1 / 99] * 99)
+        counts = sampler.sample_window(
+            probs, n_accesses=1e7, window_ns=SECOND
+        )
+        assert counts[0] > counts[1:].sum()
+
+    def test_overhead_accumulates_and_drains(self, rng):
+        sampler = make_sampler(rng=rng)
+        probs = np.full(10, 0.1)
+        sampler.sample_window(probs, n_accesses=1e6, window_ns=SECOND)
+        overhead = sampler.drain_overhead_ns()
+        assert overhead > 0
+        assert sampler.drain_overhead_ns() == 0.0
+
+    def test_zero_accesses(self, rng):
+        sampler = make_sampler(rng=rng)
+        counts = sampler.sample_window(
+            np.full(4, 0.25), n_accesses=0, window_ns=SECOND
+        )
+        assert counts.sum() == 0
+
+    def test_bad_budget_share(self, rng):
+        sampler = make_sampler(rng=rng)
+        with pytest.raises(ValueError):
+            sampler.sample_window(np.full(4, 0.25), 10, SECOND, 0)
+
+    def test_negative_accesses(self, rng):
+        sampler = make_sampler(rng=rng)
+        with pytest.raises(ValueError):
+            sampler.sample_window(np.full(4, 0.25), -1, SECOND)
+
+
+class TestBinOf:
+    def test_binning(self):
+        values = np.array([0.0, 0.5, 1.0, 1.9, 2.0, 3.9, 4.0, 8.0, 255.0])
+        np.testing.assert_array_equal(
+            bin_of(values), [0, 0, 1, 1, 2, 2, 3, 4, 8]
+        )
+
+    def test_bin_boundaries_are_powers_of_two(self):
+        for i in range(1, 10):
+            assert bin_of(np.array([2.0 ** (i - 1)]))[0] == i
+            assert bin_of(np.array([2.0**i - 0.01]))[0] == i
+
+
+class TestCoolingHistogram:
+    def test_record_and_histogram(self):
+        hist = CoolingHistogram(n_pages=4)
+        hist.record(np.array([0.0, 1.0, 4.0, 100.0]))
+        bins = hist.histogram()
+        assert bins[0] == 1  # never sampled
+        assert bins.sum() == 4
+
+    def test_record_shape_mismatch(self):
+        hist = CoolingHistogram(n_pages=4)
+        with pytest.raises(ValueError):
+            hist.record(np.zeros(5))
+
+    def test_cooling_halves(self):
+        hist = CoolingHistogram(n_pages=2, cooling_period_ns=10)
+        hist.record(np.array([8.0, 2.0]))
+        assert hist.maybe_cool(now_ns=10)
+        np.testing.assert_array_equal(hist.counts, [4.0, 1.0])
+
+    def test_cooling_respects_period(self):
+        hist = CoolingHistogram(n_pages=2, cooling_period_ns=100)
+        hist.record(np.array([8.0, 2.0]))
+        assert not hist.maybe_cool(now_ns=50)
+        np.testing.assert_array_equal(hist.counts, [8.0, 2.0])
+
+    def test_hot_threshold_fills_capacity(self):
+        hist = CoolingHistogram(n_pages=100, n_bins=8)
+        counts = np.zeros(100)
+        counts[:10] = 100.0  # bin 7 (clipped)
+        counts[10:40] = 4.0  # bin 3
+        counts[40:] = 0.5  # bin 0 (cold)
+        hist.record(counts)
+        # Capacity 10: only the hottest group classifies as hot.
+        mask, _ = hist.classify(10)
+        assert mask[:10].all() and not mask[10:].any()
+        # Capacity 40: the warm group fits too.
+        mask, _ = hist.classify(40)
+        assert mask[:40].all() and not mask[40:].any()
+
+    def test_hot_threshold_zero_capacity(self):
+        hist = CoolingHistogram(n_pages=10, n_bins=4)
+        hist.record(np.full(10, 100.0))
+        assert hist.hot_threshold_bin(0) == 4  # nothing fits
+
+    def test_classify_mask(self):
+        hist = CoolingHistogram(n_pages=10, n_bins=8)
+        counts = np.zeros(10)
+        counts[:3] = 64.0
+        hist.record(counts)
+        mask, threshold = hist.classify(fast_capacity_pages=5)
+        assert mask[:3].all()
+        assert not mask[3:].any()
+        assert 1 <= threshold <= 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoolingHistogram(n_pages=0)
+        with pytest.raises(ValueError):
+            CoolingHistogram(n_pages=1, n_bins=1)
+        with pytest.raises(ValueError):
+            CoolingHistogram(n_pages=1, cooling_period_ns=0)
+        hist = CoolingHistogram(n_pages=4)
+        with pytest.raises(ValueError):
+            hist.hot_threshold_bin(-1)
+
+    def test_cv_instability_on_small_counters(self):
+        """Base-page systems spread the sample budget thin: small counters
+        have higher relative variance (Section 2.4)."""
+        rng = RngStreams(5).get("cv")
+        large = CoolingHistogram(n_pages=100)
+        small = CoolingHistogram(n_pages=100)
+        large.record(rng.poisson(64.0, size=100).astype(float))
+        small.record(rng.poisson(0.5, size=100).astype(float))
+        assert small.coefficient_of_variation() > (
+            large.coefficient_of_variation()
+        )
+
+    def test_cv_empty(self):
+        assert CoolingHistogram(n_pages=4).coefficient_of_variation() == 0.0

@@ -1,0 +1,155 @@
+"""Tests for the bonus Table 1 baselines: Telescope and FlexMem."""
+
+import numpy as np
+import pytest
+
+from repro.mem.tier import FAST_TIER, SLOW_TIER
+from repro.policies.flexmem import FlexMemPolicy
+from repro.policies.telescope import TelescopePolicy
+from repro.sim.timeunits import MILLISECOND, SECOND
+from repro.vm.fault import FaultBatch
+from tests.conftest import make_kernel, make_process
+
+
+def attach(policy, fast_pages=256, slow_pages=2048, n_pages=1024):
+    kernel = make_kernel(fast_pages=fast_pages, slow_pages=slow_pages)
+    process = make_process(pid=1, n_pages=n_pages)
+    kernel.register_process(process)
+    kernel.allocate_initial_placement()
+    kernel.set_policy(policy)
+    return kernel, process
+
+
+def fault_batch(process, vpns, cits):
+    vpns = np.asarray(vpns, dtype=np.int64)
+    return FaultBatch(
+        pid=process.pid,
+        vpns=vpns,
+        fault_ts_ns=np.full(vpns.size, 1_000, dtype=np.int64),
+        cit_ns=np.asarray(cits, dtype=np.int64),
+    )
+
+
+class TestTelescope:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TelescopePolicy(window_ns=0)
+        with pytest.raises(ValueError):
+            TelescopePolicy(region_fanout=1)
+        with pytest.raises(ValueError):
+            TelescopePolicy(n_levels=0)
+
+    def test_no_scanner(self):
+        kernel, _ = attach(TelescopePolicy())
+        assert kernel.scanner is None
+
+    def test_region_geometry(self):
+        policy = TelescopePolicy(region_fanout=4, n_levels=3)
+        _, process = attach(policy)
+        # level 0 regions cover fanout^3 = 64 pages, leaves 4 pages.
+        assert policy.region_pages(process, 0) == 64
+        assert policy.region_pages(process, 2) == 4
+
+    def test_drill_down_narrows_then_promotes(self):
+        policy = TelescopePolicy(
+            window_ns=100 * MILLISECOND, region_fanout=4, n_levels=2
+        )
+        kernel, process = attach(policy)
+        kernel.start()
+        # Concentrate all traffic on one slow-tier leaf region.
+        slow = process.pages.pages_in_tier(SLOW_TIER)
+        hot_leaf_start = int(slow[0] // 4 * 4)
+        counts = np.zeros(process.n_pages)
+        counts[hot_leaf_start:hot_leaf_start + 4] = 100.0
+        probs = counts / counts.sum()
+        # Feed two profiling windows (root level + leaf level).
+        for window in range(2):
+            policy.on_quantum(
+                process, probs, 10_000, 0, 100 * MILLISECOND
+            )
+            kernel.advance_to((window + 1) * 100 * MILLISECOND + 1)
+        promoted = process.pages.tier[
+            hot_leaf_start:hot_leaf_start + 4
+        ]
+        assert (promoted == FAST_TIER).all()
+
+    def test_untouched_regions_never_promote(self):
+        policy = TelescopePolicy(
+            window_ns=100 * MILLISECOND, region_fanout=4, n_levels=2
+        )
+        kernel, process = attach(policy)
+        kernel.start()
+        kernel.advance_to(SECOND)  # windows pass with zero traffic
+        assert kernel.stats.pgpromote == 0
+
+    def test_profiling_cost_charged(self):
+        policy = TelescopePolicy(window_ns=100 * MILLISECOND)
+        kernel, process = attach(policy)
+        kernel.start()
+        kernel.advance_to(100 * MILLISECOND + 1)
+        assert process.pending_kernel_ns > 0
+
+
+class TestFlexMem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlexMemPolicy(hint_fault_latency_ns=0)
+
+    def test_has_scanner_and_sampler(self):
+        kernel, _ = attach(FlexMemPolicy(hp_pages=8))
+        assert kernel.scanner is not None
+        assert kernel.policy.sampler is not None
+
+    def test_timely_fault_promotes_sampled_region(self):
+        policy = FlexMemPolicy(
+            hp_pages=8, hint_fault_latency_ns=MILLISECOND
+        )
+        kernel, process = attach(policy)
+        kernel.clock.advance(SECOND)
+        slow = process.pages.pages_in_tier(SLOW_TIER)
+        groups = slow // 8
+        ids, counts = np.unique(groups, return_counts=True)
+        group = int(ids[counts == 8][0])
+        vpn = group * 8 + 2
+        # Sampled history exists for the page.
+        policy.state(process).counts[vpn] = 4.0
+        policy.on_fault(process, fault_batch(process, [vpn], [100]))
+        region = process.pages.tier[group * 8: group * 8 + 8]
+        assert (region == FAST_TIER).all()
+
+    def test_slow_fault_not_promoted(self):
+        policy = FlexMemPolicy(
+            hp_pages=8, hint_fault_latency_ns=MILLISECOND
+        )
+        kernel, process = attach(policy)
+        kernel.clock.advance(SECOND)
+        vpn = int(process.pages.pages_in_tier(SLOW_TIER)[0])
+        policy.state(process).counts[vpn] = 4.0
+        policy.on_fault(
+            process, fault_batch(process, [vpn], [10 * MILLISECOND])
+        )
+        assert kernel.stats.pgpromote == 0
+
+    def test_unsampled_fault_not_promoted(self):
+        policy = FlexMemPolicy(
+            hp_pages=8, hint_fault_latency_ns=MILLISECOND
+        )
+        kernel, process = attach(policy)
+        kernel.clock.advance(SECOND)
+        vpn = int(process.pages.pages_in_tier(SLOW_TIER)[0])
+        policy.on_fault(process, fault_batch(process, [vpn], [100]))
+        assert kernel.stats.pgpromote == 0
+
+    def test_inherits_memtis_classification(self):
+        policy = FlexMemPolicy(hp_pages=8, split_budget_per_pass=0)
+        kernel, process = attach(policy)
+        state = policy.state(process)
+        slow = process.pages.pages_in_tier(SLOW_TIER)
+        groups = slow // 8
+        ids, counts = np.unique(groups, return_counts=True)
+        group = int(ids[counts == 8][0])
+        state.counts[group * 8: group * 8 + 8] = 50.0
+        policy._classify_process(process, now_ns=0)
+        assert (
+            process.pages.tier[group * 8: group * 8 + 8] == FAST_TIER
+        ).all()

@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.latency import LatencyMixture
+from repro.analysis.metrics import f1_score, precision_recall
+from repro.core.candidates import CandidateFilter
+from repro.core.cit import (
+    bucket_lower_bound_ns,
+    bucket_upper_bound_ns,
+    cit_bucket,
+)
+from repro.core.promotion import PromotionQueue
+from repro.core.tuning import SemiAutoTuner
+from repro.mem.tier import FAST_TIER, SLOW_TIER, MemoryTier, dram_spec
+from repro.pebs.histogram import bin_of
+from repro.sim.events import EventScheduler
+from repro.vm.hugepage import aggregate_by_huge, n_huge_pages
+from tests.conftest import make_process
+
+
+class TestCitBucketProperties:
+    @given(st.integers(min_value=0, max_value=2**60))
+    def test_value_within_its_bucket_bounds(self, cit_ns):
+        bucket = int(cit_bucket(np.array([cit_ns]))[0])
+        assert bucket_lower_bound_ns(bucket) <= cit_ns
+        if bucket < 27:  # not the saturating bucket
+            assert cit_ns < bucket_upper_bound_ns(bucket)
+
+    @given(
+        st.integers(min_value=0, max_value=2**50),
+        st.integers(min_value=0, max_value=2**50),
+    )
+    def test_bucketing_is_monotone(self, a, b):
+        low, high = sorted([a, b])
+        buckets = cit_bucket(np.array([low, high]))
+        assert buckets[0] <= buckets[1]
+
+    @given(st.integers(min_value=1, max_value=26))
+    def test_bounds_are_adjacent(self, bucket):
+        assert bucket_upper_bound_ns(bucket - 1) == (
+            bucket_lower_bound_ns(bucket)
+        )
+
+
+class TestPebsBinProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e9, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_bins_monotone_in_counts(self, counts):
+        values = np.sort(np.array(counts))
+        bins = bin_of(values)
+        assert (np.diff(bins) >= 0).all()
+
+
+class TestLatencyMixtureProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=100_000),
+                st.floats(min_value=0.01, max_value=1e6,
+                          allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_mean_within_support_and_quantiles_monotone(self, points):
+        mix = LatencyMixture()
+        for latency, count in points:
+            mix.add(latency, count)
+        latencies = [p[0] for p in points]
+        epsilon = 1e-9 * max(latencies)
+        assert (
+            min(latencies) - epsilon
+            <= mix.mean()
+            <= max(latencies) + epsilon
+        )
+        quantiles = [mix.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert quantiles == sorted(quantiles)
+        assert mix.quantile(1.0) == max(latencies)
+
+
+class TestMetricsProperties:
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=64),
+        st.lists(st.booleans(), min_size=1, max_size=64),
+    )
+    def test_scores_bounded(self, truth, pred):
+        n = min(len(truth), len(pred))
+        t = np.array(truth[:n])
+        p = np.array(pred[:n])
+        precision, recall = precision_recall(t, p)
+        assert 0.0 <= precision <= 1.0
+        assert 0.0 <= recall <= 1.0
+        assert 0.0 <= f1_score(t, p) <= 1.0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=64))
+    def test_perfect_prediction_is_one(self, truth):
+        t = np.array(truth)
+        if t.any():
+            assert f1_score(t, t) == 1.0
+
+
+class TestTierAccountingProperties:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 50)),
+            max_size=40,
+        )
+    )
+    def test_used_pages_never_out_of_range(self, operations):
+        tier = MemoryTier(tier_id=0, spec=dram_spec(100))
+        for is_alloc, n in operations:
+            if is_alloc:
+                tier.allocate(n)
+            else:
+                tier.release(min(n, tier.used_pages))
+            assert 0 <= tier.used_pages <= tier.capacity_pages
+            assert tier.free_pages == (
+                tier.capacity_pages - tier.used_pages
+            )
+
+
+class TestPromotionQueueProperties:
+    @given(
+        st.lists(st.integers(0, 63), min_size=1, max_size=100),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_drain_conserves_pages(self, vpns, rate):
+        process = make_process(n_pages=64)
+        queue = PromotionQueue(float(rate))
+        queue.enqueue(process, np.array(vpns))
+        unique = len(set(vpns))
+        assert len(queue) == unique
+        drained = 0
+        for _ in range(200):
+            batches = queue.drain(elapsed_ns=10**9)
+            drained += sum(v.size for _, v in batches)
+            if len(queue) == 0:
+                break
+        assert drained == unique
+        # No duplicates ever dequeued.
+        assert queue.dequeued_total == unique
+
+
+class TestCandidateFilterProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 31),
+                st.integers(min_value=1, max_value=10**9),
+            ),
+            min_size=1,
+            max_size=200,
+        ),
+        st.integers(min_value=2, max_value=3),
+    )
+    def test_ready_pages_saw_n_below_threshold_rounds(
+        self, observations, n_rounds
+    ):
+        threshold = 10**6
+        process = make_process(n_pages=32)
+        filt = CandidateFilter(n_rounds=n_rounds)
+        below_streak = {vpn: 0 for vpn in range(32)}
+        for vpn, cit in observations:
+            result = filt.observe(
+                process, np.array([vpn]), np.array([cit]), threshold
+            )
+            if cit < threshold:
+                below_streak[vpn] += 1
+            else:
+                below_streak[vpn] = 0
+            for ready in result.ready_vpns:
+                # A ready page's last n observations were all below the
+                # threshold.
+                assert below_streak[int(ready)] >= n_rounds
+                below_streak[int(ready)] = 0
+            assert filt.candidate_count(process) <= 32
+
+
+class TestTunerProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=1e4,
+                          allow_nan=False),
+                st.floats(min_value=0.0, max_value=1e4,
+                          allow_nan=False),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_threshold_stays_in_bounds(self, updates):
+        tuner = SemiAutoTuner(
+            threshold_ns=5e6, min_threshold_ns=1e6, max_threshold_ns=1e8
+        )
+        for rate_limit, enqueue in updates:
+            tuner.update(rate_limit, enqueue)
+            assert 1e6 <= tuner.threshold_ns <= 1e8
+
+
+class TestHugePageProperties:
+    @given(
+        st.integers(min_value=1, max_value=5000),
+        st.sampled_from([2, 8, 64, 512]),
+    )
+    def test_aggregation_conserves_mass(self, n_pages, hp):
+        rng = np.random.default_rng(n_pages)
+        values = rng.random(n_pages)
+        groups = aggregate_by_huge(values, hp)
+        assert groups.size == n_huge_pages(n_pages, hp)
+        assert groups.sum() == np.float64(groups.sum())
+        np.testing.assert_allclose(groups.sum(), values.sum())
+
+
+class TestSchedulerProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1000),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_events_fire_in_time_order(self, times):
+        scheduler = EventScheduler()
+        fired = []
+        for when in times:
+            scheduler.schedule(when, fired.append)
+        scheduler.run_due(2000)
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)

@@ -1,0 +1,44 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_one_import_workflow(self):
+        """The README's single-import example works end to end."""
+        setup = repro.StandardSetup(
+            fast_pages=256,
+            slow_pages=1024,
+            duration_ns=2_000_000_000,
+            page_scale=8,
+        )
+        results = repro.run_policy_comparison(
+            setup,
+            lambda: repro.pmbench_processes(
+                setup, n_procs=2, pages_per_proc=256
+            ),
+            policies=("linux-nb", "chrono"),
+        )
+        assert set(results) == {"linux-nb", "chrono"}
+        for result in results.values():
+            assert isinstance(result, repro.RunResult)
+            assert result.throughput_per_sec > 0
+
+    def test_paper_policy_list(self):
+        assert repro.EVALUATED_POLICIES == (
+            "linux-nb",
+            "autotiering",
+            "multiclock",
+            "tpp",
+            "memtis",
+            "chrono",
+        )
+        for name in repro.EVALUATED_POLICIES:
+            assert name in repro.policy_names()

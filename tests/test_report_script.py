@@ -1,0 +1,94 @@
+"""Tests for the report-assembly script and bonus-policy setup paths."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+from repro.harness.experiments import StandardSetup
+
+
+def load_report_module():
+    path = (
+        pathlib.Path(__file__).parent.parent
+        / "scripts"
+        / "generate_report.py"
+    )
+    spec = importlib.util.spec_from_file_location("generate_report", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestReportScript:
+    def test_builds_markdown(self, tmp_path, monkeypatch):
+        module = load_report_module()
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig01_access_frequency.txt").write_text("TABLE-1\n")
+        monkeypatch.setattr(module, "RESULTS_DIR", results)
+        report = module.build_report()
+        assert "# Reproduction report" in report
+        assert "TABLE-1" in report
+        assert "Missing results" in report  # the rest are absent
+
+    def test_all_sections_when_present(self, tmp_path, monkeypatch):
+        module = load_report_module()
+        results = tmp_path / "results"
+        results.mkdir()
+        for stem, _ in module.SECTIONS:
+            (results / f"{stem}.txt").write_text(f"table {stem}\n")
+        monkeypatch.setattr(module, "RESULTS_DIR", results)
+        report = module.build_report()
+        assert "Missing results" not in report
+        for stem, heading in module.SECTIONS:
+            assert heading in report
+
+    def test_main_writes_file(self, tmp_path, monkeypatch):
+        module = load_report_module()
+        results = tmp_path / "results"
+        results.mkdir()
+        monkeypatch.setattr(module, "RESULTS_DIR", results)
+        out = tmp_path / "REPORT.md"
+        assert module.main(["--output", str(out)]) == 0
+        assert out.exists()
+
+    def test_sections_cover_every_bench_result_name(self):
+        """Every record_figure() name used by the benchmarks must appear
+        in the report ordering."""
+        module = load_report_module()
+        stems = {stem for stem, _ in module.SECTIONS}
+        bench_dir = pathlib.Path(__file__).parent.parent / "benchmarks"
+        import re
+
+        used = set()
+        for path in bench_dir.glob("test_*.py"):
+            for match in re.finditer(
+                r"record_figure\(\s*f?\"([a-z0-9_]+)\"", path.read_text()
+            ):
+                used.add(match.group(1))
+            # f-string names like f"fig12_{flavor}".
+            for match in re.finditer(
+                r"record_figure\(\s*f\"([a-z0-9_]+)\{", path.read_text()
+            ):
+                prefix = match.group(1)
+                used |= {s for s in stems if s.startswith(prefix)}
+        unmatched = {
+            name
+            for name in used
+            if name not in stems
+        }
+        assert not unmatched, unmatched
+
+
+class TestBonusPolicySetup:
+    def test_telescope_scaled(self):
+        setup = StandardSetup()
+        policy = setup.build_policy("telescope")
+        assert policy.window_ns == 50_000_000
+
+    def test_flexmem_scaled(self):
+        setup = StandardSetup()
+        policy = setup.build_policy("flexmem")
+        assert policy.hint_fault_latency_ns == setup.tpp_hint_latency_ns
+        assert policy.hp_pages == setup.hp_pages

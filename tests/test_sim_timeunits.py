@@ -1,0 +1,53 @@
+"""Tests for time-unit constants and conversions."""
+
+import pytest
+
+from repro.sim import timeunits as tu
+
+
+class TestConstants:
+    def test_ordering(self):
+        assert (
+            tu.NANOSECOND
+            < tu.MICROSECOND
+            < tu.MILLISECOND
+            < tu.SECOND
+            < tu.MINUTE
+        )
+
+    def test_second_is_1e9_ns(self):
+        assert tu.SECOND == 1_000_000_000
+
+    def test_minute(self):
+        assert tu.MINUTE == 60 * tu.SECOND
+
+
+class TestConversions:
+    def test_ns_to_ms(self):
+        assert tu.ns_to_ms(1_500_000) == pytest.approx(1.5)
+
+    def test_ns_to_sec(self):
+        assert tu.ns_to_sec(2_500_000_000) == pytest.approx(2.5)
+
+    def test_ms_to_ns_roundtrip(self):
+        assert tu.ms_to_ns(tu.ns_to_ms(123_456_789)) == 123_456_789
+
+    def test_sec_to_ns(self):
+        assert tu.sec_to_ns(0.001) == tu.MILLISECOND
+
+    def test_ms_to_ns_rounds(self):
+        assert tu.ms_to_ns(0.0000009) == 1  # 0.9 ns rounds to 1
+
+
+class TestFormat:
+    def test_ns(self):
+        assert tu.format_ns(250) == "250ns"
+
+    def test_us(self):
+        assert tu.format_ns(2_500) == "2.500us"
+
+    def test_ms(self):
+        assert tu.format_ns(1_500_000) == "1.500ms"
+
+    def test_sec(self):
+        assert tu.format_ns(3 * tu.SECOND) == "3.000s"

@@ -1,0 +1,87 @@
+"""Tests for VMAs and the scan cursor."""
+
+import numpy as np
+import pytest
+
+from repro.vm.address_space import AddressSpace, VMArea
+
+
+class TestVMArea:
+    def test_basic(self):
+        vma = VMArea(0, 10)
+        assert vma.n_pages == 10
+        assert vma.contains(0) and vma.contains(9)
+        assert not vma.contains(10)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            VMArea(5, 5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VMArea(-1, 5)
+
+
+class TestAddressSpace:
+    def test_linear(self):
+        aspace = AddressSpace.linear(100)
+        assert aspace.total_pages == 100
+        np.testing.assert_array_equal(aspace.all_vpns(), np.arange(100))
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            AddressSpace([VMArea(0, 10), VMArea(5, 15)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AddressSpace([])
+
+    def test_sorts_vmas(self):
+        aspace = AddressSpace([VMArea(10, 20), VMArea(0, 5)])
+        np.testing.assert_array_equal(
+            aspace.all_vpns(),
+            np.concatenate([np.arange(0, 5), np.arange(10, 20)]),
+        )
+
+
+class TestScanCursor:
+    def test_sequential_windows(self):
+        aspace = AddressSpace.linear(10)
+        window, wrapped = aspace.next_scan_window(4)
+        np.testing.assert_array_equal(window, [0, 1, 2, 3])
+        assert not wrapped
+        window, wrapped = aspace.next_scan_window(4)
+        np.testing.assert_array_equal(window, [4, 5, 6, 7])
+        assert not wrapped
+
+    def test_wraparound(self):
+        aspace = AddressSpace.linear(10)
+        aspace.next_scan_window(8)
+        window, wrapped = aspace.next_scan_window(4)
+        assert wrapped
+        np.testing.assert_array_equal(window, [8, 9, 0, 1])
+
+    def test_full_pass_covers_every_page(self):
+        aspace = AddressSpace.linear(10)
+        seen = []
+        for _ in range(5):
+            window, _ = aspace.next_scan_window(2)
+            seen.extend(window.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_window_larger_than_space(self):
+        aspace = AddressSpace.linear(4)
+        window, wrapped = aspace.next_scan_window(100)
+        assert wrapped
+        np.testing.assert_array_equal(np.sort(window), np.arange(4))
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            AddressSpace.linear(4).next_scan_window(0)
+
+    def test_reset(self):
+        aspace = AddressSpace.linear(10)
+        aspace.next_scan_window(5)
+        aspace.reset_cursor()
+        window, _ = aspace.next_scan_window(3)
+        np.testing.assert_array_equal(window, [0, 1, 2])

@@ -1,0 +1,74 @@
+"""Tests for the NUMA-hint fault path and CIT computation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngStreams
+from repro.vm.fault import FaultBatch, take_hint_faults
+from tests.conftest import make_process
+
+
+@pytest.fixture
+def rng():
+    return RngStreams(123).get("faults")
+
+
+class TestFaultBatch:
+    def test_empty(self):
+        batch = FaultBatch.empty(pid=7)
+        assert batch.n_faults == 0
+        assert batch.pid == 7
+
+    def test_parallel_arrays_enforced(self):
+        with pytest.raises(ValueError):
+            FaultBatch(
+                pid=1,
+                vpns=np.array([1, 2]),
+                fault_ts_ns=np.array([5]),
+                cit_ns=np.array([1, 2]),
+            )
+
+
+class TestTakeHintFaults:
+    def test_no_touched_pages(self, process, rng):
+        batch = take_hint_faults(process, np.array([]), 0, 1000, rng)
+        assert batch.n_faults == 0
+
+    def test_cit_is_fault_minus_scan(self, process, rng):
+        process.pages.protect(np.array([3]), now_ns=1_000)
+        batch = take_hint_faults(
+            process, np.array([3]), quantum_start_ns=5_000,
+            quantum_len_ns=1_000, rng=rng,
+        )
+        assert batch.n_faults == 1
+        assert batch.cit_ns[0] == batch.fault_ts_ns[0] - 1_000
+        assert 5_000 <= batch.fault_ts_ns[0] < 6_000
+
+    def test_fault_clears_protection_and_sets_accessed(self, process, rng):
+        process.pages.protect(np.array([2, 4]), now_ns=0)
+        take_hint_faults(process, np.array([2, 4]), 100, 50, rng)
+        assert not process.pages.prot_none[[2, 4]].any()
+        assert process.pages.accessed[[2, 4]].all()
+
+    def test_unscanned_page_gets_sentinel_cit(self, process, rng):
+        # A page touched while protected but never stamped (no scan ts).
+        process.pages.prot_none[5] = True  # bypass protect() on purpose
+        batch = take_hint_faults(process, np.array([5]), 100, 50, rng)
+        assert batch.cit_ns[0] == -1
+
+    def test_fault_times_within_quantum(self, process, rng):
+        vpns = np.arange(10)
+        process.pages.protect(vpns, now_ns=0)
+        batch = take_hint_faults(process, vpns, 1_000, 500, rng)
+        assert (batch.fault_ts_ns >= 1_000).all()
+        assert (batch.fault_ts_ns < 1_500).all()
+
+    def test_cit_statistics_uniform_over_period(self, rng):
+        """Scanning at a random point of a page's access period yields CIT
+        values spread over the quantum -- the statistical basis of CIT."""
+        process = make_process(n_pages=512)
+        vpns = np.arange(512)
+        process.pages.protect(vpns, now_ns=0)
+        batch = take_hint_faults(process, vpns, 0, 10_000, rng)
+        # Mean of Uniform[0, 10000) is ~5000.
+        assert 4_000 < batch.cit_ns.mean() < 6_000

@@ -1,0 +1,88 @@
+"""Tests for huge-page geometry helpers."""
+
+import numpy as np
+import pytest
+
+from repro.vm.hugepage import (
+    HUGE_1GB_PAGES,
+    HUGE_2MB_PAGES,
+    aggregate_by_huge,
+    base_vpns_of,
+    bloat_ratio,
+    huge_id,
+    n_huge_pages,
+)
+
+
+class TestGeometry:
+    def test_2mb_is_512_base_pages(self):
+        assert HUGE_2MB_PAGES == 512
+
+    def test_1gb_is_512_squared(self):
+        assert HUGE_1GB_PAGES == 512 * 512
+
+    def test_n_huge_pages_exact(self):
+        assert n_huge_pages(1024) == 2
+
+    def test_n_huge_pages_partial_tail(self):
+        assert n_huge_pages(1025) == 3
+
+    def test_n_huge_pages_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            n_huge_pages(0)
+        with pytest.raises(ValueError):
+            n_huge_pages(10, 0)
+
+    def test_huge_id(self):
+        np.testing.assert_array_equal(
+            huge_id(np.array([0, 511, 512, 1023])), [0, 0, 1, 1]
+        )
+
+
+class TestAggregation:
+    def test_sums_within_groups(self):
+        values = np.zeros(1024)
+        values[0] = 1.0
+        values[511] = 2.0
+        values[512] = 5.0
+        sums = aggregate_by_huge(values)
+        assert sums.tolist() == [3.0, 5.0]
+
+    def test_partial_tail_group(self):
+        values = np.ones(520)
+        sums = aggregate_by_huge(values)
+        assert sums.tolist() == [512.0, 8.0]
+
+    def test_custom_group_size(self):
+        values = np.ones(10)
+        sums = aggregate_by_huge(values, hp_pages=4)
+        assert sums.tolist() == [4.0, 4.0, 2.0]
+
+
+class TestExpansion:
+    def test_base_vpns_roundtrip(self):
+        vpns = base_vpns_of(np.array([1]), n_base_pages=2048)
+        np.testing.assert_array_equal(vpns, np.arange(512, 1024))
+
+    def test_tail_clipped(self):
+        vpns = base_vpns_of(np.array([1]), n_base_pages=600)
+        np.testing.assert_array_equal(vpns, np.arange(512, 600))
+
+    def test_empty(self):
+        assert base_vpns_of(np.array([]), 100).size == 0
+
+    def test_multiple_groups(self):
+        vpns = base_vpns_of(np.array([0, 2]), 2048, hp_pages=4)
+        np.testing.assert_array_equal(vpns, [0, 1, 2, 3, 8, 9, 10, 11])
+
+
+class TestBloat:
+    def test_no_bloat(self):
+        assert bloat_ratio(100, 100) == pytest.approx(1.0)
+
+    def test_paper_like_bloat(self):
+        # Memtis-style: 145% bloat means 1.45x hot footprint resident.
+        assert bloat_ratio(145, 100) == pytest.approx(1.45)
+
+    def test_zero_hot_pages(self):
+        assert bloat_ratio(100, 0) == 0.0

@@ -1,0 +1,77 @@
+"""Tests for the structure-of-arrays page state."""
+
+import numpy as np
+import pytest
+
+from repro.mem.tier import FAST_TIER, SLOW_TIER
+from repro.vm.page_state import NO_TIMESTAMP, PageState
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        pages = PageState(16)
+        assert pages.n_pages == 16
+        assert not pages.prot_none.any()
+        assert not pages.accessed.any()
+        assert (pages.scan_ts_ns == NO_TIMESTAMP).all()
+        assert (pages.tier == SLOW_TIER).all()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PageState(0)
+
+
+class TestProtection:
+    def test_protect_stamps_time(self):
+        pages = PageState(8)
+        marked = pages.protect(np.array([1, 3]), now_ns=1000)
+        assert marked == 2
+        assert pages.prot_none[1] and pages.prot_none[3]
+        assert pages.scan_ts_ns[1] == 1000
+        assert pages.scan_ts_ns[2] == NO_TIMESTAMP
+
+    def test_double_protect_keeps_first_timestamp(self):
+        pages = PageState(8)
+        pages.protect(np.array([2]), now_ns=100)
+        marked = pages.protect(np.array([2]), now_ns=500)
+        assert marked == 0
+        assert pages.scan_ts_ns[2] == 100
+
+    def test_unprotect(self):
+        pages = PageState(8)
+        pages.protect(np.array([4]), now_ns=10)
+        pages.unprotect(np.array([4]))
+        assert not pages.prot_none[4]
+        # Scan timestamp survives the fault: CIT metadata is read later.
+        assert pages.scan_ts_ns[4] == 10
+
+    def test_protected_pages(self):
+        pages = PageState(8)
+        pages.protect(np.array([0, 5, 7]), now_ns=1)
+        np.testing.assert_array_equal(pages.protected_pages(), [0, 5, 7])
+
+
+class TestResidency:
+    def test_move_to_tier(self):
+        pages = PageState(8)
+        pages.move_to_tier(np.array([0, 1]), FAST_TIER)
+        assert pages.count_in_tier(FAST_TIER) == 2
+        assert pages.count_in_tier(SLOW_TIER) == 6
+        np.testing.assert_array_equal(pages.pages_in_tier(FAST_TIER), [0, 1])
+
+    def test_fast_page_fraction(self):
+        pages = PageState(10)
+        pages.move_to_tier(np.arange(4), FAST_TIER)
+        assert pages.fast_page_fraction() == pytest.approx(0.4)
+
+
+class TestWindowCounts:
+    def test_clear(self):
+        pages = PageState(4)
+        pages.last_window_count[:] = 2.5
+        pages.clear_window_counts()
+        assert (pages.last_window_count == 0).all()
+
+    def test_repr_mentions_counts(self):
+        pages = PageState(4)
+        assert "n_pages=4" in repr(pages)

@@ -1,0 +1,77 @@
+"""Tests for SimProcess accounting."""
+
+import pytest
+
+from tests.conftest import make_process
+
+
+class TestKernelCharges:
+    def test_charge_accumulates(self, process):
+        process.charge_kernel(100.0)
+        process.charge_kernel(50.0)
+        assert process.pending_kernel_ns == 150.0
+
+    def test_negative_charge_rejected(self, process):
+        with pytest.raises(ValueError):
+            process.charge_kernel(-1.0)
+
+    def test_drain_within_budget(self, process):
+        process.charge_kernel(100.0)
+        used = process.drain_pending_kernel(budget_ns=250.0)
+        assert used == 100.0
+        assert process.pending_kernel_ns == 0.0
+        assert process.stats.kernel_time_ns == 100.0
+
+    def test_drain_clipped_by_budget(self, process):
+        process.charge_kernel(1000.0)
+        used = process.drain_pending_kernel(budget_ns=300.0)
+        assert used == 300.0
+        assert process.pending_kernel_ns == 700.0
+
+    def test_overload_carries_over_quanta(self, process):
+        """Kernel storms starve user time across multiple quanta."""
+        process.charge_kernel(250.0)
+        total = 0.0
+        for _ in range(3):
+            total += process.drain_pending_kernel(budget_ns=100.0)
+        assert total == pytest.approx(250.0)
+
+
+class TestStats:
+    def test_record_accesses(self, process):
+        process.record_accesses(
+            n_total=100.0, n_fast=60.0, user_ns=5000.0, stall_ns=100.0
+        )
+        stats = process.stats
+        assert stats.accesses == 100.0
+        assert stats.fast_accesses == 60.0
+        assert stats.slow_accesses == 40.0
+        assert stats.fast_access_ratio() == pytest.approx(0.6)
+
+    def test_fmar_zero_when_idle(self, process):
+        assert process.stats.fast_access_ratio() == 0.0
+
+    def test_throughput(self, process):
+        process.record_accesses(1000.0, 500.0, user_ns=1e9)
+        assert process.stats.throughput_per_sec() == pytest.approx(
+            1000.0
+        )
+
+    def test_throughput_zero_time(self, process):
+        assert process.stats.throughput_per_sec() == 0.0
+
+    def test_total_time_components(self, process):
+        process.record_accesses(1.0, 1.0, user_ns=10.0, stall_ns=5.0)
+        process.charge_kernel(7.0)
+        process.drain_pending_kernel(100.0)
+        assert process.stats.total_time_ns == pytest.approx(22.0)
+
+    def test_dram_page_percentage(self, process):
+        from repro.mem.tier import FAST_TIER
+        import numpy as np
+
+        process.pages.move_to_tier(np.arange(16), FAST_TIER)
+        assert process.dram_page_percentage() == pytest.approx(25.0)
+
+    def test_target_accesses_default_none(self, process):
+        assert process.target_accesses is None

@@ -1,0 +1,91 @@
+"""Tests for the workload interface and TraceWorkload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import TraceWorkload, Workload
+
+
+class TestValidation:
+    def test_rejects_empty_working_set(self):
+        with pytest.raises(ValueError):
+            TraceWorkload([(10, np.ones(0))])
+
+    def test_rejects_bad_write_fraction(self):
+        with pytest.raises(ValueError):
+            TraceWorkload([(10, np.ones(4))], write_fraction=1.5)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            TraceWorkload([(10, np.ones(4))], delay_ns_per_access=-1)
+
+
+class TestTraceWorkload:
+    def test_single_phase_is_stationary(self):
+        workload = TraceWorkload([(10, np.array([1.0, 3.0]))])
+        probs = workload.access_distribution()
+        np.testing.assert_allclose(probs, [0.25, 0.75])
+        workload.advance(1_000_000)
+        np.testing.assert_allclose(
+            workload.access_distribution(), [0.25, 0.75]
+        )
+
+    def test_phases_cycle(self):
+        workload = TraceWorkload(
+            [
+                (100, np.array([1.0, 0.0])),
+                (100, np.array([0.0, 1.0])),
+            ]
+        )
+        np.testing.assert_allclose(
+            workload.access_distribution(now_ns=50), [1.0, 0.0]
+        )
+        np.testing.assert_allclose(
+            workload.access_distribution(now_ns=150), [0.0, 1.0]
+        )
+        # Wraps around after the full cycle.
+        np.testing.assert_allclose(
+            workload.access_distribution(now_ns=250), [1.0, 0.0]
+        )
+
+    def test_advance_changes_current_phase(self):
+        workload = TraceWorkload(
+            [(100, np.array([1.0, 0.0])), (100, np.array([0.0, 1.0]))]
+        )
+        workload.advance(150)
+        np.testing.assert_allclose(
+            workload.access_distribution(), [0.0, 1.0]
+        )
+
+    def test_rejects_empty_phases(self):
+        with pytest.raises(ValueError):
+            TraceWorkload([])
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            TraceWorkload([(0, np.ones(4))])
+
+    def test_rejects_mismatched_pages(self):
+        with pytest.raises(ValueError):
+            TraceWorkload([(10, np.ones(4)), (10, np.ones(5))])
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            TraceWorkload([(10, np.zeros(4))])
+
+
+class TestHotPageMask:
+    def test_top_fraction_selected(self):
+        weights = np.array([10.0, 1.0, 1.0, 5.0])
+        workload = TraceWorkload([(10, weights)])
+        mask = workload.hot_page_mask(hot_fraction=0.5)
+        np.testing.assert_array_equal(mask, [True, False, False, True])
+
+    def test_at_least_one_hot_page(self):
+        workload = TraceWorkload([(10, np.ones(100))])
+        assert workload.hot_page_mask(hot_fraction=0.001).sum() == 1
+
+    def test_bad_fraction(self):
+        workload = TraceWorkload([(10, np.ones(4))])
+        with pytest.raises(ValueError):
+            workload.hot_page_mask(0)

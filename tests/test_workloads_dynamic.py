@@ -1,0 +1,88 @@
+"""Tests for the phase-changing workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.sim.timeunits import SECOND
+from repro.workloads.dynamic import (
+    diurnal_mix,
+    expanding_working_set,
+    shifting_hotspot,
+)
+
+
+class TestShiftingHotspot:
+    def test_hotspot_moves_between_phases(self):
+        workload = shifting_hotspot(
+            n_pages=1000, n_phases=4, phase_len_ns=SECOND
+        )
+        peaks = []
+        for phase in range(4):
+            probs = workload.access_distribution(
+                now_ns=phase * SECOND + SECOND // 2
+            )
+            peaks.append(int(np.argmax(probs)))
+        assert peaks == sorted(peaks)
+        assert peaks[0] < 250 and peaks[-1] > 750
+
+    def test_background_floor_everywhere(self):
+        workload = shifting_hotspot(n_pages=100, background_fraction=0.2)
+        assert (workload.access_distribution() > 0).all()
+
+    def test_distribution_normalized(self):
+        workload = shifting_hotspot(n_pages=500)
+        for phase in range(4):
+            probs = workload.access_distribution(
+                now_ns=phase * 20_000_000_000
+            )
+            assert probs.sum() == pytest.approx(1.0)
+
+    def test_needs_two_phases(self):
+        with pytest.raises(ValueError):
+            shifting_hotspot(n_pages=100, n_phases=1)
+
+
+class TestExpandingWorkingSet:
+    def test_footprint_grows(self):
+        workload = expanding_working_set(
+            n_pages=1000, n_phases=3, phase_len_ns=SECOND,
+            start_fraction=0.2,
+        )
+        footprints = []
+        for phase in range(3):
+            probs = workload.access_distribution(
+                now_ns=phase * SECOND + 1
+            )
+            footprints.append(int(np.count_nonzero(probs)))
+        assert footprints == sorted(footprints)
+        assert footprints[0] == 200
+        assert footprints[-1] == 1000
+
+    def test_uniform_within_footprint(self):
+        workload = expanding_working_set(n_pages=100, start_fraction=0.5)
+        probs = workload.access_distribution(now_ns=0)
+        active = probs[probs > 0]
+        np.testing.assert_allclose(active, active[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expanding_working_set(n_pages=100, n_phases=0)
+        with pytest.raises(ValueError):
+            expanding_working_set(n_pages=100, start_fraction=0)
+
+
+class TestDiurnalMix:
+    def test_two_phases_cycle(self):
+        workload = diurnal_mix(n_pages=1000, phase_len_ns=SECOND)
+        day = workload.access_distribution(now_ns=0).copy()
+        night = workload.access_distribution(now_ns=SECOND + 1)
+        assert not np.allclose(day, night)
+        again = workload.access_distribution(now_ns=2 * SECOND + 1)
+        np.testing.assert_allclose(day, again)
+
+    def test_day_front_heavy_night_back_heavy(self):
+        workload = diurnal_mix(n_pages=1000, phase_len_ns=SECOND)
+        day = workload.access_distribution(now_ns=0).copy()
+        night = workload.access_distribution(now_ns=SECOND + 1)
+        assert day[:500].sum() > day[500:].sum()
+        assert night[500:].sum() > night[:500].sum()

@@ -1,0 +1,81 @@
+"""Tests for the KV store's slab-scatter layout."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.kvstore import KVStoreWorkload, _scatter_by_slab
+
+
+class TestScatterBySlab:
+    def test_preserves_mass(self):
+        weights = np.arange(100, dtype=np.float64)
+        scattered = _scatter_by_slab(weights, slab_pages=4, seed=1)
+        assert scattered.sum() == pytest.approx(weights.sum())
+        assert scattered.size == weights.size
+
+    def test_slabs_stay_contiguous(self):
+        """Each 4-page slab appears intact somewhere in the output."""
+        weights = np.arange(32, dtype=np.float64)
+        scattered = _scatter_by_slab(weights, slab_pages=4, seed=2)
+        original_slabs = {
+            tuple(weights[i:i + 4]) for i in range(0, 32, 4)
+        }
+        scattered_slabs = {
+            tuple(scattered[i:i + 4]) for i in range(0, 32, 4)
+        }
+        assert scattered_slabs == original_slabs
+
+    def test_actually_scatters(self):
+        weights = np.arange(64, dtype=np.float64)
+        scattered = _scatter_by_slab(weights, slab_pages=4, seed=3)
+        assert not np.array_equal(scattered, weights)
+
+    def test_deterministic(self):
+        weights = np.arange(64, dtype=np.float64)
+        a = _scatter_by_slab(weights, 4, seed=5)
+        b = _scatter_by_slab(weights, 4, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_partial_tail(self):
+        weights = np.arange(10, dtype=np.float64)
+        scattered = _scatter_by_slab(weights, slab_pages=4, seed=1)
+        assert scattered.size == 10
+        assert scattered.sum() == pytest.approx(weights.sum())
+
+
+class TestFragmentedStore:
+    def test_hotness_no_longer_contiguous(self):
+        """With slab scatter, the hottest value pages spread across the
+        region instead of clustering around the Gaussian centre."""
+        contiguous = KVStoreWorkload(n_pages=800, slab_pages=0)
+        scattered = KVStoreWorkload(n_pages=800, slab_pages=4)
+
+        def hot_span(workload):
+            probs = workload.access_distribution()
+            values = probs[workload.n_index_pages:]
+            top = np.argsort(values)[::-1][:50]
+            return int(top.max() - top.min())
+
+        assert hot_span(scattered) > 2 * hot_span(contiguous)
+
+    def test_page_level_hotness_preserved(self):
+        """Scattering moves pages around; it must not flatten the
+        per-page hotness distribution itself."""
+        contiguous = KVStoreWorkload(n_pages=800, slab_pages=0)
+        scattered = KVStoreWorkload(n_pages=800, slab_pages=4)
+        a = np.sort(contiguous.access_distribution())
+        b = np.sort(scattered.access_distribution())
+        np.testing.assert_allclose(a, b, rtol=1e-9)
+
+    def test_index_region_untouched(self):
+        workload = KVStoreWorkload(
+            n_pages=800, slab_pages=4, index_traffic_share=0.3
+        )
+        probs = workload.access_distribution()
+        index = probs[: workload.n_index_pages]
+        np.testing.assert_allclose(index, index[0])
+        assert index.sum() == pytest.approx(0.3)
+
+    def test_negative_slab_rejected(self):
+        with pytest.raises(ValueError):
+            KVStoreWorkload(n_pages=100, slab_pages=-1)

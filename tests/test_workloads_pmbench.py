@@ -1,0 +1,104 @@
+"""Tests for the pmbench workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.pmbench import DELAY_UNIT_NS, PmbenchWorkload
+
+
+class TestPatterns:
+    def test_normal_peaks_at_center(self):
+        workload = PmbenchWorkload(n_pages=101, pattern="normal")
+        probs = workload.access_distribution()
+        assert probs.argmax() == 50
+        assert probs[50] > probs[0]
+
+    def test_normal_central_25_has_majority_mass(self):
+        """Sigma default puts ~68% of accesses in the central quarter --
+        the paper's hot-region construction."""
+        workload = PmbenchWorkload(n_pages=1000, pattern="normal")
+        mask = workload.center_region_mask(0.25)
+        mass = workload.access_distribution()[mask].sum()
+        assert 0.6 < mass < 0.75
+
+    def test_uniform(self):
+        workload = PmbenchWorkload(n_pages=10, pattern="uniform")
+        np.testing.assert_allclose(
+            workload.access_distribution(), np.full(10, 0.1)
+        )
+
+    def test_linear_decreasing(self):
+        workload = PmbenchWorkload(n_pages=10, pattern="linear")
+        probs = workload.access_distribution()
+        assert (np.diff(probs) < 0).all()
+
+    def test_zipf_head_heavy(self):
+        workload = PmbenchWorkload(n_pages=100, pattern="zipf")
+        probs = workload.access_distribution()
+        assert probs[0] > 10 * probs[99]
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            PmbenchWorkload(n_pages=10, pattern="nope")
+
+    def test_distribution_sums_to_one(self):
+        for pattern in PmbenchWorkload.PATTERNS:
+            workload = PmbenchWorkload(n_pages=64, pattern=pattern)
+            assert workload.access_distribution().sum() == pytest.approx(1.0)
+
+
+class TestStride:
+    def test_stride_2_skips_odd_pages(self):
+        workload = PmbenchWorkload(n_pages=10, pattern="uniform", stride=2)
+        probs = workload.access_distribution()
+        assert (probs[1::2] == 0).all()
+        assert (probs[0::2] > 0).all()
+
+    def test_stride_preserves_normalization(self):
+        workload = PmbenchWorkload(n_pages=100, pattern="normal", stride=2)
+        assert workload.access_distribution().sum() == pytest.approx(1.0)
+
+    def test_bad_stride(self):
+        with pytest.raises(ValueError):
+            PmbenchWorkload(n_pages=10, stride=0)
+
+
+class TestKnobs:
+    def test_read_write_ratio_to_write_fraction(self):
+        workload = PmbenchWorkload(n_pages=10, read_write_ratio=0.95)
+        assert workload.write_fraction == pytest.approx(0.05)
+
+    def test_bad_ratio(self):
+        with pytest.raises(ValueError):
+            PmbenchWorkload(n_pages=10, read_write_ratio=2.0)
+
+    def test_delay_units(self):
+        workload = PmbenchWorkload(n_pages=10, delay_units=3)
+        assert workload.delay_ns_per_access == pytest.approx(
+            3 * DELAY_UNIT_NS
+        )
+
+    def test_delay_unit_is_50_cycles_at_2_6_ghz(self):
+        assert DELAY_UNIT_NS == pytest.approx(19.23, abs=0.01)
+
+    def test_negative_delay(self):
+        with pytest.raises(ValueError):
+            PmbenchWorkload(n_pages=10, delay_units=-1)
+
+
+class TestHotMask:
+    def test_normal_hot_mask_is_center_region(self):
+        workload = PmbenchWorkload(n_pages=100, pattern="normal")
+        mask = workload.hot_page_mask(0.25)
+        assert mask[37:62].all()
+        assert not mask[:30].any() and not mask[70:].any()
+
+    def test_stride_excluded_from_hot_mask(self):
+        workload = PmbenchWorkload(n_pages=100, pattern="normal", stride=2)
+        mask = workload.hot_page_mask(0.25)
+        assert not mask[1::2].any()
+
+    def test_center_region_bad_fraction(self):
+        workload = PmbenchWorkload(n_pages=100)
+        with pytest.raises(ValueError):
+            workload.center_region_mask(0)

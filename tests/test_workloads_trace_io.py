@@ -1,0 +1,124 @@
+"""Tests for trace recording and replay."""
+
+import numpy as np
+import pytest
+
+from repro.harness.engine import QuantumEngine
+from repro.sim.timeunits import MILLISECOND, SECOND
+from repro.workloads.trace_io import (
+    TraceRecorder,
+    load_trace,
+    save_trace,
+)
+from tests.conftest import make_kernel, make_process
+
+
+def run_recorded(interval_ns=SECOND // 4, duration=SECOND):
+    kernel = make_kernel(fast_pages=128, slow_pages=512)
+    process = make_process(n_pages=128)
+    kernel.register_process(process)
+    kernel.allocate_initial_placement()
+    engine = QuantumEngine(kernel, quantum_ns=50 * MILLISECOND)
+    recorder = TraceRecorder(interval_ns=interval_ns)
+    engine.run(
+        duration,
+        observer=recorder.observe,
+        observe_every_ns=recorder.interval_ns,
+    )
+    return recorder, process
+
+
+class TestRecorder:
+    def test_records_windows(self):
+        recorder, process = run_recorded()
+        assert recorder.pids() == [process.pid]
+        assert recorder.n_windows(process.pid) >= 3
+
+    def test_windows_sum_to_total_traffic(self):
+        recorder, process = run_recorded()
+        windows = recorder._windows[process.pid]
+        total = sum(w.sum() for w in windows)
+        # Recorded windows cover everything up to the last observation.
+        assert total <= process.stats.accesses + 1e-6
+        assert total > 0.5 * process.stats.accesses
+
+    def test_to_workload_replays_distribution(self):
+        recorder, process = run_recorded()
+        replay = recorder.to_workload(process.pid)
+        probs = replay.access_distribution(now_ns=0)
+        assert probs.sum() == pytest.approx(1.0)
+        # The stub workload is front-loaded; the trace must be too.
+        assert probs[:32].sum() > probs[32:].sum()
+
+    def test_write_fraction_carried(self):
+        recorder, process = run_recorded()
+        replay = recorder.to_workload(process.pid)
+        assert replay.write_fraction == (
+            process.workload.write_fraction
+        )
+
+    def test_unknown_pid(self):
+        recorder, _ = run_recorded()
+        with pytest.raises(ValueError):
+            recorder.to_workload(999)
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(interval_ns=0)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        recorder, process = run_recorded()
+        path = tmp_path / "trace.npz"
+        recorder.save(path, process.pid)
+        replay = load_trace(path)
+        direct = recorder.to_workload(process.pid)
+        np.testing.assert_allclose(
+            replay.access_distribution(now_ns=0),
+            direct.access_distribution(now_ns=0),
+        )
+        assert replay.write_fraction == direct.write_fraction
+
+    def test_empty_trace_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trace(tmp_path / "x.npz", [], SECOND)
+
+    def test_zero_traffic_trace_rejected(self, tmp_path):
+        path = tmp_path / "zero.npz"
+        save_trace(path, [np.zeros(8)], SECOND)
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(99),
+            interval_ns=np.int64(1),
+            write_fraction=np.float64(0.1),
+            windows=np.ones((1, 4)),
+        )
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_replay_runs_in_engine(self, tmp_path):
+        """A loaded trace drives a fresh simulation end to end."""
+        from repro.sim.rng import RngStreams
+        from repro.vm.process import SimProcess
+
+        recorder, process = run_recorded()
+        path = tmp_path / "trace.npz"
+        recorder.save(path, process.pid)
+
+        replayed = SimProcess(
+            pid=5,
+            workload=load_trace(path),
+            rng=RngStreams(9).spawn("replay").get("access"),
+        )
+        kernel = make_kernel(fast_pages=128, slow_pages=512)
+        kernel.register_process(replayed)
+        kernel.allocate_initial_placement()
+        engine = QuantumEngine(kernel, quantum_ns=50 * MILLISECOND)
+        engine.run(SECOND)
+        assert replayed.stats.accesses > 0
