@@ -9,6 +9,13 @@ leaves a complete results dossier behind.
 
 Scale knob: set ``REPRO_BENCH_FAST=1`` to shrink durations ~4x for smoke
 runs; the default settings reproduce the calibrated figures.
+
+Sweep-layer integration: benchmarks that run independent
+``(policy x workload)`` grids go through :func:`cell_runner`, which fans
+the cells out over ``REPRO_BENCH_JOBS`` worker processes (default: one
+per core, capped) and serves unchanged cells from the on-disk result
+cache -- a repeat benchmark run with warm cache completes in seconds.
+Pass ``--no-cache`` to pytest to force recomputation.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ import pathlib
 import pytest
 
 from repro.harness.experiments import StandardSetup
+from repro.harness.sweep import default_jobs, run_cells
 from repro.sim.timeunits import SECOND
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -26,9 +34,32 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 FAST_MODE = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--no-cache",
+        action="store_true",
+        default=False,
+        help="bypass the on-disk experiment result cache",
+    )
+
+
 def bench_duration_ns(full_ns: int = 120 * SECOND) -> int:
     """Experiment duration honoring the fast-mode knob."""
     return full_ns // 4 if FAST_MODE else full_ns
+
+
+def bench_setup_kwargs(full_ns: int = 120 * SECOND) -> dict:
+    """StandardSetup overrides matching :func:`bench_duration_ns`,
+    in the declarative form sweep cells carry."""
+    return {"duration_ns": bench_duration_ns(full_ns)}
+
+
+def bench_jobs() -> int:
+    """Worker-pool size for cell grids (``REPRO_BENCH_JOBS`` override)."""
+    env = os.environ.get("REPRO_BENCH_JOBS", "")
+    if env:
+        return max(1, int(env))
+    return default_jobs()
 
 
 @pytest.fixture(scope="session")
@@ -41,6 +72,18 @@ def results_dir() -> pathlib.Path:
 def standard_setup() -> StandardSetup:
     """The calibrated testbed for the main-evaluation figures."""
     return StandardSetup(duration_ns=bench_duration_ns())
+
+
+@pytest.fixture(scope="session")
+def cell_runner(pytestconfig):
+    """Run declarative sweep cells: parallel fan-out + result cache."""
+    use_cache = not pytestconfig.getoption("--no-cache")
+    jobs = bench_jobs()
+
+    def _run(cells, jobs=jobs, use_cache=use_cache):
+        return run_cells(cells, jobs=jobs, use_cache=use_cache)
+
+    return _run
 
 
 @pytest.fixture

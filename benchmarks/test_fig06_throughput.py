@@ -6,6 +6,10 @@ working sets -- all scaled to the simulator's standard testbed while
 preserving the fast-tier : working-set ratios.  Four R/W mixes each
 (95:5, 70:30, 30:70, 5:95), normalized to Linux-NB.
 
+The 24 cells of a panel are independent, so the panel runs through the
+sweep layer: fanned out over worker processes and served from the result
+cache on repeat runs.
+
 Expected shape: Chrono on top at every mix, with its margin growing as
 writes increase (Optane's asymmetric write bandwidth); the page-fault
 methods (Linux-NB / AutoTiering / TPP) trail the sampling / access-bit
@@ -14,11 +18,10 @@ methods (Memtis / Multi-Clock).
 
 import pytest
 
-from benchmarks.conftest import run_once, shape_assert
+from benchmarks.conftest import bench_setup_kwargs, run_once, shape_assert
 from repro.harness.experiments import (
     EVALUATED_POLICIES,
-    pmbench_processes,
-    run_policy_comparison,
+    policy_comparison_cells,
 )
 from repro.harness.reporting import format_table
 
@@ -33,23 +36,37 @@ PANELS = {
 }
 
 
-def run_panel(setup, n_procs, pages_per_proc):
-    panel = {}
+def panel_cells(n_procs, pages_per_proc):
+    """The panel's (policy x R/W ratio) grid as declarative cells."""
+    cells = []
     for ratio in RW_RATIOS:
-        results = run_policy_comparison(
-            setup,
-            lambda: pmbench_processes(
-                setup,
-                n_procs=n_procs,
-                pages_per_proc=pages_per_proc,
-                read_write_ratio=ratio,
-            ),
-            policies=EVALUATED_POLICIES,
+        cells.extend(
+            policy_comparison_cells(
+                "pmbench",
+                policies=EVALUATED_POLICIES,
+                workload_kwargs=dict(
+                    n_procs=n_procs,
+                    pages_per_proc=pages_per_proc,
+                    read_write_ratio=ratio,
+                ),
+                setup_kwargs=bench_setup_kwargs(),
+            )
         )
+    return cells
+
+
+def run_panel(cell_runner, n_procs, pages_per_proc):
+    cells = panel_cells(n_procs, pages_per_proc)
+    summaries = cell_runner(cells)
+    panel = {}
+    n_policies = len(EVALUATED_POLICIES)
+    for index, ratio in enumerate(RW_RATIOS):
+        chunk = summaries[index * n_policies:(index + 1) * n_policies]
+        results = dict(zip(EVALUATED_POLICIES, chunk))
         base = results["linux-nb"].throughput_per_sec
         panel[ratio] = {
-            name: result.throughput_per_sec / base
-            for name, result in results.items()
+            name: summary.throughput_per_sec / base
+            for name, summary in results.items()
         }
     return panel
 
@@ -70,11 +87,11 @@ def render_panel(name, panel):
 
 @pytest.mark.parametrize("panel_name", list(PANELS))
 def test_fig06_throughput(
-    benchmark, standard_setup, record_figure, panel_name
+    benchmark, cell_runner, record_figure, panel_name
 ):
     n_procs, pages = PANELS[panel_name]
     panel = run_once(
-        benchmark, run_panel, standard_setup, n_procs, pages
+        benchmark, run_panel, cell_runner, n_procs, pages
     )
     record_figure(panel_name, render_panel(panel_name, panel))
 

@@ -9,8 +9,6 @@ for its overlap identification.
 Run:  python examples/parameter_tuning.py
 """
 
-import numpy as np
-
 from repro.analysis.plots import sparkline
 from repro.harness.experiments import (
     StandardSetup,

@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Engine hot-path benchmark: quanta/sec and cells/sec, before/after.
+
+Runs the standard pmbench workload under one policy twice -- once with
+the engine's optimized pricing path (cached tier masses, per-quantum
+contention vector, preallocated buffers) and once with the reference
+per-page path (``fast_path=False``, the pre-optimization behaviour) --
+and reports simulated quanta per second of host wall time for both,
+plus the cold-cache cells/sec of a small sweep grid and the profiled
+subsystem shares.
+
+Writes ``BENCH_engine.json`` (override with ``--out``) so CI can track
+the perf trajectory.  CI-compatible: pure stdlib + the package itself,
+runs in well under a minute at the default scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.harness.experiments import (  # noqa: E402
+    StandardSetup,
+    build_fleet,
+)
+from repro.harness.runner import run_experiment  # noqa: E402
+from repro.harness.sweep import SweepCell, run_cells  # noqa: E402
+from repro.sim.timeunits import SECOND  # noqa: E402
+
+
+def time_engine(setup, policy_name, workload_kwargs, fast_path, profile):
+    policy = setup.build_policy(policy_name)
+    processes = build_fleet(setup, "pmbench", **workload_kwargs)
+    start = time.perf_counter()
+    result = run_experiment(
+        processes,
+        policy,
+        setup.run_config(),
+        fast_path=fast_path,
+        profile=profile,
+    )
+    wall = time.perf_counter() - start
+    quanta = result.engine.quanta_run
+    return {
+        "wall_sec": wall,
+        "quanta": quanta,
+        "quanta_per_sec": quanta / wall if wall else 0.0,
+        "throughput_per_sec": result.throughput_per_sec,
+        "fmar": result.fmar,
+        "profile": result.profile,
+    }
+
+
+def time_sweep(duration_ns, workload_kwargs, policies, jobs):
+    cells = [
+        SweepCell(
+            policy=name,
+            workload="pmbench",
+            workload_kwargs=dict(workload_kwargs),
+            setup_kwargs={"duration_ns": duration_ns},
+        )
+        for name in policies
+    ]
+    start = time.perf_counter()
+    run_cells(cells, jobs=jobs, use_cache=False)
+    wall = time.perf_counter() - start
+    return {
+        "cells": len(cells),
+        "jobs": jobs,
+        "wall_sec": wall,
+        "cells_per_sec": len(cells) / wall if wall else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--duration", type=float, default=20.0,
+        help="simulated seconds per run (default: 20)",
+    )
+    parser.add_argument(
+        "--policy", default="chrono",
+        help="policy for the engine timing runs (default: chrono)",
+    )
+    parser.add_argument("--procs", type=int, default=8)
+    parser.add_argument("--pages", type=int, default=4_096)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker pool size for the sweep-grid timing (default: 1)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_engine.json",
+        help="output JSON path (default: BENCH_engine.json)",
+    )
+    args = parser.parse_args(argv)
+
+    duration_ns = int(args.duration * SECOND)
+    setup = StandardSetup(duration_ns=duration_ns)
+    workload_kwargs = dict(
+        n_procs=args.procs, pages_per_proc=args.pages
+    )
+
+    print(
+        f"engine benchmark: {args.policy}, pmbench x{args.procs}, "
+        f"{args.duration:.0f}s simulated"
+    )
+    naive = time_engine(
+        setup, args.policy, workload_kwargs,
+        fast_path=False, profile=False,
+    )
+    print(
+        f"  before (per-page path): {naive['quanta_per_sec']:8.1f} "
+        f"quanta/sec  ({naive['wall_sec']:.2f}s wall)"
+    )
+    optimized = time_engine(
+        setup, args.policy, workload_kwargs,
+        fast_path=True, profile=True,
+    )
+    print(
+        f"  after  (cached masses): {optimized['quanta_per_sec']:8.1f} "
+        f"quanta/sec  ({optimized['wall_sec']:.2f}s wall)"
+    )
+    speedup = (
+        optimized["quanta_per_sec"] / naive["quanta_per_sec"]
+        if naive["quanta_per_sec"]
+        else 0.0
+    )
+    print(f"  speedup: {speedup:.2f}x")
+
+    sweep = time_sweep(
+        duration_ns // 2,
+        workload_kwargs,
+        ("linux-nb", "tpp", "memtis", "chrono"),
+        jobs=args.jobs,
+    )
+    print(
+        f"  sweep grid: {sweep['cells']} cells in "
+        f"{sweep['wall_sec']:.2f}s "
+        f"({sweep['cells_per_sec']:.2f} cells/sec, "
+        f"jobs={sweep['jobs']})"
+    )
+
+    payload = {
+        "config": {
+            "policy": args.policy,
+            "workload": "pmbench",
+            "n_procs": args.procs,
+            "pages_per_proc": args.pages,
+            "duration_sec": args.duration,
+        },
+        "before": {
+            k: naive[k]
+            for k in ("wall_sec", "quanta", "quanta_per_sec")
+        },
+        "after": {
+            k: optimized[k]
+            for k in ("wall_sec", "quanta", "quanta_per_sec")
+        },
+        "speedup": speedup,
+        "sweep": sweep,
+        "profile": optimized["profile"],
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"  wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,11 +6,17 @@ hint-faulted access).  :class:`LatencyMixture` accumulates these weighted
 latency points and answers mean/median/P99 queries exactly over the
 discrete mixture -- no sampling noise, and the CDF steps land at the class
 latencies just like the paper's Figure 7a staircase.
+
+The mixture is written once per latency class per quantum (hot path) and
+read a handful of times at the end of a run, so writes are cheap dict
+accumulations with a bulk :meth:`add_many` entry point, while the sorted
+array views the statistics need are built lazily and cached until the
+next write invalidates them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -20,6 +26,10 @@ class LatencyMixture:
 
     def __init__(self) -> None:
         self._mass: Dict[int, float] = {}
+        #: cached (latencies, counts) sorted views; rebuilt lazily and
+        #: dropped on any write (add/add_many/merge)
+        self._views: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._total: float = 0.0
 
     def add(self, latency_ns: float, count: float) -> None:
         """Account ``count`` accesses completing at ``latency_ns``."""
@@ -31,24 +41,65 @@ class LatencyMixture:
             return
         key = int(round(latency_ns))
         self._mass[key] = self._mass.get(key, 0.0) + float(count)
+        self._total += float(count)
+        self._views = None
+
+    def add_many(
+        self, latencies_ns: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Bulk-account a batch of latency classes.
+
+        ``latencies_ns`` and ``counts`` are parallel arrays; zero-count
+        classes are skipped (they must not create empty CDF steps).  The
+        batch is validated vectorised, then folded in array order so the
+        accumulation matches an equivalent sequence of :meth:`add` calls
+        bit for bit.
+        """
+        latencies_ns = np.asarray(latencies_ns, dtype=np.float64)
+        counts = np.asarray(counts, dtype=np.float64)
+        if latencies_ns.shape != counts.shape:
+            raise ValueError("latencies and counts must be parallel")
+        if counts.size == 0:
+            return
+        if np.any(counts < 0):
+            raise ValueError("count cannot be negative")
+        if np.any(latencies_ns < 0):
+            raise ValueError("latency cannot be negative")
+        nonzero = counts > 0
+        if not np.any(nonzero):
+            return
+        mass = self._mass
+        for latency, count in zip(
+            latencies_ns[nonzero], counts[nonzero]
+        ):
+            key = int(round(latency))
+            mass[key] = mass.get(key, 0.0) + float(count)
+            self._total += float(count)
+        self._views = None
 
     def merge(self, other: "LatencyMixture") -> None:
         """Fold another mixture into this one."""
         for latency, count in other._mass.items():
             self._mass[latency] = self._mass.get(latency, 0.0) + count
+            self._total += count
+        self._views = None
 
     @property
     def total(self) -> float:
-        return sum(self._mass.values())
+        return self._total
 
     def _sorted(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._views is not None:
+            return self._views
         if not self._mass:
             raise ValueError("empty latency mixture")
         latencies = np.array(sorted(self._mass), dtype=np.float64)
         counts = np.array(
-            [self._mass[int(l)] for l in latencies], dtype=np.float64
+            [self._mass[int(lat)] for lat in latencies],
+            dtype=np.float64,
         )
-        return latencies, counts
+        self._views = (latencies, counts)
+        return self._views
 
     def mean(self) -> float:
         latencies, counts = self._sorted()

@@ -1,11 +1,15 @@
 """Command-line interface: ``chrono-sim``.
 
-Four subcommands:
+Five subcommands:
 
 * ``chrono-sim run`` -- one experiment (policy x workload), printing the
-  headline metrics (optionally as JSON).
+  headline metrics (optionally as JSON), with ``--profile`` adding
+  per-subsystem wall-time shares.
 * ``chrono-sim compare`` -- several policies on identical fleets,
-  printing the paper-style normalized tables.
+  printing the paper-style normalized tables; ``--jobs N`` fans the
+  policies out over a worker pool through the sweep layer.
+* ``chrono-sim sweep`` -- a (policy x seed) grid through the parallel
+  sweep layer with result caching.
 * ``chrono-sim policies`` -- the available tiering systems and the
   Table 1 characteristics.
 * ``chrono-sim defaults`` -- Chrono's Table 2 parameter defaults.
@@ -21,26 +25,24 @@ from typing import List, Optional
 from repro.harness.experiments import (
     EVALUATED_POLICIES,
     StandardSetup,
-    graph500_processes,
-    kvstore_processes,
-    pmbench_processes,
-    run_policy_comparison,
+    build_fleet,
+    policy_comparison_cells,
+    sweep_policy_comparison,
 )
 from repro.harness.reporting import (
     attribution_table,
+    format_table,
     latency_table,
     throughput_table,
 )
 from repro.harness.runner import run_experiment
+from repro.harness.sweep import default_jobs, run_cells
 from repro.policies.registry import (
     characteristics_table,
     make_policy,
     policy_names,
 )
-from repro.sim.rng import RngStreams
 from repro.sim.timeunits import SECOND
-from repro.vm.process import SimProcess
-from repro.workloads.dynamic import shifting_hotspot
 
 WORKLOADS = (
     "pmbench", "graph500", "memcached", "redis", "shifting-hotspot",
@@ -67,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit machine-readable JSON instead of a table",
     )
+    run_p.add_argument(
+        "--profile", action="store_true",
+        help="report per-subsystem wall-time shares",
+    )
 
     cmp_p = sub.add_parser(
         "compare", help="run several policies on identical fleets"
@@ -81,6 +87,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", default="linux-nb",
         help="normalization baseline (default: linux-nb)",
     )
+    _add_sweep_args(cmp_p)
+    cmp_p.add_argument(
+        "--profile", action="store_true",
+        help="append per-policy subsystem wall-time shares",
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a (policy x seed) grid through the parallel sweep "
+        "layer with result caching",
+    )
+    _add_machine_args(sweep_p)
+    sweep_p.add_argument(
+        "--policies", nargs="+", default=list(EVALUATED_POLICIES),
+        choices=policy_names(), metavar="POLICY",
+        help="policies to sweep (default: the paper's six)",
+    )
+    sweep_p.add_argument(
+        "--seeds", type=int, nargs="+", default=[0], metavar="SEED",
+        help="seeds to sweep (default: 0)",
+    )
+    sweep_p.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of a table",
+    )
+    _add_sweep_args(sweep_p)
 
     sub.add_parser("policies", help="list policies and Table 1")
     sub.add_parser("defaults", help="print Chrono's Table 2 defaults")
@@ -110,6 +142,30 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                         help="root RNG seed (default: 0)")
 
 
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            "must be >= 0 (0 picks one worker per core)"
+        )
+    return jobs
+
+
+def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N",
+        help=(
+            "worker processes for the experiment grid "
+            f"(default: 1; this host would use {default_jobs()} "
+            "with --jobs 0)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache",
+    )
+
+
 def _setup_from_args(args) -> StandardSetup:
     return StandardSetup(
         fast_pages=args.fast_pages,
@@ -120,51 +176,36 @@ def _setup_from_args(args) -> StandardSetup:
     )
 
 
-def _fleet_factory(setup: StandardSetup, args):
-    workload = args.workload
-    if workload == "pmbench":
-        return lambda: pmbench_processes(
-            setup,
-            n_procs=args.procs,
-            pages_per_proc=args.pages,
-            read_write_ratio=args.rw_ratio,
-        )
-    if workload == "graph500":
-        return lambda: graph500_processes(
-            setup, n_procs=args.procs, pages_per_proc=args.pages
-        )
-    if workload in ("memcached", "redis"):
-        return lambda: kvstore_processes(
-            setup,
-            flavor=workload,
-            n_procs=args.procs,
-            pages_per_proc=args.pages,
-        )
-    if workload == "shifting-hotspot":
+def _setup_kwargs(args) -> dict:
+    """StandardSetup overrides for declarative sweep cells (sans seed)."""
+    return dict(
+        fast_pages=args.fast_pages,
+        slow_pages=args.slow_pages,
+        page_scale=args.page_scale,
+        duration_ns=int(args.duration * SECOND),
+    )
 
-        def build():
-            streams = RngStreams(setup.seed)
-            return [
-                SimProcess(
-                    pid=pid,
-                    workload=shifting_hotspot(
-                        n_pages=args.pages,
-                        phase_len_ns=setup.duration_ns // 2,
-                    ),
-                    rng=streams.spawn(f"shift-{pid}").get("access"),
-                )
-                for pid in range(args.procs)
-            ]
 
-        return build
-    raise ValueError(f"unknown workload {workload!r}")
+def _workload_kwargs(args) -> dict:
+    kwargs = dict(n_procs=args.procs, pages_per_proc=args.pages)
+    if args.workload == "pmbench":
+        kwargs["read_write_ratio"] = args.rw_ratio
+    return kwargs
+
+
+def _resolve_jobs(jobs: int) -> int:
+    return default_jobs() if jobs == 0 else jobs
 
 
 def cmd_run(args) -> int:
     setup = _setup_from_args(args)
-    fleet = _fleet_factory(setup, args)
     policy = setup.build_policy(args.policy)
-    result = run_experiment(fleet(), policy, setup.run_config())
+    processes = build_fleet(
+        setup, args.workload, **_workload_kwargs(args)
+    )
+    result = run_experiment(
+        processes, policy, setup.run_config(), profile=args.profile
+    )
     if args.json:
         payload = {
             "policy": result.policy_name,
@@ -179,6 +220,8 @@ def cmd_run(args) -> int:
             ),
             "counters": result.stats,
         }
+        if args.profile:
+            payload["profile"] = result.profile
         print(json.dumps(payload, indent=2))
     else:
         print(f"policy            {result.policy_name}")
@@ -203,12 +246,22 @@ def cmd_run(args) -> int:
             f"promoted/demoted  {result.stats['pgpromote']:.0f} / "
             f"{result.stats['pgdemote']:.0f} pages"
         )
+        if args.profile and result.profile:
+            print()
+            print("wall-time profile")
+            print(_profile_table(result.profile))
     return 0
 
 
+def _profile_table(profile: dict) -> str:
+    rows = [
+        [name, row["seconds"], 100.0 * row["share"]]
+        for name, row in profile.items()
+    ]
+    return format_table(["subsystem", "seconds", "share %"], rows)
+
+
 def cmd_compare(args) -> int:
-    setup = _setup_from_args(args)
-    fleet = _fleet_factory(setup, args)
     if args.baseline not in args.policies:
         print(
             f"error: baseline {args.baseline!r} must be among the "
@@ -216,8 +269,15 @@ def cmd_compare(args) -> int:
             file=sys.stderr,
         )
         return 2
-    results = run_policy_comparison(
-        setup, fleet, policies=args.policies
+    results = sweep_policy_comparison(
+        args.workload,
+        policies=args.policies,
+        jobs=_resolve_jobs(args.jobs),
+        use_cache=not args.no_cache,
+        profile=args.profile,
+        seed=args.seed,
+        workload_kwargs=_workload_kwargs(args),
+        setup_kwargs=_setup_kwargs(args),
     )
     title = (
         f"{args.workload}, {args.procs} procs x {args.pages} pages, "
@@ -228,6 +288,67 @@ def cmd_compare(args) -> int:
     print(latency_table(results, "Latency", baseline=args.baseline))
     print()
     print(attribution_table(results, "Run-time characteristics"))
+    if args.profile:
+        for name, summary in results.items():
+            if not summary.profile:
+                continue
+            print()
+            print(f"wall-time profile: {name}")
+            print(_profile_table(summary.profile))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    cells = []
+    for seed in args.seeds:
+        cells.extend(
+            policy_comparison_cells(
+                args.workload,
+                policies=args.policies,
+                seed=seed,
+                workload_kwargs=_workload_kwargs(args),
+                setup_kwargs=_setup_kwargs(args),
+            )
+        )
+    summaries = run_cells(
+        cells,
+        jobs=_resolve_jobs(args.jobs),
+        use_cache=not args.no_cache,
+    )
+    if args.json:
+        payload = [
+            {
+                "policy": cell.policy,
+                "workload": cell.workload,
+                "seed": cell.seed,
+                "cached": summary.cached,
+                **summary.to_dict(),
+            }
+            for cell, summary in zip(cells, summaries)
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = [
+        [
+            cell.policy,
+            cell.seed,
+            summary.throughput_per_sec,
+            100.0 * summary.fmar,
+            summary.latency_summary["p99"],
+            "hit" if summary.cached else "run",
+        ]
+        for cell, summary in zip(cells, summaries)
+    ]
+    print(
+        format_table(
+            ["policy", "seed", "ops/sec", "FMAR %", "p99 ns", "cache"],
+            rows,
+            title=(
+                f"{args.workload} sweep: {len(cells)} cells, "
+                f"jobs={_resolve_jobs(args.jobs)}"
+            ),
+        )
+    )
     return 0
 
 
@@ -252,6 +373,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "run": cmd_run,
         "compare": cmd_compare,
+        "sweep": cmd_sweep,
         "policies": cmd_policies,
         "defaults": cmd_defaults,
     }

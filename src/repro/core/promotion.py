@@ -9,8 +9,8 @@ monitor can compare thrash events against the promotion volume.
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
-from typing import Deque, Dict, List, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Tuple
 
 import numpy as np
 

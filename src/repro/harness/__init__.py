@@ -6,11 +6,35 @@
   timer queue.
 * :mod:`repro.harness.runner` -- one-call experiment runner producing a
   :class:`RunResult` with every metric the paper's figures need.
+* :mod:`repro.harness.sweep` -- declarative experiment cells with
+  process-pool fan-out (``run_cells(cells, jobs=N)``).
+* :mod:`repro.harness.cache` -- on-disk result cache keyed by a content
+  hash of (cell description, code version).
+* :mod:`repro.harness.profiling` -- per-subsystem wall-time shares
+  (scan / fault / migrate / policy / engine).
 * :mod:`repro.harness.reporting` -- plain-text tables in the shape of the
   paper's figures.
 """
 
+from repro.harness.cache import ResultCache
 from repro.harness.engine import QuantumEngine
-from repro.harness.runner import RunConfig, RunResult, run_experiment
+from repro.harness.profiling import Profiler
+from repro.harness.runner import (
+    RunConfig,
+    RunResult,
+    RunSummary,
+    run_experiment,
+)
+from repro.harness.sweep import SweepCell, run_cells
 
-__all__ = ["QuantumEngine", "RunConfig", "RunResult", "run_experiment"]
+__all__ = [
+    "Profiler",
+    "QuantumEngine",
+    "ResultCache",
+    "RunConfig",
+    "RunResult",
+    "RunSummary",
+    "SweepCell",
+    "run_cells",
+    "run_experiment",
+]

@@ -1,0 +1,149 @@
+"""On-disk experiment result cache.
+
+The evaluation grid is a set of independent ``(policy x workload x seed)``
+cells; a cell's outcome is fully determined by its declarative description
+plus the simulator code, so an unchanged cell never needs recomputing.
+:class:`ResultCache` stores :class:`~repro.harness.runner.RunSummary`
+payloads keyed by a content hash of
+
+* the cell description (policy name + params, workload name + params,
+  setup/config overrides, seed), canonically JSON-encoded, and
+* a fingerprint of the ``repro`` source tree (any code change invalidates
+  every cached cell).
+
+Controls:
+
+* ``CHRONO_CACHE_DIR`` -- cache directory (default
+  ``~/.cache/chrono-sim``).
+* ``CHRONO_NO_CACHE=1`` -- disable the cache globally (the CLI's
+  ``--no-cache`` and the benchmark suite's ``--no-cache`` flag map to
+  the same switch).
+
+Robustness: entries are written atomically (tmp file + rename) and any
+unreadable/corrupt entry is treated as a miss, so a truncated cache file
+degrades to a recompute, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Mapping, Optional
+
+from repro.harness.runner import RunSummary
+
+#: cache-format version; bump to orphan old entries wholesale
+CACHE_FORMAT: int = 1
+
+_code_fingerprint: Optional[str] = None
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The cache directory honouring ``CHRONO_CACHE_DIR``."""
+    env = os.environ.get("CHRONO_CACHE_DIR", "")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "chrono-sim"
+
+
+def cache_disabled_by_env() -> bool:
+    return os.environ.get("CHRONO_NO_CACHE", "") not in ("", "0")
+
+
+def code_fingerprint() -> str:
+    """A digest of every ``repro`` source file.
+
+    Computed once per process; any change to the simulator invalidates
+    every cached result, which keeps "same key" equivalent to "same
+    bits out".
+    """
+    global _code_fingerprint
+    if _code_fingerprint is not None:
+        return _code_fingerprint
+    package_root = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(path.read_bytes())
+    _code_fingerprint = digest.hexdigest()
+    return _code_fingerprint
+
+
+def _canonical(value: Any) -> Any:
+    """Restrict keys to JSON-stable primitives (sorted, no NaN)."""
+    return json.dumps(value, sort_keys=True, allow_nan=False)
+
+
+def content_key(description: Mapping[str, Any]) -> str:
+    """The cache key for a declarative cell description."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "code": code_fingerprint(),
+        "cell": description,
+    }
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of run summaries."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        self.directory = pathlib.Path(directory or default_cache_dir())
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunSummary]:
+        """The cached summary for ``key``, or ``None`` on miss.
+
+        Corrupt or truncated entries are misses.
+        """
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+            summary = RunSummary.from_dict(data["summary"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        summary.cached = True
+        return summary
+
+    def put(self, key: str, summary: RunSummary) -> None:
+        """Store a summary; failures to write are silently ignored
+        (a read-only cache directory must not fail the experiment)."""
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            payload = json.dumps(
+                {"format": CACHE_FORMAT, "summary": summary.to_dict()},
+                sort_keys=True,
+            )
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -20,6 +20,20 @@ Between quanta the kernel timer queue fires scan events, reclaim passes,
 LRU aging, and policy daemons.  This design makes a run with hundreds of
 thousands of pages cost O(pages) numpy work per quantum while preserving
 the per-page fault/CIT statistics of an access-by-access simulation.
+
+Hot-path structure: the expensive O(pages) pricing work -- per-page
+latency gathers and the probability-mass-per-tier reduction -- collapses
+to O(tiers) once the mass each tier serves is known, and that mass only
+changes when the placement changes (a migration bumps
+``PageState.epoch``) or the workload rotates its distribution (phase
+changes swap in a *new* probability array; distributions are treated as
+immutable, per the :mod:`repro.workloads.base` contract).  The engine
+therefore caches per-process tier masses keyed on
+``(id(probs), pages.epoch)``, computes the contention-multiplier vector
+once per quantum instead of per process, and reuses preallocated
+per-process buffers for the ground-truth accounting.  Pass
+``fast_path=False`` to force the original per-page recomputation every
+quantum (used by ``scripts/bench_engine.py`` to measure the win).
 """
 
 from __future__ import annotations
@@ -39,6 +53,21 @@ from repro.vm.process import SimProcess
 Observer = Callable[["QuantumEngine", int], None]
 
 
+class _ProcessBuffers:
+    """Preallocated per-process scratch state for the quantum hot path."""
+
+    __slots__ = ("count_buf", "mass_probs", "mass_epoch", "tier_mass")
+
+    def __init__(self, n_pages: int) -> None:
+        self.count_buf = np.empty(n_pages, dtype=np.float64)
+        #: cache key for ``tier_mass``: the workload's probability array
+        #: (held by reference, so a freed array's address cannot alias a
+        #: new distribution) plus the placement epoch at computation time
+        self.mass_probs: Optional[np.ndarray] = None
+        self.mass_epoch: int = -1
+        self.tier_mass: Optional[np.ndarray] = None
+
+
 class QuantumEngine:
     """Advances processes and kernel daemons through simulated time."""
 
@@ -46,14 +75,21 @@ class QuantumEngine:
         self,
         kernel: Kernel,
         quantum_ns: int = 50 * MILLISECOND,
+        fast_path: bool = True,
     ) -> None:
         if quantum_ns <= 0:
             raise ValueError("quantum must be positive")
         self.kernel = kernel
         self.quantum_ns = int(quantum_ns)
+        self.fast_path = bool(fast_path)
         self.latency = LatencyMixture()
         self.latency_by_pid: Dict[int, LatencyMixture] = {}
         self._prev_demand_bytes_per_sec = np.zeros(kernel.machine.n_tiers)
+        self._multipliers = np.ones(kernel.machine.n_tiers)
+        self._buffers: Dict[int, _ProcessBuffers] = {}
+        # Small per-quantum scratch vectors (O(tiers)).
+        n_tiers = kernel.machine.n_tiers
+        self._per_tier_latency = np.empty(n_tiers, dtype=np.float64)
         self.quanta_run = 0
 
     # ------------------------------------------------------------------
@@ -75,30 +111,76 @@ class QuantumEngine:
             raise ValueError("duration must be positive")
         self.kernel.start()
         clock = self.kernel.clock
-        end_ns = clock.now + duration_ns
-        next_observe = clock.now
-        while clock.now < end_ns:
-            start = clock.now
-            quantum = min(self.quantum_ns, end_ns - start)
-            demand = np.zeros(self.kernel.machine.n_tiers)
-            for process in self.kernel.processes:
-                demand += self.run_quantum(process, start, quantum)
-            # Fold migration traffic into the demand picture.
-            for tier in self.kernel.machine.tiers:
-                demand[tier.tier_id] += tier.consume_migration_bytes()
-            self._prev_demand_bytes_per_sec = demand / (quantum / 1e9)
-            self.kernel.advance_to(start + quantum)
-            self.quanta_run += 1
-            if observer is not None and clock.now >= next_observe:
-                observer(self, clock.now)
-                next_observe = clock.now + (observe_every_ns or 0)
-            if stop_when_finished and all(
-                p.finished for p in self.kernel.processes
-            ):
-                break
-        return clock.now
+        profiler = self.kernel.profiler
+        if profiler is not None:
+            profiler.push("engine")
+        try:
+            end_ns = clock.now + duration_ns
+            next_observe = clock.now
+            while clock.now < end_ns:
+                start = clock.now
+                quantum = min(self.quantum_ns, end_ns - start)
+                # All processes price this quantum against the same
+                # previous-quantum demand: compute the contention vector
+                # once here instead of per process.
+                self._multipliers = (
+                    self.kernel.machine.contention_multipliers(
+                        self._prev_demand_bytes_per_sec
+                    )
+                )
+                demand = np.zeros(self.kernel.machine.n_tiers)
+                for process in self.kernel.processes:
+                    demand += self.run_quantum(process, start, quantum)
+                # Fold migration traffic into the demand picture.
+                for tier in self.kernel.machine.tiers:
+                    demand[tier.tier_id] += tier.consume_migration_bytes()
+                self._prev_demand_bytes_per_sec = demand / (quantum / 1e9)
+                self.kernel.advance_to(start + quantum)
+                self.quanta_run += 1
+                if observer is not None and clock.now >= next_observe:
+                    observer(self, clock.now)
+                    next_observe = clock.now + (observe_every_ns or 0)
+                if stop_when_finished and all(
+                    p.finished for p in self.kernel.processes
+                ):
+                    break
+            return clock.now
+        finally:
+            if profiler is not None:
+                profiler.pop()
 
     # ------------------------------------------------------------------
+    def _tier_mass(
+        self, process: SimProcess, probs: np.ndarray
+    ) -> np.ndarray:
+        """Probability mass served by each tier, cached across quanta.
+
+        ``tier_mass[t] = sum(probs[i] for pages i resident on tier t)``.
+        The reduction is O(pages); the result only changes when a
+        migration moves pages (``pages.epoch``) or the workload swaps in
+        a new distribution array, so it is reused until either happens.
+        """
+        pages = process.pages
+        buffers = self._buffers.get(process.pid)
+        if buffers is None:
+            buffers = _ProcessBuffers(pages.n_pages)
+            self._buffers[process.pid] = buffers
+        if (
+            self.fast_path
+            and buffers.mass_probs is probs
+            and buffers.mass_epoch == pages.epoch
+        ):
+            return buffers.tier_mass
+        tier_mass = np.bincount(
+            pages.tier.astype(np.int64),
+            weights=probs,
+            minlength=self.kernel.machine.n_tiers,
+        )
+        buffers.mass_probs = probs
+        buffers.mass_epoch = pages.epoch
+        buffers.tier_mass = tier_mass
+        return tier_mass
+
     def run_quantum(
         self, process: SimProcess, start_ns: int, quantum_ns: int
     ) -> np.ndarray:
@@ -114,31 +196,43 @@ class QuantumEngine:
         probs = workload.access_distribution()
         pages = process.pages
         write_fraction = workload.write_fraction
+        multipliers = self._multipliers
 
         # Price the access mix against current placement + contention.
-        multipliers = np.array(
-            [
-                machine.contention_multiplier(
-                    t, float(self._prev_demand_bytes_per_sec[t])
-                )
-                for t in range(n_tiers)
-            ]
-        )
-        tier_idx = pages.tier
-        per_page_latency = (
-            (1.0 - write_fraction) * machine.read_latency_ns[tier_idx]
-            + write_fraction * machine.write_latency_ns[tier_idx]
-        ) * multipliers[tier_idx]
-        mean_latency = float(probs @ per_page_latency)
+        # Every page on a tier shares the tier's latency, so the O(pages)
+        # dot product ``probs @ per_page_latency`` reduces to an O(tiers)
+        # product against the per-tier probability mass.
+        pricing_mass = self._tier_mass(process, probs)
+        if self.fast_path:
+            per_tier = self._per_tier_latency
+            np.multiply(
+                machine.read_latency_ns, 1.0 - write_fraction, out=per_tier
+            )
+            per_tier += write_fraction * machine.write_latency_ns
+            per_tier *= multipliers
+            mean_latency = float(pricing_mass @ per_tier)
+        else:
+            # Reference path: rebuild the per-page latency vector from
+            # scratch, exactly as the pre-optimization engine did.
+            tier_idx = pages.tier
+            per_page_latency = (
+                (1.0 - write_fraction) * machine.read_latency_ns[tier_idx]
+                + write_fraction * machine.write_latency_ns[tier_idx]
+            ) * multipliers[tier_idx]
+            mean_latency = float(probs @ per_page_latency)
 
         kernel_used = process.drain_pending_kernel(quantum_ns)
         budget = quantum_ns - kernel_used
         per_access_cost = mean_latency + workload.delay_ns_per_access
         n_accesses = max(budget, 0.0) / per_access_cost
 
-        # Hint faults on protected pages touched this quantum.
+        # Hint faults on protected pages touched this quantum.  The
+        # maintained protected-page counter makes the common no-scan case
+        # free instead of an O(pages) flatnonzero.
         n_faults = 0
-        if n_accesses > 0:
+        if n_accesses > 0 and (
+            pages.n_protected > 0 or not self.fast_path
+        ):
             protected = pages.protected_pages()
             if protected.size:
                 lam = n_accesses * probs[protected]
@@ -158,14 +252,18 @@ class QuantumEngine:
                     n_faults = batch.n_faults
                     self.kernel.deliver_faults(process, batch)
 
-        # Ground-truth accounting.
-        expected_counts = n_accesses * probs
-        pages.access_count += expected_counts
-        pages.last_window_count += expected_counts
+        # Accounting runs against the *post-fault* placement: fault-path
+        # promotions (Linux-NB, TPP, AutoTiering) bumped the placement
+        # epoch, so this re-lookup recomputes the mass only when pages
+        # actually moved this quantum.
+        tier_mass = self._tier_mass(process, probs)
 
-        tier_mass = np.bincount(
-            tier_idx.astype(np.int64), weights=probs, minlength=n_tiers
-        )
+        # Ground-truth accounting, through the preallocated buffer.
+        count_buf = self._buffers[process.pid].count_buf
+        np.multiply(probs, n_accesses, out=count_buf)
+        pages.access_count += count_buf
+        pages.last_window_count += count_buf
+
         fast_accesses = n_accesses * float(tier_mass[FAST_TIER])
         process.record_accesses(
             n_total=n_accesses,
@@ -185,9 +283,16 @@ class QuantumEngine:
 
         policy = self.kernel.policy
         if policy is not None and hasattr(policy, "on_quantum"):
-            policy.on_quantum(
-                process, probs, n_accesses, start_ns, quantum_ns
-            )
+            profiler = self.kernel.profiler
+            if profiler is not None:
+                profiler.push("policy")
+            try:
+                policy.on_quantum(
+                    process, probs, n_accesses, start_ns, quantum_ns
+                )
+            finally:
+                if profiler is not None:
+                    profiler.pop()
 
         if (
             process.target_accesses is not None
@@ -213,10 +318,16 @@ class QuantumEngine:
         n_faults: int,
     ) -> None:
         machine = self.kernel.machine
-        pid_mix = self.latency_by_pid.setdefault(
-            process.pid, LatencyMixture()
-        )
+        pid_mix = self.latency_by_pid.get(process.pid)
+        if pid_mix is None:
+            pid_mix = self.latency_by_pid.setdefault(
+                process.pid, LatencyMixture()
+            )
         remaining_faults = float(n_faults)
+        # Assemble the quantum's latency classes (at most 2 per tier plus
+        # one fault class) and deliver them in one bulk add per mixture.
+        class_lats: list = []
+        class_counts: list = []
         for tier_id in range(machine.n_tiers):
             mass = float(tier_mass[tier_id]) * n_accesses
             if mass <= 0:
@@ -232,10 +343,17 @@ class QuantumEngine:
             if tier_id == machine.n_tiers - 1 and remaining_faults > 0:
                 faulted = min(reads, remaining_faults)
                 fault_lat = read_lat + machine.spec.effective_fault_cost_ns
-                for mix in (self.latency, pid_mix):
-                    mix.add(fault_lat, faulted)
+                class_lats.append(fault_lat)
+                class_counts.append(faulted)
                 reads -= faulted
                 remaining_faults -= faulted
-            for mix in (self.latency, pid_mix):
-                mix.add(read_lat, reads)
-                mix.add(write_lat, writes)
+            class_lats.append(read_lat)
+            class_counts.append(reads)
+            class_lats.append(write_lat)
+            class_counts.append(writes)
+        if not class_lats:
+            return
+        lats = np.array(class_lats, dtype=np.float64)
+        counts = np.array(class_counts, dtype=np.float64)
+        self.latency.add_many(lats, counts)
+        pid_mix.add_many(lats, counts)

@@ -29,7 +29,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.dcsc import DcscConfig
-from repro.harness.runner import RunConfig, RunResult, run_experiment
+from repro.harness.runner import (
+    RunConfig,
+    RunResult,
+    RunSummary,
+    run_experiment,
+)
 from repro.policies.registry import make_policy
 from repro.sim.rng import RngStreams
 from repro.sim.timeunits import MICROSECOND, MILLISECOND, SECOND
@@ -248,6 +253,69 @@ def kvstore_processes(
     return processes
 
 
+def shifting_hotspot_processes(
+    setup: StandardSetup,
+    n_procs: int = 8,
+    pages_per_proc: int = 4_096,
+    phase_len_ns: Optional[int] = None,
+) -> List[SimProcess]:
+    """Phase-changing hotspot fleet (the adaptation experiments)."""
+    from repro.workloads.dynamic import shifting_hotspot
+
+    streams = RngStreams(setup.seed)
+    return [
+        SimProcess(
+            pid=pid,
+            workload=shifting_hotspot(
+                n_pages=pages_per_proc,
+                phase_len_ns=(
+                    phase_len_ns
+                    if phase_len_ns is not None
+                    else setup.duration_ns // 2
+                ),
+            ),
+            rng=streams.spawn(f"shift-{pid}").get("access"),
+            name=f"shift-{pid}",
+        )
+        for pid in range(n_procs)
+    ]
+
+
+#: named fleet builders the declarative sweep layer (and the CLI) can
+#: reference; every builder takes ``(setup, **kwargs)`` and returns a
+#: fresh process list
+FLEET_BUILDERS = {
+    "pmbench": pmbench_processes,
+    "graph500": graph500_processes,
+    "memcached": lambda setup, **kw: kvstore_processes(
+        setup, flavor="memcached", **kw
+    ),
+    "redis": lambda setup, **kw: kvstore_processes(
+        setup, flavor="redis", **kw
+    ),
+    "shifting-hotspot": shifting_hotspot_processes,
+}
+
+
+def fleet_names() -> List[str]:
+    """The workload families the sweep layer knows how to build."""
+    return sorted(FLEET_BUILDERS)
+
+
+def build_fleet(
+    setup: StandardSetup, workload: str, **kwargs
+) -> List[SimProcess]:
+    """Build a fresh process fleet for a named workload family."""
+    try:
+        builder = FLEET_BUILDERS[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {workload!r}; "
+            f"known: {', '.join(fleet_names())}"
+        ) from None
+    return builder(setup, **kwargs)
+
+
 def run_policy_comparison(
     setup: StandardSetup,
     process_factory,
@@ -270,3 +338,59 @@ def run_policy_comparison(
             setup.run_config(**(config_overrides or {})),
         )
     return results
+
+
+def policy_comparison_cells(
+    workload: str,
+    policies: Sequence[str] = EVALUATED_POLICIES,
+    seed: int = 0,
+    workload_kwargs: Optional[dict] = None,
+    setup_kwargs: Optional[dict] = None,
+    config_overrides: Optional[dict] = None,
+    policy_overrides: Optional[Dict[str, dict]] = None,
+):
+    """Declarative cells for a policy comparison on one workload.
+
+    The sweep-layer analogue of :func:`run_policy_comparison`: the cells
+    can fan out over a worker pool and hit the result cache.
+    """
+    from repro.harness.sweep import SweepCell
+
+    return [
+        SweepCell(
+            policy=name,
+            workload=workload,
+            seed=seed,
+            policy_kwargs=(policy_overrides or {}).get(name, {}),
+            workload_kwargs=dict(workload_kwargs or {}),
+            setup_kwargs=dict(setup_kwargs or {}),
+            config_overrides=dict(config_overrides or {}),
+            label=name,
+        )
+        for name in policies
+    ]
+
+
+def sweep_policy_comparison(
+    workload: str,
+    policies: Sequence[str] = EVALUATED_POLICIES,
+    jobs: int = 1,
+    use_cache: bool = True,
+    profile: bool = False,
+    **cell_kwargs,
+) -> Dict[str, "RunSummary"]:
+    """Policy comparison through the parallel/cached sweep layer.
+
+    Returns ``{policy: RunSummary}`` in the requested policy order; the
+    summaries expose the same metric attributes the reporting tables
+    read, so they are drop-in replacements for :class:`RunResult` there.
+    """
+    from repro.harness.sweep import run_cells
+
+    cells = policy_comparison_cells(
+        workload, policies=policies, **cell_kwargs
+    )
+    summaries = run_cells(
+        cells, jobs=jobs, use_cache=use_cache, profile=profile
+    )
+    return dict(zip(policies, summaries))

@@ -10,10 +10,11 @@ percentages).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.harness.engine import Observer, QuantumEngine
+from repro.harness.profiling import Profiler
 from repro.kernel.kernel import Kernel
 from repro.mem.machine import MachineSpec, TieredMachine
 from repro.mem.tier import dram_spec, optane_spec
@@ -58,6 +59,50 @@ class RunConfig:
 
 
 @dataclass
+class RunSummary:
+    """The serializable subset of a :class:`RunResult`.
+
+    Everything here is plain JSON-compatible data -- no kernel or engine
+    handles -- so summaries can cross process boundaries (the sweep
+    layer's worker pool) and live in the on-disk result cache.
+    """
+
+    policy_name: str
+    duration_ns: int
+    throughput_per_sec: float
+    fmar: float
+    latency_summary: Dict[str, float]
+    kernel_time_fraction: float
+    context_switches_per_sec: float
+    stats: Dict[str, float]
+    per_process: List[Dict[str, float]]
+    #: per-subsystem wall-time shares when the run was profiled
+    profile: Optional[Dict[str, Dict[str, float]]] = None
+    #: True when the summary was served from the result cache
+    cached: bool = field(default=False, compare=False)
+
+    def normalized_to(self, baseline: "RunSummary") -> float:
+        """Throughput normalized to a baseline run (paper-style)."""
+        if baseline.throughput_per_sec == 0:
+            raise ValueError("baseline throughput is zero")
+        return self.throughput_per_sec / baseline.throughput_per_sec
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data.pop("cached")
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSummary":
+        fields = {
+            "policy_name", "duration_ns", "throughput_per_sec", "fmar",
+            "latency_summary", "kernel_time_fraction",
+            "context_switches_per_sec", "stats", "per_process", "profile",
+        }
+        return cls(**{k: data[k] for k in fields if k in data})
+
+
+@dataclass
 class RunResult:
     """Everything a figure needs from one run."""
 
@@ -72,6 +117,7 @@ class RunResult:
     per_process: List[Dict[str, float]]
     kernel: Kernel = field(repr=False)
     engine: QuantumEngine = field(repr=False)
+    profile: Optional[Dict[str, Dict[str, float]]] = None
 
     def series(self, name: str):
         """A recorded time series by name (threshold/rate histories)."""
@@ -83,6 +129,21 @@ class RunResult:
             raise ValueError("baseline throughput is zero")
         return self.throughput_per_sec / baseline.throughput_per_sec
 
+    def to_summary(self) -> RunSummary:
+        """Drop the live kernel/engine handles; keep the metrics."""
+        return RunSummary(
+            policy_name=self.policy_name,
+            duration_ns=self.duration_ns,
+            throughput_per_sec=self.throughput_per_sec,
+            fmar=self.fmar,
+            latency_summary=dict(self.latency_summary),
+            kernel_time_fraction=self.kernel_time_fraction,
+            context_switches_per_sec=self.context_switches_per_sec,
+            stats=dict(self.stats),
+            per_process=[dict(row) for row in self.per_process],
+            profile=self.profile,
+        )
+
 
 def run_experiment(
     processes: Sequence[SimProcess],
@@ -91,6 +152,8 @@ def run_experiment(
     cgroups: Optional[Sequence[Optional[str]]] = None,
     observer: Optional[Observer] = None,
     observe_every_ns: Optional[int] = None,
+    profile: bool = False,
+    fast_path: bool = True,
 ) -> RunResult:
     """Build the stack, run it, and summarize.
 
@@ -100,6 +163,10 @@ def run_experiment(
         config: machine/engine parameters.
         cgroups: optional per-process cgroup names (parallel list).
         observer / observe_every_ns: engine observation hook.
+        profile: attach a :class:`Profiler` and report per-subsystem
+            wall-time shares on the result.
+        fast_path: disable to force the reference (per-page) engine
+            pricing path; used for before/after benchmarking.
     """
     if not processes:
         raise ValueError("need at least one process")
@@ -112,13 +179,17 @@ def run_experiment(
         rng=RngStreams(config.seed),
         aging_period_ns=config.aging_period_ns,
     )
+    if profile:
+        kernel.profiler = Profiler()
     for index, process in enumerate(processes):
         group = cgroups[index] if cgroups is not None else None
         kernel.register_process(process, cgroup=group)
     kernel.allocate_initial_placement()
     kernel.set_policy(policy)
 
-    engine = QuantumEngine(kernel, quantum_ns=config.quantum_ns)
+    engine = QuantumEngine(
+        kernel, quantum_ns=config.quantum_ns, fast_path=fast_path
+    )
     end_ns = engine.run(
         config.duration_ns,
         observer=observer,
@@ -171,4 +242,9 @@ def summarize_run(
         per_process=per_process,
         kernel=kernel,
         engine=engine,
+        profile=(
+            kernel.profiler.report()
+            if kernel.profiler is not None
+            else None
+        ),
     )

@@ -1,0 +1,162 @@
+"""Parallel experiment fan-out over declarative cells.
+
+The whole evaluation is a grid of independent
+``(policy x workload x seed)`` cells.  A :class:`SweepCell` describes one
+cell *declaratively* -- names and parameters, no live objects -- which
+buys three things at once:
+
+* **parallelism**: cells are picklable, so :func:`run_cells` can fan them
+  out over a process pool (``jobs=N``) with results returned in
+  submission order;
+* **determinism**: every cell builds its own RNG streams from its seed,
+  so serial and parallel execution are bit-identical (the determinism
+  contract is enforced by ``tests/test_harness_sweep.py``);
+* **caching**: a cell's content hash keys the on-disk
+  :class:`~repro.harness.cache.ResultCache`, so a param-identical rerun
+  under the same code version never recomputes.
+
+Example::
+
+    cells = [
+        SweepCell(policy=p, workload="pmbench", seed=s)
+        for p in EVALUATED_POLICIES
+        for s in range(3)
+    ]
+    summaries = run_cells(cells, jobs=4)
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.harness.cache import (
+    ResultCache,
+    cache_disabled_by_env,
+    content_key,
+)
+from repro.harness.runner import RunSummary, run_experiment
+
+#: cap the default pool size; experiment cells are CPU-bound
+MAX_DEFAULT_JOBS = 16
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One declarative experiment cell.
+
+    ``policy`` / ``workload`` are registry names
+    (:mod:`repro.policies.registry`,
+    :data:`repro.harness.experiments.FLEET_BUILDERS`); the kwargs dicts
+    are forwarded to the policy builder, the fleet builder, the
+    :class:`~repro.harness.experiments.StandardSetup`, and the
+    :class:`~repro.harness.runner.RunConfig` respectively.  Everything
+    must be JSON-serializable: the cell doubles as the cache key.
+    """
+
+    policy: str
+    workload: str = "pmbench"
+    seed: int = 0
+    policy_kwargs: Dict[str, Any] = field(default_factory=dict)
+    workload_kwargs: Dict[str, Any] = field(default_factory=dict)
+    setup_kwargs: Dict[str, Any] = field(default_factory=dict)
+    config_overrides: Dict[str, Any] = field(default_factory=dict)
+    #: free-form tag carried through to the result row (not hashed)
+    label: Optional[str] = None
+
+    def description(self) -> Dict[str, Any]:
+        """The content-hashed portion of the cell."""
+        data = asdict(self)
+        data.pop("label")
+        return data
+
+    def key(self) -> str:
+        return content_key(self.description())
+
+
+def run_cell(
+    cell: SweepCell,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    profile: bool = False,
+) -> RunSummary:
+    """Execute one cell (or serve it from the cache).
+
+    Profiled runs are never cached: the profile measures *this host's*
+    wall time, not a property of the cell.
+    """
+    # Import here so worker processes pay the cost once, and so the
+    # sweep module stays importable without the full policy registry.
+    from repro.harness.experiments import StandardSetup, build_fleet
+
+    use_cache = use_cache and not cache_disabled_by_env() and not profile
+    cache = ResultCache(cache_dir) if use_cache else None
+    key = cell.key() if use_cache else None
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+
+    setup = StandardSetup(seed=cell.seed, **cell.setup_kwargs)
+    policy = setup.build_policy(cell.policy, **cell.policy_kwargs)
+    processes = build_fleet(setup, cell.workload, **cell.workload_kwargs)
+    result = run_experiment(
+        processes,
+        policy,
+        setup.run_config(**cell.config_overrides),
+        profile=profile,
+    )
+    summary = result.to_summary()
+    if cache is not None:
+        cache.put(key, summary)
+    return summary
+
+
+def _run_cell_worker(args) -> RunSummary:
+    cell, use_cache, cache_dir, profile = args
+    return run_cell(
+        cell, use_cache=use_cache, cache_dir=cache_dir, profile=profile
+    )
+
+
+def default_jobs() -> int:
+    """A sensible pool size for this host."""
+    return max(1, min(os.cpu_count() or 1, MAX_DEFAULT_JOBS))
+
+
+def run_cells(
+    cells: Sequence[SweepCell],
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    profile: bool = False,
+) -> List[RunSummary]:
+    """Run a grid of cells, optionally fanned out over ``jobs`` workers.
+
+    Results come back in submission order regardless of completion
+    order.  ``jobs=1`` runs inline (no pool, easier debugging); any
+    ``jobs > 1`` uses a process pool because the engine is CPU-bound
+    numpy work.  Serial and parallel execution produce bit-identical
+    summaries: each cell seeds its own RNG streams and shares no mutable
+    state with its neighbours.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    cells = list(cells)
+    if not cells:
+        return []
+    if jobs == 1 or len(cells) == 1:
+        return [
+            run_cell(
+                cell,
+                use_cache=use_cache,
+                cache_dir=cache_dir,
+                profile=profile,
+            )
+            for cell in cells
+        ]
+    work = [(cell, use_cache, cache_dir, profile) for cell in cells]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+        return list(pool.map(_run_cell_worker, work))

@@ -61,6 +61,9 @@ class Kernel:
         self.processes: List[SimProcess] = []
         self.policy: Any = None
         self.scanner: Optional[TickingScanner] = None
+        #: optional :class:`repro.harness.profiling.Profiler`; when set,
+        #: the engine and kernel subsystems charge their wall time to it
+        self.profiler: Any = None
         self.aging_period_ns = int(aging_period_ns)
         self._register_core_sysctls()
         self._started = False
@@ -126,8 +129,8 @@ class Kernel:
                 fast.allocate(n_fast)
                 slow.allocate(take - n_fast)
                 vpns = np.arange(cursors[index], cursors[index] + take)
-                process.pages.tier[vpns[:n_fast]] = FAST_TIER
-                process.pages.tier[vpns[n_fast:]] = SLOW_TIER
+                process.pages.move_to_tier(vpns[:n_fast], FAST_TIER)
+                process.pages.move_to_tier(vpns[n_fast:], SLOW_TIER)
                 cursors[index] += take
                 remaining -= take
 
@@ -164,6 +167,9 @@ class Kernel:
         # Visit processes in random order: policies that migrate from
         # their aging hook (Multi-Clock) compete for fast-tier space, and
         # a fixed visiting order would systematically favour low pids.
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.push("aging")
         order = self.rng.get("kernel.aging").permutation(
             len(self.processes)
         )
@@ -182,7 +188,15 @@ class Kernel:
             if self.policy is not None and hasattr(
                 self.policy, "on_lru_age"
             ):
-                self.policy.on_lru_age(process, touched, now_ns)
+                if profiler is not None:
+                    profiler.push("policy")
+                try:
+                    self.policy.on_lru_age(process, touched, now_ns)
+                finally:
+                    if profiler is not None:
+                        profiler.pop()
+        if profiler is not None:
+            profiler.pop()
         self._schedule_aging(now_ns + self.aging_period_ns)
 
     # ------------------------------------------------------------------
@@ -208,6 +222,9 @@ class Kernel:
         n = fault_batch.n_faults
         if n == 0:
             return
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.push("fault")
         self.stats.hint_faults += n
         process.stats.hint_faults += n
         self.stats.context_switches += n
@@ -216,7 +233,15 @@ class Kernel:
         process.charge_kernel(cost)
         self.stats.kernel_time_ns += cost
         if self.policy is not None:
-            self.policy.on_fault(process, fault_batch)
+            if profiler is not None:
+                profiler.push("policy")
+            try:
+                self.policy.on_fault(process, fault_batch)
+            finally:
+                if profiler is not None:
+                    profiler.pop()
+        if profiler is not None:
+            profiler.pop()
 
     def __repr__(self) -> str:
         policy = getattr(self.policy, "name", None)

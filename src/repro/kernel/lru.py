@@ -44,6 +44,10 @@ class LruLists:
         self.fine_grained = bool(fine_grained)
         self._miss_counts: dict = {}
         self._last_age_ns: dict = {}
+        # Preallocated per-process scratch: (uniform draws, touch
+        # probabilities).  Aging runs every period for every process, so
+        # reusing these avoids two O(pages) allocations per pass.
+        self._scratch: dict = {}
 
     def _misses(self, process: SimProcess) -> np.ndarray:
         if process.pid not in self._miss_counts:
@@ -69,7 +73,21 @@ class LruLists:
         window = max(now_ns - self._last_age_ns.get(process.pid, 0), 1)
         self._last_age_ns[process.pid] = now_ns
         lam = pages.last_window_count
-        touched = self._rng.random(pages.n_pages) < -np.expm1(-lam)
+        scratch = self._scratch.get(process.pid)
+        if scratch is None:
+            scratch = (
+                np.empty(pages.n_pages, dtype=np.float64),
+                np.empty(pages.n_pages, dtype=np.float64),
+            )
+            self._scratch[process.pid] = scratch
+        draws, prob = scratch
+        # ``1 - exp(-lam)`` computed in place; the RNG stream is identical
+        # to a fresh ``random(n)`` call (same generator, same draw count).
+        self._rng.random(out=draws)
+        np.negative(lam, out=prob)
+        np.expm1(prob, out=prob)
+        np.negative(prob, out=prob)
+        touched = draws < prob
         touched |= pages.accessed
 
         misses = self._misses(process)

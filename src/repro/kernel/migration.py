@@ -42,6 +42,19 @@ class MigrationEngine:
 
         Returns the vpns that actually moved.
         """
+        profiler = self.kernel.profiler
+        if profiler is None:
+            return self._migrate(process, vpns, dst_tier_id, mark_demoted)
+        with profiler.section("migrate"):
+            return self._migrate(process, vpns, dst_tier_id, mark_demoted)
+
+    def _migrate(
+        self,
+        process: "SimProcess",
+        vpns: np.ndarray,
+        dst_tier_id: int,
+        mark_demoted: bool = False,
+    ) -> np.ndarray:
         machine = self.kernel.machine
         stats = self.kernel.stats
         pages = process.pages

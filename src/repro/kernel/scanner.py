@@ -97,6 +97,9 @@ class TickingScanner:
         per-page PTE-walk cost to the process and bumps the global scan
         counters.
         """
+        profiler = self.kernel.profiler
+        if profiler is not None:
+            profiler.push("scan")
         step = min(self.config.scan_step_pages, process.n_pages)
         window, wrapped = process.aspace.next_scan_window(step)
         if self.config.tier_filter is not None:
@@ -113,5 +116,13 @@ class TickingScanner:
             self.kernel.stats.scan_passes += 1
 
         if self.on_scan is not None:
-            self.on_scan(process, window, now_ns)
+            if profiler is not None:
+                profiler.push("policy")
+            try:
+                self.on_scan(process, window, now_ns)
+            finally:
+                if profiler is not None:
+                    profiler.pop()
+        if profiler is not None:
+            profiler.pop()
         return window

@@ -193,6 +193,27 @@ class TieredMachine:
             return self.MAX_CONTENTION
         return 1.0 / (1.0 - utilization)
 
+    def contention_multipliers(
+        self, demand_bytes_per_sec: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`contention_multiplier` over every tier.
+
+        The engine prices one quantum for all processes against the same
+        previous-quantum demand vector, so this is computed once per
+        quantum instead of ``n_tiers * n_processes`` scalar calls.
+        """
+        demand = np.asarray(demand_bytes_per_sec, dtype=np.float64)
+        if demand.shape != self.bandwidth_bytes.shape:
+            raise ValueError("demand vector must cover every tier")
+        if np.any(demand < 0):
+            raise ValueError("demand cannot be negative")
+        utilization = demand / self.bandwidth_bytes
+        saturated = utilization >= 1.0 - 1.0 / self.MAX_CONTENTION
+        with np.errstate(divide="ignore"):
+            multipliers = 1.0 / (1.0 - utilization)
+        multipliers[saturated] = self.MAX_CONTENTION
+        return multipliers
+
     def __repr__(self) -> str:
         tier_desc = ", ".join(
             f"{t.name}:{t.used_pages}/{t.capacity_pages}" for t in self.tiers

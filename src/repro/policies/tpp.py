@@ -16,8 +16,6 @@ synchronously.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.kernel.scanner import ScanConfig
 from repro.mem.tier import SLOW_TIER
 from repro.policies.base import PromotionRateLimiter, TieringPolicy

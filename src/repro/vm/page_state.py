@@ -54,6 +54,14 @@ class PageState:
         # Exact ground-truth access accounting (the simulator's PMU):
         self.access_count = np.zeros(n_pages, dtype=np.float64)
         self.last_window_count = np.zeros(n_pages, dtype=np.float64)
+        #: placement generation: bumped on every ``move_to_tier`` so the
+        #: engine can reuse per-quantum placement-derived caches (tier
+        #: masses) across quanta without migrations
+        self.epoch: int = 0
+        #: number of currently PROT_NONE pages, maintained by the
+        #: protect/unprotect paths so the engine's hot loop can skip the
+        #: hint-fault machinery without an O(pages) scan
+        self.n_protected: int = 0
 
     # ------------------------------------------------------------------
     # Residency queries
@@ -83,6 +91,7 @@ class PageState:
         fresh = vpns[~self.prot_none[vpns]]
         self.prot_none[fresh] = True
         self.scan_ts_ns[fresh] = now_ns
+        self.n_protected += int(fresh.size)
         return int(fresh.size)
 
     def protect_at(self, vpns: np.ndarray, ts_ns: np.ndarray) -> None:
@@ -94,12 +103,19 @@ class PageState:
         :meth:`protect`, existing protection timestamps are overwritten.
         """
         vpns = np.asarray(vpns)
+        self.n_protected += int(
+            np.count_nonzero(~self.prot_none[vpns])
+        )
         self.prot_none[vpns] = True
         self.scan_ts_ns[vpns] = np.asarray(ts_ns, dtype=np.int64)
 
     def unprotect(self, vpns: np.ndarray) -> None:
         """Clear PROT_NONE after a fault restored the mapping."""
-        self.prot_none[np.asarray(vpns)] = False
+        vpns = np.asarray(vpns)
+        self.n_protected -= int(
+            np.count_nonzero(self.prot_none[vpns])
+        )
+        self.prot_none[vpns] = False
 
     def protected_pages(self) -> np.ndarray:
         """vpns of all currently protected pages."""
@@ -112,6 +128,7 @@ class PageState:
         """Retarget pages to a new tier (frame accounting is the kernel's
         job; this only updates the per-page node id)."""
         self.tier[np.asarray(vpns)] = np.int8(tier_id)
+        self.epoch += 1
 
     def clear_window_counts(self) -> None:
         """Roll the per-window ground-truth access counters."""

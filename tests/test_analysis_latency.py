@@ -1,5 +1,6 @@
 """Tests for the discrete latency mixture."""
 
+import numpy as np
 import pytest
 
 from repro.analysis.latency import LatencyMixture
@@ -83,3 +84,71 @@ class TestStatistics:
         assert latencies == sorted(latencies)
         assert fractions[-1] == pytest.approx(1.0)
         assert fractions == sorted(fractions)
+
+
+class TestAddMany:
+    def test_matches_sequential_add(self):
+        bulk = LatencyMixture()
+        bulk.add_many([80.0, 250.0, 2500.0, 80.0], [70, 25, 5, 10])
+        serial = LatencyMixture()
+        for latency, count in ((80, 70), (250, 25), (2500, 5), (80, 10)):
+            serial.add(latency, count)
+        assert bulk.total == serial.total
+        assert bulk.summary() == serial.summary()
+        assert bulk.cdf_points() == serial.cdf_points()
+
+    def test_zero_counts_skipped(self):
+        mix = LatencyMixture()
+        mix.add_many([80.0, 250.0], [10, 0])
+        assert mix.total == 10
+        # A zero-count class must not appear as an empty CDF step.
+        assert [p[0] for p in mix.cdf_points()] == [80.0]
+
+    def test_empty_batch_is_noop(self):
+        mix = LatencyMixture()
+        mix.add_many(np.array([]), np.array([]))
+        assert mix.total == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyMixture().add_many([80.0, 250.0], [1])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyMixture().add_many([80.0], [-1])
+        with pytest.raises(ValueError):
+            LatencyMixture().add_many([-80.0], [1])
+
+
+class TestSortedCacheInvalidation:
+    """Statistics are served from cached sorted views; every write path
+    must drop the cache or reads after writes go stale."""
+
+    def test_add_invalidates(self):
+        mix = make_mixture()
+        before = mix.p99()
+        mix.add(9000, 50)  # new dominant tail class
+        assert mix.p99() == 9000
+        assert mix.p99() != before
+
+    def test_add_many_invalidates(self):
+        mix = make_mixture()
+        assert mix.median() == 80
+        mix.add_many([400.0], [1000])
+        assert mix.median() == 400
+
+    def test_merge_invalidates(self):
+        mix = make_mixture()
+        assert mix.total == 100
+        other = LatencyMixture()
+        other.add(400, 1000)
+        mix.merge(other)
+        assert mix.total == 1100
+        assert mix.median() == 400
+
+    def test_repeated_reads_consistent(self):
+        mix = make_mixture()
+        # Exercise the cached path twice between writes.
+        assert mix.summary() == mix.summary()
+        mix.add(80, 1)
+        assert mix.total == 101

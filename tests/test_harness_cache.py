@@ -1,0 +1,175 @@
+"""Tests for the on-disk result cache.
+
+Covers the keying contract (param-identical rerun hits, any parameter
+change misses), corruption tolerance (a truncated entry degrades to a
+recompute), and the ``CHRONO_NO_CACHE`` / ``--no-cache`` bypass.
+"""
+
+import json
+
+from repro.harness.cache import (
+    ResultCache,
+    cache_disabled_by_env,
+    code_fingerprint,
+    content_key,
+    default_cache_dir,
+)
+from repro.harness.runner import RunSummary
+from repro.harness.sweep import SweepCell, run_cell
+from repro.sim.timeunits import SECOND
+
+CELL_KWARGS = dict(
+    workload="pmbench",
+    workload_kwargs={"n_procs": 2, "pages_per_proc": 256},
+    setup_kwargs={"duration_ns": 2 * SECOND},
+)
+
+
+def make_cell(policy="linux-nb", seed=0):
+    return SweepCell(policy=policy, seed=seed, **CELL_KWARGS)
+
+
+def make_summary(throughput=123.0):
+    return RunSummary(
+        policy_name="linux-nb",
+        duration_ns=SECOND,
+        throughput_per_sec=throughput,
+        fmar=0.05,
+        latency_summary={"average": 100.0, "median": 80.0, "p99": 900.0},
+        kernel_time_fraction=0.01,
+        context_switches_per_sec=10.0,
+        stats={"pgpromote": 1.0, "pgdemote": 2.0},
+        per_process={},
+    )
+
+
+class TestContentKey:
+    def test_stable_for_equal_descriptions(self):
+        assert content_key({"a": 1}) == content_key({"a": 1})
+
+    def test_key_order_irrelevant(self):
+        assert content_key({"a": 1, "b": 2}) == content_key(
+            {"b": 2, "a": 1}
+        )
+
+    def test_any_field_change_rekeys(self):
+        base = make_cell()
+        assert base.key() != make_cell(seed=1).key()
+        assert base.key() != make_cell(policy="tpp").key()
+        deeper = SweepCell(
+            policy="linux-nb",
+            workload="pmbench",
+            workload_kwargs={"n_procs": 3, "pages_per_proc": 256},
+            setup_kwargs={"duration_ns": 2 * SECOND},
+        )
+        assert base.key() != deeper.key()
+
+    def test_includes_code_fingerprint(self):
+        # The fingerprint digests the whole repro source tree, so the
+        # key cannot collide across code versions.
+        assert len(code_fingerprint()) == 64
+        assert code_fingerprint() == code_fingerprint()
+
+
+class TestResultCacheStore:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        summary = make_summary()
+        cache.put("k", summary)
+        restored = cache.get("k")
+        assert restored is not None
+        assert restored.cached is True
+        assert restored.to_dict() == summary.to_dict()
+
+    def test_missing_key_is_miss(self, tmp_path):
+        assert ResultCache(tmp_path).get("absent") is None
+
+    def test_truncated_entry_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", make_summary())
+        path = cache._path("k")
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.get("k") is None
+
+    def test_garbage_entry_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache._path("k").parent.mkdir(parents=True, exist_ok=True)
+        cache._path("k").write_text(json.dumps({"unexpected": 1}))
+        assert cache.get("k") is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", make_summary())
+        cache.put("b", make_summary())
+        assert cache.clear() == 2
+        assert cache.get("a") is None
+
+    def test_no_stray_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", make_summary())
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestRunCellCaching:
+    def test_miss_then_hit(self, tmp_path):
+        cell = make_cell()
+        first = run_cell(cell, cache_dir=tmp_path)
+        assert first.cached is False
+        second = run_cell(cell, cache_dir=tmp_path)
+        assert second.cached is True
+        assert second.to_dict() == first.to_dict()
+
+    def test_param_change_misses(self, tmp_path):
+        run_cell(make_cell(seed=0), cache_dir=tmp_path)
+        other = run_cell(make_cell(seed=1), cache_dir=tmp_path)
+        assert other.cached is False
+
+    def test_corrupt_entry_recomputes(self, tmp_path):
+        cell = make_cell()
+        first = run_cell(cell, cache_dir=tmp_path)
+        path = ResultCache(tmp_path)._path(cell.key())
+        path.write_text("{not json")
+        recomputed = run_cell(cell, cache_dir=tmp_path)
+        assert recomputed.cached is False
+        assert recomputed.to_dict() == first.to_dict()
+
+    def test_use_cache_false_bypasses(self, tmp_path):
+        cell = make_cell()
+        run_cell(cell, cache_dir=tmp_path)
+        again = run_cell(cell, cache_dir=tmp_path, use_cache=False)
+        assert again.cached is False
+
+    def test_profiled_runs_never_cached(self, tmp_path):
+        cell = make_cell()
+        profiled = run_cell(cell, cache_dir=tmp_path, profile=True)
+        assert profiled.cached is False
+        assert profiled.profile  # shares were measured
+        # ...and nothing was written for a later plain run to hit.
+        plain = run_cell(cell, cache_dir=tmp_path)
+        assert plain.cached is False
+
+
+class TestEnvironmentControls:
+    def test_no_cache_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("CHRONO_NO_CACHE", "1")
+        assert cache_disabled_by_env()
+        cell = make_cell()
+        run_cell(cell, cache_dir=tmp_path)
+        hit = run_cell(cell, cache_dir=tmp_path)
+        assert hit.cached is False
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_no_cache_env_zero_means_enabled(self, monkeypatch):
+        monkeypatch.setenv("CHRONO_NO_CACHE", "0")
+        assert not cache_disabled_by_env()
+
+    def test_cache_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("CHRONO_CACHE_DIR", str(tmp_path))
+        assert default_cache_dir() == tmp_path
+
+    def test_cached_flag_not_in_payload(self, tmp_path):
+        # "cached" is transport metadata, not part of the result.
+        data = make_summary().to_dict()
+        assert "cached" not in data
+        restored = RunSummary.from_dict(data)
+        assert restored.cached is False
