@@ -1,10 +1,15 @@
 """Command-line interface: ``chrono-sim``.
 
-Five subcommands:
+Six subcommands:
 
 * ``chrono-sim run`` -- one experiment (policy x workload), printing the
-  headline metrics (optionally as JSON), with ``--profile`` adding
-  per-subsystem wall-time shares.
+  headline metrics (optionally as JSON).  ``--profile`` adds
+  per-subsystem wall-time shares, ``--trace FILE`` streams structured
+  events to a JSONL file, ``--metrics`` reports the metrics-registry
+  snapshot, and ``--observe FILE`` turns all three on at once.
+* ``chrono-sim trace`` -- filter and aggregate a JSONL trace written by
+  ``run --trace``: event-type summary, per-epoch migration counts, and
+  per-page timelines (``--page PID:VPN``).
 * ``chrono-sim compare`` -- several policies on identical fleets,
   printing the paper-style normalized tables; ``--jobs N`` fans the
   policies out over a worker pool through the sweep layer.
@@ -13,6 +18,9 @@ Five subcommands:
 * ``chrono-sim policies`` -- the available tiering systems and the
   Table 1 characteristics.
 * ``chrono-sim defaults`` -- Chrono's Table 2 parameter defaults.
+
+The event schema and metric catalogue behind ``--trace``/``--metrics``
+are documented in ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -37,6 +45,13 @@ from repro.harness.reporting import (
 )
 from repro.harness.runner import run_experiment
 from repro.harness.sweep import default_jobs, run_cells
+from repro.obs.hub import ObsHub
+from repro.obs.tracefile import (
+    epoch_migrations,
+    page_timeline,
+    read_events,
+    summarize,
+)
 from repro.policies.registry import (
     characteristics_table,
     make_policy,
@@ -50,6 +65,7 @@ WORKLOADS = (
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``chrono-sim`` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
         prog="chrono-sim",
         description=(
@@ -72,6 +88,39 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--profile", action="store_true",
         help="report per-subsystem wall-time shares",
+    )
+    run_p.add_argument(
+        "--trace", metavar="FILE",
+        help="stream structured trace events to FILE (JSONL; see "
+        "docs/OBSERVABILITY.md for the event schema)",
+    )
+    run_p.add_argument(
+        "--metrics", action="store_true",
+        help="collect and report the metrics-registry snapshot",
+    )
+    run_p.add_argument(
+        "--observe", metavar="FILE",
+        help="one-flag observability: implies --profile --metrics "
+        "--trace FILE",
+    )
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="filter/aggregate a JSONL trace from `run --trace`",
+    )
+    trace_p.add_argument("file", help="JSONL trace file to read")
+    trace_p.add_argument(
+        "--epoch-sec", type=float, default=1.0, metavar="SEC",
+        help="epoch length for the migration timeline (default: 1.0)",
+    )
+    trace_p.add_argument(
+        "--page", metavar="PID:VPN",
+        help="print the event timeline of one page instead of the "
+        "aggregate views",
+    )
+    trace_p.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of tables",
     )
 
     cmp_p = sub.add_parser(
@@ -198,14 +247,27 @@ def _resolve_jobs(jobs: int) -> int:
 
 
 def cmd_run(args) -> int:
+    """Run one experiment and print (or JSON-dump) its metrics."""
+    if args.observe:
+        args.profile = True
+        args.metrics = True
+        args.trace = args.trace or args.observe
     setup = _setup_from_args(args)
     policy = setup.build_policy(args.policy)
     processes = build_fleet(
         setup, args.workload, **_workload_kwargs(args)
     )
-    result = run_experiment(
-        processes, policy, setup.run_config(), profile=args.profile
-    )
+    hub = None
+    if args.trace or args.metrics:
+        hub = ObsHub.create(trace_sink=args.trace, metrics=args.metrics)
+    try:
+        result = run_experiment(
+            processes, policy, setup.run_config(),
+            profile=args.profile, obs=hub,
+        )
+    finally:
+        if hub is not None:
+            hub.close()
     if args.json:
         payload = {
             "policy": result.policy_name,
@@ -222,6 +284,8 @@ def cmd_run(args) -> int:
         }
         if args.profile:
             payload["profile"] = result.profile
+        if args.metrics:
+            payload["metrics"] = result.metrics
         print(json.dumps(payload, indent=2))
     else:
         print(f"policy            {result.policy_name}")
@@ -250,18 +314,138 @@ def cmd_run(args) -> int:
             print()
             print("wall-time profile")
             print(_profile_table(result.profile))
+        if args.metrics and result.metrics:
+            print()
+            print(_metrics_tables(result.metrics))
+        if args.trace:
+            print()
+            print(f"trace written to {args.trace}")
     return 0
 
 
 def _profile_table(profile: dict) -> str:
+    """Format profile rows, hottest subsystem first.
+
+    ``Profiler.report`` already orders its dict by descending
+    wall-time, but profiles that round-tripped through JSON (the result
+    cache, sweep workers) carry no ordering guarantee, so sort here.
+    """
     rows = [
         [name, row["seconds"], 100.0 * row["share"]]
-        for name, row in profile.items()
+        for name, row in sorted(
+            profile.items(), key=lambda item: -item[1]["seconds"]
+        )
     ]
     return format_table(["subsystem", "seconds", "share %"], rows)
 
 
+def _metrics_tables(metrics: dict) -> str:
+    """Format a metrics snapshot: counters, gauges, histograms."""
+    parts = []
+    counters = [
+        [name, value]
+        for name, value in sorted(metrics["counters"].items())
+        if value
+    ]
+    if counters:
+        parts.append(format_table(["counter", "value"], counters,
+                                  title="metrics: counters (nonzero)"))
+    gauges = [
+        [name, value]
+        for name, value in sorted(metrics["gauges"].items())
+    ]
+    if gauges:
+        parts.append(format_table(["gauge", "value"], gauges,
+                                  title="metrics: gauges"))
+    histograms = [
+        [name, hist["total"], hist["sum"] / hist["total"]]
+        for name, hist in sorted(metrics["histograms"].items())
+        if hist["total"]
+    ]
+    if histograms:
+        parts.append(format_table(["histogram", "count", "mean"],
+                                  histograms,
+                                  title="metrics: histograms"))
+    return "\n\n".join(parts) if parts else "metrics: all zero"
+
+
+def _parse_page_arg(value: str) -> tuple:
+    """Parse the ``--page PID:VPN`` argument into an int pair."""
+    try:
+        pid_str, vpn_str = value.split(":", 1)
+        return int(pid_str), int(vpn_str)
+    except ValueError:
+        raise SystemExit(
+            f"error: --page expects PID:VPN (got {value!r})"
+        )
+
+
+def cmd_trace(args) -> int:
+    """Aggregate a JSONL trace: summary, epochs, or a page timeline."""
+    if args.page is not None:
+        pid, vpn = _parse_page_arg(args.page)
+        rows = page_timeline(read_events(args.file), pid, vpn)
+        if args.json:
+            print(json.dumps(rows, indent=2))
+            return 0
+        if not rows:
+            print(f"no events mention page {pid}:{vpn}")
+            return 0
+        table = [
+            [
+                row["t"] / 1e9,
+                row["type"],
+                ", ".join(
+                    f"{key}={value}"
+                    for key, value in row.items()
+                    if key not in ("t", "type")
+                ),
+            ]
+            for row in rows
+        ]
+        print(format_table(
+            ["t (s)", "event", "detail"], table,
+            title=f"page {pid}:{vpn} timeline",
+        ))
+        return 0
+
+    epoch_ns = int(args.epoch_sec * SECOND)
+    summary = summarize(read_events(args.file))
+    epochs = epoch_migrations(read_events(args.file), epoch_ns)
+    if args.json:
+        print(json.dumps({"summary": summary, "epochs": epochs},
+                         indent=2))
+        return 0
+    type_rows = [
+        [name, row["count"], row["t_first"] / 1e9, row["t_last"] / 1e9]
+        for name, row in summary["by_type"].items()
+    ]
+    print(format_table(
+        ["event type", "count", "first (s)", "last (s)"], type_rows,
+        title=f"{args.file}: {summary['total']} events",
+    ))
+    if epochs:
+        print()
+        epoch_rows = [
+            [
+                row["t_start"] / 1e9,
+                row["promoted"],
+                row["demoted"],
+                row["faults"],
+                row["scan_windows"],
+            ]
+            for row in epochs
+        ]
+        print(format_table(
+            ["epoch (s)", "promoted", "demoted", "faults", "scans"],
+            epoch_rows,
+            title=f"migration timeline ({args.epoch_sec:g}s epochs)",
+        ))
+    return 0
+
+
 def cmd_compare(args) -> int:
+    """Compare policies on identical fleets, normalized to a baseline."""
     if args.baseline not in args.policies:
         print(
             f"error: baseline {args.baseline!r} must be among the "
@@ -299,6 +483,7 @@ def cmd_compare(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    """Run a (policy x seed) grid through the cached sweep layer."""
     cells = []
     for seed in args.seeds:
         cells.extend(
@@ -353,6 +538,7 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_policies(_args) -> int:
+    """List the available policies and the Table 1 characteristics."""
     print("Available policies:", ", ".join(policy_names()))
     print()
     print(characteristics_table())
@@ -360,6 +546,7 @@ def cmd_policies(_args) -> int:
 
 
 def cmd_defaults(_args) -> int:
+    """Print Chrono's Table 2 parameter defaults."""
     from repro.kernel.kernel import Kernel
 
     kernel = Kernel()
@@ -369,9 +556,11 @@ def cmd_defaults(_args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: dispatch to the chosen subcommand."""
     args = build_parser().parse_args(argv)
     handlers = {
         "run": cmd_run,
+        "trace": cmd_trace,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
         "policies": cmd_policies,

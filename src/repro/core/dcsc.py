@@ -81,6 +81,9 @@ class DcscCollector:
     ) -> None:
         self.config = config
         self._rng = rng
+        #: optional :class:`repro.obs.hub.ObsHub` (wired by the owning
+        #: policy at attach time); probe and sample events flow to it
+        self.obs = None
         self.heat_maps: Dict[int, np.ndarray] = {
             FAST_TIER: np.zeros(config.n_buckets),
             SLOW_TIER: np.zeros(config.n_buckets),
@@ -122,6 +125,14 @@ class DcscCollector:
             victims, np.full(victims.size, now_ns, dtype=np.int64)
         )
         self.probes_issued += int(victims.size)
+        if self.obs is not None:
+            self.obs.inc("dcsc.probes", int(victims.size))
+            self.obs.emit(
+                "dcsc.probe",
+                now_ns,
+                pid=process.pid,
+                n_probed=int(victims.size),
+            )
         return int(victims.size)
 
     def decay_maps(self) -> None:
@@ -148,6 +159,8 @@ class DcscCollector:
         process.pages.probed[stale] = False
         process.pages.unprotect(stale)
         rounds[stale] = 0
+        if self.obs is not None:
+            self.obs.inc("dcsc.expired", int(stale.size))
 
     # ------------------------------------------------------------------
     # Fault-side collection
@@ -198,6 +211,16 @@ class DcscCollector:
             self.samples_recorded += float(round2.size)
             rounds[round2] = 0
             process.pages.probed[round2] = False
+            if self.obs is not None:
+                self.obs.inc("dcsc.samples", int(round2.size))
+                self.obs.emit(
+                    "cit.sample",
+                    int(fault_ts_ns[in_round2].max()),
+                    pid=process.pid,
+                    vpns=round2,
+                    cit_ns=max_cit,
+                    tiers=process.pages.tier[round2],
+                )
 
     # ------------------------------------------------------------------
     # Overlap identification -> parameter targets

@@ -168,6 +168,7 @@ class ChronoPolicy(TieringPolicy):
             self.dcsc = DcscCollector(
                 self.dcsc_config, kernel.rng.get("chrono.dcsc")
             )
+            self.dcsc.obs = kernel.obs
 
         # Proactive demotion: mark demoted pages (thrashing monitor) and
         # size the pro watermark for the current rate limit.
@@ -254,6 +255,10 @@ class ChronoPolicy(TieringPolicy):
                 )
             moved = kernel.migration.promote(process, vpns)
             self.monitor.record_promotions(int(moved.size))
+        if kernel.obs is not None:
+            kernel.obs.set_gauge(
+                "promotion.queue_depth", len(self.queue)
+            )
         kernel.scheduler.schedule(
             now_ns + self.drain_period_ns, self._drain_tick,
             name="chrono-drain",
@@ -332,6 +337,18 @@ class ChronoPolicy(TieringPolicy):
             "chrono.rate_limit_mbps", now_ns,
             effective * PAGE_SIZE / 1e6,
         )
+        obs = kernel.obs
+        if obs is not None:
+            obs.set_gauge("chrono.cit_threshold_ns", self.cit_threshold_ns)
+            obs.set_gauge("chrono.rate_limit_pages_per_sec", effective)
+            obs.emit(
+                "tune.update",
+                now_ns,
+                cit_threshold_ns=float(self.cit_threshold_ns),
+                rate_limit_pages_per_sec=float(effective),
+                enqueue_rate=float(enqueue_rate),
+                backoff=float(self._thrash_backoff),
+            )
         kernel.scheduler.schedule(
             now_ns + self.tune_period_ns, self._tune_tick,
             name="chrono-tune",
@@ -402,6 +419,15 @@ class ChronoPolicy(TieringPolicy):
             self.monitor.record_thrash(n_thrash)
             kernel.stats.thrash_events += n_thrash
             process.stats.thrash_events += n_thrash
+            if kernel.obs is not None:
+                kernel.obs.inc("thrash.events", n_thrash)
+                kernel.obs.emit(
+                    "thrash.detect",
+                    now,
+                    pid=process.pid,
+                    n_pages=n_thrash,
+                    vpns=vpns[thrashing],
+                )
             # Each round trip is counted once.
             pages.demoted[vpns[thrashing]] = False
 
@@ -442,6 +468,20 @@ class ChronoPolicy(TieringPolicy):
         kernel = self._require_kernel()
         added = self.queue.enqueue(process, ready_vpns)
         kernel.stats.promotion_enqueued += added
+        obs = kernel.obs
+        if obs is not None:
+            obs.inc("promotion.submitted", int(ready_vpns.size))
+            obs.inc("promotion.enqueued", added)
+            obs.set_gauge("promotion.queue_depth", len(self.queue))
+            obs.emit(
+                "promotion.decision",
+                kernel.clock.now,
+                pid=process.pid,
+                n_submitted=int(ready_vpns.size),
+                n_enqueued=added,
+                queue_depth=len(self.queue),
+                vpns=ready_vpns,
+            )
 
 
 def make_chrono_variant(variant: str, **overrides) -> ChronoPolicy:

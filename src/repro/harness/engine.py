@@ -137,6 +137,23 @@ class QuantumEngine:
                 self._prev_demand_bytes_per_sec = demand / (quantum / 1e9)
                 self.kernel.advance_to(start + quantum)
                 self.quanta_run += 1
+                obs = self.kernel.obs
+                if obs is not None:
+                    obs.inc("engine.quanta")
+                    gauges = self.kernel.machine.obs_gauges(
+                        self._multipliers
+                    )
+                    for name, value in gauges.items():
+                        obs.set_gauge(name, value)
+                    obs.emit(
+                        "engine.quantum",
+                        clock.now,
+                        quantum_ns=quantum,
+                        fast_free_pages=gauges["machine.fast_free_pages"],
+                        slow_free_pages=gauges["machine.slow_free_pages"],
+                        fast_contention=gauges["machine.fast_contention"],
+                        slow_contention=gauges["machine.slow_contention"],
+                    )
                 if observer is not None and clock.now >= next_observe:
                     observer(self, clock.now)
                     next_observe = clock.now + (observe_every_ns or 0)

@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.harness.engine import Observer, QuantumEngine
 from repro.harness.profiling import Profiler
 from repro.kernel.kernel import Kernel
+from repro.obs.hub import ObsHub
 from repro.mem.machine import MachineSpec, TieredMachine
 from repro.mem.tier import dram_spec, optane_spec
 from repro.sim.rng import RngStreams
@@ -78,6 +79,8 @@ class RunSummary:
     per_process: List[Dict[str, float]]
     #: per-subsystem wall-time shares when the run was profiled
     profile: Optional[Dict[str, Dict[str, float]]] = None
+    #: metrics-registry snapshot when the run carried an obs hub
+    metrics: Optional[Dict[str, Any]] = None
     #: True when the summary was served from the result cache
     cached: bool = field(default=False, compare=False)
 
@@ -98,6 +101,7 @@ class RunSummary:
             "policy_name", "duration_ns", "throughput_per_sec", "fmar",
             "latency_summary", "kernel_time_fraction",
             "context_switches_per_sec", "stats", "per_process", "profile",
+            "metrics",
         }
         return cls(**{k: data[k] for k in fields if k in data})
 
@@ -118,6 +122,7 @@ class RunResult:
     kernel: Kernel = field(repr=False)
     engine: QuantumEngine = field(repr=False)
     profile: Optional[Dict[str, Dict[str, float]]] = None
+    metrics: Optional[Dict[str, Any]] = None
 
     def series(self, name: str):
         """A recorded time series by name (threshold/rate histories)."""
@@ -142,6 +147,7 @@ class RunResult:
             stats=dict(self.stats),
             per_process=[dict(row) for row in self.per_process],
             profile=self.profile,
+            metrics=self.metrics,
         )
 
 
@@ -154,6 +160,7 @@ def run_experiment(
     observe_every_ns: Optional[int] = None,
     profile: bool = False,
     fast_path: bool = True,
+    obs: Optional[ObsHub] = None,
 ) -> RunResult:
     """Build the stack, run it, and summarize.
 
@@ -167,6 +174,11 @@ def run_experiment(
             wall-time shares on the result.
         fast_path: disable to force the reference (per-page) engine
             pricing path; used for before/after benchmarking.
+        obs: optional :class:`repro.obs.hub.ObsHub`; when provided the
+            whole stack emits trace events and metrics into it, and the
+            result carries the metrics snapshot.  The caller owns the
+            hub and must :meth:`~repro.obs.hub.ObsHub.close` it to
+            flush a streaming trace sink.
     """
     if not processes:
         raise ValueError("need at least one process")
@@ -181,6 +193,9 @@ def run_experiment(
     )
     if profile:
         kernel.profiler = Profiler()
+    # The hub must be attached before set_policy: policies wire their
+    # sub-collectors (DCSC, PEBS) to ``kernel.obs`` at configure time.
+    kernel.obs = obs
     for index, process in enumerate(processes):
         group = cgroups[index] if cgroups is not None else None
         kernel.register_process(process, cgroup=group)
@@ -246,5 +261,8 @@ def summarize_run(
             kernel.profiler.report()
             if kernel.profiler is not None
             else None
+        ),
+        metrics=(
+            kernel.obs.snapshot() if kernel.obs is not None else None
         ),
     )

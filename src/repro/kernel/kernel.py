@@ -64,6 +64,11 @@ class Kernel:
         #: optional :class:`repro.harness.profiling.Profiler`; when set,
         #: the engine and kernel subsystems charge their wall time to it
         self.profiler: Any = None
+        #: optional :class:`repro.obs.hub.ObsHub`; when set, kernel paths
+        #: emit structured trace events and maintain the metrics
+        #: registry.  ``None`` (the default) keeps every instrumentation
+        #: site to a single ``is None`` check.
+        self.obs: Any = None
         self.aging_period_ns = int(aging_period_ns)
         self._register_core_sysctls()
         self._started = False
@@ -178,6 +183,15 @@ class Kernel:
             if process.finished:
                 continue
             touched = self.lru.age_process(process, now_ns)
+            obs = self.obs
+            if obs is not None:
+                obs.inc("aging.passes")
+                obs.emit(
+                    "aging.pass",
+                    now_ns,
+                    pid=process.pid,
+                    n_touched=int(np.count_nonzero(touched)),
+                )
             cost = (
                 process.n_pages
                 * AGING_PAGE_COST_NS
@@ -232,6 +246,18 @@ class Kernel:
         cost = n * self.machine.spec.effective_fault_cost_ns
         process.charge_kernel(cost)
         self.stats.kernel_time_ns += cost
+        obs = self.obs
+        if obs is not None:
+            obs.inc("fault.batches")
+            obs.inc("fault.hint_faults", n)
+            obs.inc("fault.cost_ns", cost)
+            obs.observe_many(
+                "fault.cit_ns",
+                fault_batch.cit_ns[fault_batch.cit_ns >= 0],
+            )
+            obs.emit(
+                "fault.batch", self.clock.now, **fault_batch.event_fields()
+            )
         if self.policy is not None:
             if profiler is not None:
                 profiler.push("policy")

@@ -64,10 +64,23 @@ class MigrationEngine:
         if vpns.size == 0:
             return vpns
 
+        obs = self.kernel.obs
+        if obs is not None:
+            obs.emit(
+                "migration.issue",
+                self.kernel.clock.now,
+                pid=process.pid,
+                dst_tier=dst_tier_id,
+                n_requested=int(vpns.size),
+            )
+
         dst = machine.tiers[dst_tier_id]
         granted = dst.allocate(vpns.size)
+        dropped = int(vpns.size - granted)
         if granted < vpns.size and dst_tier_id == FAST_TIER:
             stats.promotion_dropped += vpns.size - granted
+            if obs is not None:
+                obs.inc("migration.dropped_pages", dropped)
         moved = vpns[:granted]
         if moved.size == 0:
             return moved
@@ -123,6 +136,25 @@ class MigrationEngine:
                 pages.protect_at(
                     moved, np.full(moved.size, now, dtype=np.int64)
                 )
+
+        if obs is not None:
+            if dst_tier_id == FAST_TIER:
+                obs.inc("migration.promoted_pages", int(moved.size))
+            else:
+                obs.inc("migration.demoted_pages", int(moved.size))
+            obs.inc("migration.cost_ns", cost)
+            obs.observe("migration.batch_pages", float(moved.size))
+            obs.emit(
+                "migration.complete",
+                self.kernel.clock.now,
+                pid=process.pid,
+                dst_tier=dst_tier_id,
+                n_moved=int(moved.size),
+                n_dropped=dropped,
+                cost_ns=float(cost),
+                promotion=dst_tier_id == FAST_TIER,
+                vpns=moved,
+            )
 
         # Context switches: migrations run in kthreads and bounce the task.
         switches = max(1, int(moved.size) // 64)

@@ -69,6 +69,22 @@ class Watermarks:
     #: this free to "make room" would waste the fast tier it protects
     MAX_PRO_FRACTION = 0.08
 
+    def zone_of(self, free_pages: int) -> str:
+        """Classify a free-page level against the watermark ladder.
+
+        Returns one of ``above_high`` (healthy), ``below_high``
+        (kswapd territory), ``below_low`` (reclaim urgently), or
+        ``below_min`` (allocation stalls) -- the vocabulary of the
+        ``watermark.cross`` trace event.
+        """
+        if free_pages >= self.high_pages:
+            return "above_high"
+        if free_pages >= self.low_pages:
+            return "below_high"
+        if free_pages >= self.min_pages:
+            return "below_low"
+        return "below_min"
+
     def set_pro_gap(self, gap_pages: int) -> None:
         """Resize the promotion headroom (Chrono recomputes this whenever
         the promotion rate limit changes)."""
@@ -101,6 +117,8 @@ class ReclaimDaemon:
         self.period_ns = period_ns
         self.mark_demoted = mark_demoted
         self._running = False
+        #: watermark zone observed at the last tick (crossing detection)
+        self._last_zone: str = ""
 
     def start(self) -> None:
         if self._running:
@@ -122,10 +140,34 @@ class ReclaimDaemon:
         """One reclaim pass; returns the number of pages demoted."""
         fast = self.kernel.machine.fast
         free = fast.free_pages
+        obs = self.kernel.obs
+        if obs is not None:
+            zone = self.watermarks.zone_of(free)
+            if zone != self._last_zone:
+                if self._last_zone:
+                    obs.inc("watermark.crossings")
+                    obs.emit(
+                        "watermark.cross",
+                        now_ns,
+                        free_pages=int(free),
+                        zone=zone,
+                        prev_zone=self._last_zone,
+                    )
+                self._last_zone = zone
         if free >= self.watermarks.high_pages:
             return 0
         target = max(self.watermarks.pro_pages, self.watermarks.high_pages)
         need = target - free
+        if obs is not None:
+            obs.inc("reclaim.wakes")
+            obs.emit(
+                "reclaim.wake",
+                now_ns,
+                free_pages=int(free),
+                target_pages=int(target),
+                need_pages=int(need),
+                direct=False,
+            )
         return self.demote_cold_pages(need, now_ns)
 
     def demote_cold_pages(
@@ -161,6 +203,28 @@ class ReclaimDaemon:
             )
             victims = _merge_victims(victims, extra)
 
+        obs = self.kernel.obs
+        if obs is not None:
+            obs.emit(
+                "demotion.decision",
+                now_ns,
+                n_requested=int(n_pages),
+                n_selected=int(sum(v.size for _, v in victims)),
+                direct=direct_for is not None,
+            )
+            if direct_for is not None:
+                obs.inc("reclaim.wakes")
+                obs.emit(
+                    "reclaim.wake",
+                    now_ns,
+                    free_pages=int(self.kernel.machine.fast.free_pages),
+                    target_pages=int(
+                        self.kernel.machine.fast.free_pages + n_pages
+                    ),
+                    need_pages=int(n_pages),
+                    direct=True,
+                )
+
         demoted = 0
         for process, vpns in victims:
             moved = self.kernel.migration.migrate(
@@ -170,6 +234,8 @@ class ReclaimDaemon:
                 mark_demoted=self.mark_demoted,
             )
             demoted += int(moved.size)
+        if obs is not None:
+            obs.inc("reclaim.demoted_pages", demoted)
         if direct_for is not None and demoted > 0:
             penalty = (
                 demoted
@@ -178,6 +244,8 @@ class ReclaimDaemon:
             )
             direct_for.charge_kernel(penalty)
             self.kernel.stats.kernel_time_ns += penalty
+            if obs is not None:
+                obs.inc("reclaim.direct_penalty_ns", penalty)
         return demoted
 
 

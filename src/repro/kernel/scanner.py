@@ -114,6 +114,21 @@ class TickingScanner:
         self.kernel.stats.pages_scanned += marked
         if wrapped:
             self.kernel.stats.scan_passes += 1
+        obs = self.kernel.obs
+        if obs is not None:
+            obs.inc("scan.windows")
+            obs.inc("scan.pages_marked", marked)
+            if wrapped:
+                obs.inc("scan.passes")
+            obs.emit(
+                "scan.window",
+                now_ns,
+                pid=process.pid,
+                n_window=int(window.size),
+                n_marked=int(marked),
+                wrapped=bool(wrapped),
+                vpns=window,
+            )
 
         if self.on_scan is not None:
             if profiler is not None:

@@ -214,6 +214,24 @@ class TieredMachine:
         multipliers[saturated] = self.MAX_CONTENTION
         return multipliers
 
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def obs_gauges(self, contention: np.ndarray) -> dict:
+        """Machine-state gauge values for the metrics registry.
+
+        ``contention`` is the current per-tier latency-multiplier vector
+        (the engine computes it once per quantum).  Keys match the
+        ``machine.*`` entries of
+        :data:`repro.obs.metrics.METRIC_CATALOGUE`.
+        """
+        return {
+            "machine.fast_free_pages": float(self.fast.free_pages),
+            "machine.slow_free_pages": float(self.slow.free_pages),
+            "machine.fast_contention": float(contention[FAST_TIER]),
+            "machine.slow_contention": float(contention[SLOW_TIER]),
+        }
+
     def __repr__(self) -> str:
         tier_desc = ", ".join(
             f"{t.name}:{t.used_pages}/{t.capacity_pages}" for t in self.tiers

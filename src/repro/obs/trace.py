@@ -1,0 +1,137 @@
+"""The ring-buffered event tracer and its JSONL sink.
+
+:class:`Tracer` is the in-process event collector.  Emission is a dict
+build plus a deque append -- no validation, no serialization -- so
+tracing costs little even at full event volume, and the simulator pays
+*nothing* when no tracer is attached (every instrumentation site is a
+single ``kernel.obs is None`` check; see :mod:`repro.obs.hub`).
+
+Two retention modes:
+
+* **ring** (default, no sink): the newest ``ring_capacity`` events are
+  kept in memory, older ones are dropped and counted -- the mode for
+  programmatic inspection and tests;
+* **stream** (``sink`` given): events are appended to a JSONL file,
+  flushing every ``flush_every`` events, so arbitrarily long runs trace
+  with bounded memory.  Numpy payloads are converted to JSON lists at
+  flush time, off the emission hot path.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Any, Deque, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.obs.events import EVENT_SCHEMA
+
+
+def _jsonify(value: Any) -> Any:
+    """Convert numpy payload values to plain JSON-compatible types."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+class Tracer:
+    """Collect structured trace events in a ring or stream them to JSONL."""
+
+    def __init__(
+        self,
+        sink: Optional[Union[str, Path, IO[str]]] = None,
+        ring_capacity: int = 65_536,
+        flush_every: int = 8_192,
+        strict: bool = False,
+    ) -> None:
+        """Create a tracer.
+
+        Args:
+            sink: a path or text file object to stream JSONL to; ``None``
+                keeps events in the in-memory ring instead.
+            ring_capacity: events retained in ring mode.
+            flush_every: buffered events between stream flushes.
+            strict: validate each event type against the catalogue at
+                emission time (tests); production emitters are trusted.
+        """
+        if ring_capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        if flush_every <= 0:
+            raise ValueError("flush threshold must be positive")
+        self._sink = sink
+        self._file: Optional[IO[str]] = None
+        self._owns_file = False
+        self.flush_every = int(flush_every)
+        self.strict = bool(strict)
+        self.emitted = 0
+        self.dropped = 0
+        self._buffer: Deque[Dict[str, Any]] = deque(
+            maxlen=None if sink is not None else int(ring_capacity)
+        )
+        self._ring_capacity = int(ring_capacity)
+
+    # ------------------------------------------------------------------
+    def emit(self, type_: str, t: int, **fields: Any) -> None:
+        """Record one event (the hot path)."""
+        if self.strict and type_ not in EVENT_SCHEMA:
+            raise KeyError(f"event type {type_!r} is not in the catalogue")
+        buffer = self._buffer
+        if buffer.maxlen is not None and len(buffer) == buffer.maxlen:
+            self.dropped += 1
+        event = {"type": type_, "t": int(t)}
+        event.update(fields)
+        buffer.append(event)
+        self.emitted += 1
+        if self._sink is not None and len(buffer) >= self.flush_every:
+            self.flush()
+
+    def events(self) -> List[Dict[str, Any]]:
+        """Return the retained events (ring contents, oldest first)."""
+        return list(self._buffer)
+
+    # ------------------------------------------------------------------
+    def _open(self) -> IO[str]:
+        if self._file is None:
+            if hasattr(self._sink, "write"):
+                self._file = self._sink  # type: ignore[assignment]
+            else:
+                self._file = open(self._sink, "w", encoding="utf-8")
+                self._owns_file = True
+        return self._file
+
+    def flush(self) -> None:
+        """Write buffered events to the sink (no-op in ring mode)."""
+        if self._sink is None or not self._buffer:
+            return
+        out = self._open()
+        while self._buffer:
+            event = self._buffer.popleft()
+            out.write(
+                json.dumps({k: _jsonify(v) for k, v in event.items()})
+                + "\n"
+            )
+        out.flush()
+
+    def close(self) -> None:
+        """Flush and release the sink file (idempotent)."""
+        self.flush()
+        if self._file is not None and self._owns_file:
+            self._file.close()
+            self._file = None
+            self._owns_file = False
+
+    def __enter__(self) -> "Tracer":
+        """Return self (context-manager support)."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Close the tracer on context exit."""
+        self.close()
+
+    def __len__(self) -> int:
+        """Return the number of currently buffered events."""
+        return len(self._buffer)

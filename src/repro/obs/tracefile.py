@@ -1,0 +1,164 @@
+"""Trace-file reading, filtering, and aggregation.
+
+The consumers behind ``chrono-sim trace``: stream a JSONL trace written
+by :class:`~repro.obs.trace.Tracer`, then
+
+* :func:`summarize` -- event counts and time range per event type;
+* :func:`epoch_migrations` -- per-epoch promotion/demotion/fault/scan
+  counts (the Figure-6-style migration timeline);
+* :func:`page_timeline` -- the life of one ``(pid, vpn)`` page: every
+  scan, fault, CIT sample, promotion decision, and migration that
+  mentioned it, in time order.
+
+All aggregations are single-pass over an event iterator, so traces far
+larger than memory stream through untouched.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+
+def read_events(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Stream events from a JSONL trace file, skipping blank lines."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            yield json.loads(line)
+
+
+def summarize(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Count events per type and report the covered time range.
+
+    Returns ``{"total": n, "t_first": ns, "t_last": ns, "by_type":
+    {type: {"count": n, "t_first": ns, "t_last": ns}}}`` with ``None``
+    timestamps for an empty trace.
+    """
+    by_type: Dict[str, Dict[str, Any]] = {}
+    total = 0
+    t_first: Optional[int] = None
+    t_last: Optional[int] = None
+    for event in events:
+        total += 1
+        t = int(event["t"])
+        t_first = t if t_first is None else min(t_first, t)
+        t_last = t if t_last is None else max(t_last, t)
+        row = by_type.setdefault(
+            event["type"], {"count": 0, "t_first": t, "t_last": t}
+        )
+        row["count"] += 1
+        row["t_first"] = min(row["t_first"], t)
+        row["t_last"] = max(row["t_last"], t)
+    return {
+        "total": total,
+        "t_first": t_first,
+        "t_last": t_last,
+        "by_type": dict(sorted(by_type.items())),
+    }
+
+
+def epoch_migrations(
+    events: Iterable[Dict[str, Any]], epoch_ns: int
+) -> List[Dict[str, Any]]:
+    """Aggregate migration activity into fixed time epochs.
+
+    Buckets ``migration.complete`` page counts (split by direction),
+    hint-fault counts, and scan events into epochs of ``epoch_ns``
+    simulated nanoseconds.  Returns one row per non-empty epoch, in
+    time order; the promoted/demoted columns sum exactly to the run's
+    ``pgpromote``/``pgdemote`` counters because every migration funnels
+    through the engine that emits the events.
+    """
+    if epoch_ns <= 0:
+        raise ValueError("epoch length must be positive")
+    epochs: Dict[int, Dict[str, Any]] = {}
+    for event in events:
+        kind = event["type"]
+        if kind not in (
+            "migration.complete", "fault.batch", "scan.window",
+        ):
+            continue
+        index = int(event["t"]) // epoch_ns
+        row = epochs.setdefault(
+            index,
+            {
+                "epoch": index,
+                "t_start": index * epoch_ns,
+                "promoted": 0,
+                "demoted": 0,
+                "faults": 0,
+                "scan_windows": 0,
+            },
+        )
+        if kind == "migration.complete":
+            if event.get("promotion"):
+                row["promoted"] += int(event["n_moved"])
+            else:
+                row["demoted"] += int(event["n_moved"])
+        elif kind == "fault.batch":
+            row["faults"] += int(event["n_faults"])
+        else:
+            row["scan_windows"] += 1
+    return [epochs[index] for index in sorted(epochs)]
+
+
+def _vpn_position(event: Dict[str, Any], vpn: int) -> Optional[int]:
+    """Return the index of ``vpn`` in the event's vpn list, if present."""
+    vpns = event.get("vpns")
+    if vpns is None:
+        return None
+    try:
+        return vpns.index(vpn)
+    except ValueError:
+        return None
+
+
+#: per-event-type scalar detail extractors for the page timeline; each
+#: maps (event, index of the page in the vpn list) -> detail dict
+_TIMELINE_DETAILS = {
+    "scan.window": lambda e, i: {"wrapped": e.get("wrapped")},
+    "fault.batch": lambda e, i: {
+        "cit_ns": e["cit_ns"][i], "fault_ts_ns": e["fault_ts_ns"][i],
+    },
+    "cit.sample": lambda e, i: {
+        "cit_ns": e["cit_ns"][i], "tier": e["tiers"][i],
+    },
+    "promotion.decision": lambda e, i: {
+        "queue_depth": e.get("queue_depth"),
+    },
+    "migration.complete": lambda e, i: {
+        "dst_tier": e["dst_tier"], "promotion": e.get("promotion"),
+    },
+    "thrash.detect": lambda e, i: {},
+}
+
+
+def page_timeline(
+    events: Iterable[Dict[str, Any]], pid: int, vpn: int
+) -> List[Dict[str, Any]]:
+    """Extract the chronological event timeline of one page.
+
+    Scans every page-carrying event (see
+    :data:`repro.obs.events.PAGE_EVENT_TYPES`) owned by ``pid`` for
+    ``vpn`` and returns ``{"t", "type", **detail}`` rows sorted by time.
+    This is the worked-example view in ``docs/OBSERVABILITY.md``: a
+    page's first scan, its faults with their CITs, its promotion
+    decision, and the migration that moved it.
+    """
+    rows: List[Dict[str, Any]] = []
+    for event in events:
+        detail_fn = _TIMELINE_DETAILS.get(event["type"])
+        if detail_fn is None or event.get("pid") != pid:
+            continue
+        index = _vpn_position(event, vpn)
+        if index is None:
+            continue
+        row = {"t": int(event["t"]), "type": event["type"]}
+        row.update(detail_fn(event, index))
+        rows.append(row)
+    rows.sort(key=lambda row: row["t"])
+    return rows

@@ -10,6 +10,7 @@ designers to keep the rate low.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -43,6 +44,10 @@ class PebsSampler:
         self._rng = rng
         self.total_samples = 0.0
         self.total_overhead_ns = 0.0
+        #: optional :class:`repro.obs.hub.ObsHub` (wired by the owning
+        #: policy at attach time); window events and sample counters
+        #: flow to it
+        self.obs = None
 
     def sample_window(
         self,
@@ -50,6 +55,8 @@ class PebsSampler:
         n_accesses: float,
         window_ns: int,
         budget_share: float = 1.0,
+        pid: Optional[int] = None,
+        now_ns: Optional[int] = None,
     ) -> np.ndarray:
         """Sample one window of a process's traffic.
 
@@ -59,6 +66,9 @@ class PebsSampler:
             window_ns: window length.
             budget_share: this process's share of the machine-wide sample
                 budget (1 / number of sampled processes).
+            pid / now_ns: owning process and window timestamp for the
+                ``pebs.window`` trace event (optional; the event is only
+                emitted when both are provided and a hub is wired).
 
         Returns:
             Per-page sampled hit counts.  The expected total is
@@ -78,10 +88,21 @@ class PebsSampler:
             return np.zeros_like(np.asarray(access_probs))
         expected = np.asarray(access_probs, dtype=np.float64) * n_samples
         counts = self._rng.poisson(expected).astype(np.float64)
-        self.total_samples += float(counts.sum())
-        self.total_overhead_ns += (
-            float(counts.sum()) * self.config.sample_drain_cost_ns
-        )
+        drawn = float(counts.sum())
+        overhead = drawn * self.config.sample_drain_cost_ns
+        self.total_samples += drawn
+        self.total_overhead_ns += overhead
+        if self.obs is not None:
+            self.obs.inc("pebs.samples", drawn)
+            self.obs.inc("pebs.overhead_ns", overhead)
+            if pid is not None and now_ns is not None:
+                self.obs.emit(
+                    "pebs.window",
+                    now_ns,
+                    pid=pid,
+                    n_samples=drawn,
+                    overhead_ns=overhead,
+                )
         return counts
 
     def drain_overhead_ns(self) -> float:

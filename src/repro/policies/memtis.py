@@ -117,6 +117,7 @@ class MemtisPolicy(TieringPolicy):
             PebsConfig(max_samples_per_sec=self.sample_rate_per_sec),
             kernel.rng.get("memtis.pebs"),
         )
+        self.sampler.obs = kernel.obs
 
     def start(self) -> None:
         kernel = self._require_kernel()
@@ -145,7 +146,8 @@ class MemtisPolicy(TieringPolicy):
         kernel = self._require_kernel()
         n_procs = max(len(kernel.processes), 1)
         sampled = self.sampler.sample_window(
-            probs, n_accesses, quantum_ns, budget_share=1.0 / n_procs
+            probs, n_accesses, quantum_ns, budget_share=1.0 / n_procs,
+            pid=process.pid, now_ns=start_ns,
         )
         state = self.state(process)
         state.counts += sampled

@@ -48,6 +48,21 @@ class FaultBatch:
     def n_faults(self) -> int:
         return int(len(self.vpns))
 
+    def event_fields(self) -> dict:
+        """The batch as a ``fault.batch`` trace-event payload.
+
+        Keys match the ``fault.batch`` entry of
+        :data:`repro.obs.events.EVENT_SCHEMA`; arrays stay numpy and are
+        JSON-ified by the tracer at flush time.
+        """
+        return {
+            "pid": self.pid,
+            "n_faults": self.n_faults,
+            "vpns": self.vpns,
+            "fault_ts_ns": self.fault_ts_ns,
+            "cit_ns": self.cit_ns,
+        }
+
     @classmethod
     def empty(cls, pid: int) -> "FaultBatch":
         return cls(

@@ -69,6 +69,125 @@ class TestRun:
         assert "throughput" in capsys.readouterr().out
 
 
+class TestRunObservability:
+    def test_trace_writes_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "out.jsonl"
+        code = main(
+            ["run", "--policy", "chrono", "--trace", str(trace)]
+            + FAST_ARGS
+        )
+        assert code == 0
+        assert f"trace written to {trace}" in capsys.readouterr().out
+        events = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert events
+        assert all("type" in e and "t" in e for e in events)
+        assert any(e["type"] == "engine.quantum" for e in events)
+
+    def test_metrics_text_output(self, capsys):
+        code = main(
+            ["run", "--policy", "chrono", "--metrics"] + FAST_ARGS
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics: counters" in out
+        assert "engine.quanta" in out
+        assert "metrics: gauges" in out
+
+    def test_metrics_json_output(self, capsys):
+        code = main(
+            ["run", "--policy", "chrono", "--metrics", "--json"]
+            + FAST_ARGS
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        metrics = payload["metrics"]
+        assert metrics["counters"]["engine.quanta"] > 0
+        assert "promotion.queue_depth" in metrics["gauges"]
+        assert "fault.cit_ns" in metrics["histograms"]
+
+    def test_observe_implies_all_three(self, tmp_path, capsys):
+        trace = tmp_path / "obs.jsonl"
+        code = main(
+            ["run", "--policy", "chrono", "--observe", str(trace)]
+            + FAST_ARGS
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wall-time profile" in out
+        assert "metrics: counters" in out
+        assert trace.exists()
+
+    def test_profile_rows_sorted_descending(self, capsys):
+        code = main(
+            ["run", "--policy", "chrono", "--profile"] + FAST_ARGS
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = out.split("wall-time profile")[1].strip().splitlines()
+        seconds = [
+            float(line.split()[1]) for line in lines[2:] if line.strip()
+        ]
+        assert seconds == sorted(seconds, reverse=True)
+
+
+class TestTraceCommand:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                ["run", "--policy", "chrono", "--trace", str(path)]
+                + FAST_ARGS
+            )
+            == 0
+        )
+        return path
+
+    def test_summary_and_epochs(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main(["trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "engine.quantum" in out
+
+    def test_json_epochs(self, trace_path, capsys):
+        capsys.readouterr()
+        assert (
+            main(["trace", str(trace_path), "--epoch-sec", "0.5",
+                  "--json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["total"] > 0
+        assert all("promoted" in row for row in payload["epochs"])
+
+    def test_page_timeline(self, trace_path, capsys):
+        capsys.readouterr()
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        fault = next(e for e in events if e["type"] == "fault.batch")
+        page = f"{fault['pid']}:{fault['vpns'][0]}"
+        assert main(["trace", str(trace_path), "--page", page]) == 0
+        out = capsys.readouterr().out
+        assert "timeline" in out
+        assert "fault.batch" in out
+
+    def test_page_timeline_no_events(self, trace_path, capsys):
+        capsys.readouterr()
+        assert (
+            main(["trace", str(trace_path), "--page", "999:999"]) == 0
+        )
+        assert "no events" in capsys.readouterr().out
+
+    def test_bad_page_arg(self, trace_path):
+        with pytest.raises(SystemExit):
+            main(["trace", str(trace_path), "--page", "nonsense"])
+
+
 class TestCompare:
     def test_compare_two_policies(self, capsys):
         code = main(

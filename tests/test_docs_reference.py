@@ -1,0 +1,151 @@
+"""Docs-consistency gate: the observability reference must be complete.
+
+``docs/OBSERVABILITY.md`` promises to enumerate 100% of the event types
+and metric names the code can emit.  These tests make that promise
+load-bearing: adding an event or metric without documenting it fails CI,
+as does leaving a stale name in the document after renaming it in the
+catalogue.  A final check asserts every public definition under
+``src/repro/obs/`` carries a docstring, backing the ruff pydocstyle
+gate (which CI runs but local environments may lack).
+"""
+
+import ast
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs.events import EVENT_SCHEMA, event_names
+from repro.obs.metrics import METRIC_CATALOGUE, metric_names
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_PATH = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+OBS_SRC = REPO_ROOT / "src" / "repro" / "obs"
+
+#: backticked names in the doc that look like catalogue entries
+_DOTTED_NAME = re.compile(r"`([a-z_]+\.[a-z_]+)`")
+
+#: dotted prefixes that are module/attribute references, not catalogue
+#: names (e.g. ``repro.obs``, ``docs/OBSERVABILITY.md`` fragments)
+_NON_CATALOGUE_PREFIXES = (
+    "repro.", "docs.", "tests.", "scripts.", "np.", "numpy.",
+    "tracer.", "result.", "hub.", "kernel.", "self.", "args.",
+)
+
+
+@pytest.fixture(scope="module")
+def doc_text():
+    """The observability reference document."""
+    assert DOC_PATH.exists(), "docs/OBSERVABILITY.md is missing"
+    return DOC_PATH.read_text(encoding="utf-8")
+
+
+class TestEventCoverage:
+    def test_every_event_type_documented(self, doc_text):
+        missing = [
+            name for name in event_names() if f"`{name}`" not in doc_text
+        ]
+        assert not missing, (
+            f"events missing from docs/OBSERVABILITY.md: {missing}"
+        )
+
+    def test_every_event_field_documented(self, doc_text):
+        missing = []
+        for name, spec in EVENT_SCHEMA.items():
+            # Each event's fields must appear after its heading, before
+            # the next heading -- a field mentioned elsewhere does not
+            # count as documenting this event.
+            match = re.search(
+                rf"### `{re.escape(name)}`\n(.*?)(?=\n### |\Z)",
+                doc_text,
+                re.DOTALL,
+            )
+            if match is None:
+                missing.append((name, "<section>"))
+                continue
+            section = match.group(1)
+            for field_name in spec.fields:
+                if f"`{field_name}`" not in section:
+                    missing.append((name, field_name))
+        assert not missing, (
+            f"event fields missing from their sections: {missing}"
+        )
+
+    def test_event_descriptions_have_modules(self):
+        for name, spec in EVENT_SCHEMA.items():
+            assert spec.module.startswith("repro."), name
+            assert spec.description, name
+            for field_name, field_spec in spec.fields.items():
+                assert field_spec.unit, (name, field_name)
+                assert field_spec.description, (name, field_name)
+
+
+class TestMetricCoverage:
+    def test_every_metric_documented(self, doc_text):
+        missing = [
+            name for name in metric_names() if f"`{name}`" not in doc_text
+        ]
+        assert not missing, (
+            f"metrics missing from docs/OBSERVABILITY.md: {missing}"
+        )
+
+    def test_metric_specs_complete(self):
+        for name, spec in METRIC_CATALOGUE.items():
+            assert spec.kind in ("counter", "gauge", "histogram"), name
+            assert spec.module.startswith("repro."), name
+            assert spec.unit and spec.description, name
+            if spec.kind == "histogram":
+                assert len(spec.edges) >= 1, name
+
+    def test_no_stale_names_in_doc(self, doc_text):
+        """Dotted backticked names resembling catalogue entries must
+        exist in a catalogue (catches renames that skip the doc)."""
+        known = set(event_names()) | set(metric_names())
+        prefixes = {name.split(".", 1)[0] for name in known}
+        stale = []
+        for candidate in set(_DOTTED_NAME.findall(doc_text)):
+            if candidate in known:
+                continue
+            if candidate.startswith(_NON_CATALOGUE_PREFIXES):
+                continue
+            if candidate.split(".", 1)[0] in prefixes:
+                stale.append(candidate)
+        assert not stale, (
+            f"docs/OBSERVABILITY.md mentions uncatalogued names: "
+            f"{sorted(stale)}"
+        )
+
+
+class TestObsDocstrings:
+    """Every public definition in repro.obs carries a docstring."""
+
+    @staticmethod
+    def _undocumented(path: Path):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        missing = []
+        if ast.get_docstring(tree) is None:
+            missing.append(f"{path.name}:module")
+
+        def visit(node, qualname):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    name = child.name
+                    public = not name.startswith("_") or (
+                        name.startswith("__") and name.endswith("__")
+                    )
+                    label = f"{qualname}{name}"
+                    if public and ast.get_docstring(child) is None:
+                        missing.append(f"{path.name}:{label}")
+                    visit(child, f"{label}.")
+
+        visit(tree, "")
+        return missing
+
+    def test_all_public_defs_documented(self):
+        missing = []
+        for path in sorted(OBS_SRC.glob("*.py")):
+            missing.extend(self._undocumented(path))
+        assert not missing, f"undocumented public APIs: {missing}"

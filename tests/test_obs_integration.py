@@ -1,0 +1,140 @@
+"""Integration tests: the observability layer against real runs.
+
+The acceptance invariant: aggregating a run's trace into per-epoch
+promotion/demotion counts reproduces the run's ``pgpromote``/``pgdemote``
+counters exactly, because every migration funnels through the one engine
+that emits ``migration.complete``.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.experiments import StandardSetup, pmbench_processes
+from repro.harness.runner import RunSummary, run_experiment
+from repro.obs import ObsHub
+from repro.obs.tracefile import epoch_migrations, read_events, summarize
+from repro.sim.timeunits import SECOND
+
+
+def small_setup(**overrides):
+    defaults = dict(
+        fast_pages=512,
+        slow_pages=4_096,
+        duration_ns=6 * SECOND,
+        page_scale=8,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return StandardSetup(**defaults)
+
+
+def run_with_hub(hub, policy="chrono", **overrides):
+    setup = small_setup(**overrides)
+    processes = pmbench_processes(setup, n_procs=3, pages_per_proc=512)
+    result = run_experiment(
+        processes, setup.build_policy(policy), setup.run_config(), obs=hub
+    )
+    hub.close()
+    return result
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    hub = ObsHub.create(trace=True, metrics=True)
+    result = run_with_hub(hub)
+    return hub, result
+
+
+class TestEventFlow:
+    def test_core_event_types_present(self, traced_run):
+        hub, _ = traced_run
+        types = {event["type"] for event in hub.tracer.events()}
+        assert {
+            "engine.quantum", "scan.window", "fault.batch", "cit.sample",
+            "dcsc.probe", "promotion.decision", "migration.issue",
+            "migration.complete", "reclaim.wake", "watermark.cross",
+            "aging.pass", "tune.update",
+        } <= types
+
+    def test_events_time_ordered_per_type(self, traced_run):
+        hub, result = traced_run
+        times = [event["t"] for event in hub.tracer.events()
+                 if event["type"] == "engine.quantum"]
+        assert times == sorted(times)
+        assert times[-1] <= result.duration_ns
+
+    def test_migration_events_match_run_counters(self, traced_run):
+        hub, result = traced_run
+        events = hub.tracer.events()
+        promoted = sum(
+            event["n_moved"] for event in events
+            if event["type"] == "migration.complete" and event["promotion"]
+        )
+        demoted = sum(
+            event["n_moved"] for event in events
+            if event["type"] == "migration.complete"
+            and not event["promotion"]
+        )
+        assert promoted == result.stats["pgpromote"]
+        assert demoted == result.stats["pgdemote"]
+
+    def test_metrics_match_run_counters(self, traced_run):
+        hub, result = traced_run
+        counters = hub.snapshot()["counters"]
+        assert counters["migration.promoted_pages"] == (
+            result.stats["pgpromote"]
+        )
+        assert counters["migration.demoted_pages"] == (
+            result.stats["pgdemote"]
+        )
+        assert counters["fault.hint_faults"] == result.stats["hint_faults"]
+        assert counters["engine.quanta"] > 0
+        assert result.metrics == hub.snapshot()
+
+    def test_unobserved_run_is_unchanged(self):
+        baseline = run_with_hub(ObsHub.create(trace=True, metrics=True))
+        setup = small_setup()
+        plain = run_experiment(
+            pmbench_processes(setup, n_procs=3, pages_per_proc=512),
+            setup.build_policy("chrono"),
+            setup.run_config(),
+        )
+        # Observation must not perturb the simulation itself.
+        assert plain.stats == baseline.stats
+        assert plain.throughput_per_sec == baseline.throughput_per_sec
+        assert plain.metrics is None
+
+
+class TestEpochAggregation:
+    def test_epoch_totals_equal_run_summary(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        hub = ObsHub.create(trace_sink=path, metrics=True)
+        result = run_with_hub(hub)
+        rows = epoch_migrations(read_events(path), SECOND)
+        assert sum(r["promoted"] for r in rows) == result.stats["pgpromote"]
+        assert sum(r["demoted"] for r in rows) == result.stats["pgdemote"]
+        assert sum(r["faults"] for r in rows) == result.stats["hint_faults"]
+        summary = summarize(read_events(path))
+        assert summary["total"] == hub.tracer.emitted
+
+    def test_summary_metrics_survive_json(self, traced_run):
+        _, result = traced_run
+        summary = result.to_summary()
+        round_trip = RunSummary.from_dict(
+            json.loads(json.dumps(summary.to_dict()))
+        )
+        assert round_trip.metrics == summary.metrics
+        assert round_trip.metrics["counters"]["migration.promoted_pages"] \
+            == result.stats["pgpromote"]
+
+
+class TestPebsPoliciesEmit:
+    def test_memtis_run_emits_pebs_events(self):
+        hub = ObsHub.create(trace=True, metrics=True)
+        run_with_hub(hub, policy="memtis", duration_ns=3 * SECOND)
+        counters = hub.snapshot()["counters"]
+        assert counters["pebs.samples"] > 0
+        assert counters["pebs.overhead_ns"] > 0
+        types = {event["type"] for event in hub.tracer.events()}
+        assert "pebs.window" in types

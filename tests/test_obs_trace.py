@@ -1,0 +1,190 @@
+"""Unit tests for the tracer, the hub, and trace-file aggregation."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.events import EVENT_SCHEMA, PAGE_EVENT_TYPES
+from repro.obs.hub import ObsHub
+from repro.obs.trace import Tracer
+from repro.obs.tracefile import (
+    epoch_migrations,
+    page_timeline,
+    read_events,
+    summarize,
+)
+
+
+class TestTracerRing:
+    def test_retains_newest_and_counts_drops(self):
+        tracer = Tracer(ring_capacity=3)
+        for i in range(5):
+            tracer.emit("scan.window", i, pid=0)
+        events = tracer.events()
+        assert [e["t"] for e in events] == [2, 3, 4]
+        assert tracer.dropped == 2
+        assert tracer.emitted == 5
+        assert len(tracer) == 3
+
+    def test_strict_rejects_uncatalogued_type(self):
+        tracer = Tracer(strict=True)
+        with pytest.raises(KeyError):
+            tracer.emit("not.an_event", 0)
+        tracer.emit("scan.window", 0)  # catalogued: fine
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(ring_capacity=0)
+        with pytest.raises(ValueError):
+            Tracer(flush_every=0)
+
+
+class TestTracerStream:
+    def test_jsonl_round_trip_converts_numpy(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(sink=path) as tracer:
+            tracer.emit(
+                "fault.batch",
+                np.int64(1_000),
+                pid=np.int32(2),
+                vpns=np.array([5, 9], dtype=np.int64),
+                cit_ns=np.array([100, -1], dtype=np.int64),
+            )
+        events = list(read_events(path))
+        assert events == [
+            {
+                "type": "fault.batch",
+                "t": 1000,
+                "pid": 2,
+                "vpns": [5, 9],
+                "cit_ns": [100, -1],
+            }
+        ]
+
+    def test_flush_every_batches_writes(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink=sink, flush_every=3)
+        tracer.emit("scan.window", 1)
+        tracer.emit("scan.window", 2)
+        assert sink.getvalue() == ""  # below the flush threshold
+        tracer.emit("scan.window", 3)
+        assert len(sink.getvalue().splitlines()) == 3
+        tracer.close()
+
+    def test_close_flushes_remainder(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink=sink, flush_every=1000)
+        tracer.emit("scan.window", 1)
+        tracer.close()
+        assert len(sink.getvalue().splitlines()) == 1
+
+
+class TestObsHub:
+    def test_disabled_halves_noop(self):
+        hub = ObsHub()  # neither tracer nor metrics
+        hub.emit("scan.window", 0)
+        hub.inc("scan.windows")
+        hub.set_gauge("promotion.queue_depth", 1)
+        hub.observe("fault.cit_ns", 1.0)
+        hub.observe_many("fault.cit_ns", np.array([1.0]))
+        assert hub.snapshot() is None
+        hub.close()
+
+    def test_create_wires_both(self):
+        hub = ObsHub.create(trace=True, metrics=True)
+        hub.emit("scan.window", 5, pid=0)
+        hub.inc("scan.windows")
+        assert len(hub.tracer.events()) == 1
+        assert hub.snapshot()["counters"]["scan.windows"] == 1
+
+    def test_metrics_only(self):
+        hub = ObsHub.create(metrics=True)
+        assert hub.tracer is None
+        hub.emit("scan.window", 0)  # no-op, no error
+        hub.inc("scan.windows", 2)
+        assert hub.snapshot()["counters"]["scan.windows"] == 2
+
+
+def _sample_events():
+    """A hand-built event stream spanning three one-second epochs."""
+    second = 1_000_000_000
+    return [
+        {"type": "scan.window", "t": 0, "pid": 1, "n_window": 4,
+         "n_marked": 4, "wrapped": False, "vpns": [1, 2, 3, 4]},
+        {"type": "fault.batch", "t": second // 2, "pid": 1, "n_faults": 2,
+         "vpns": [2, 3], "fault_ts_ns": [100, 200], "cit_ns": [50, -1]},
+        {"type": "migration.complete", "t": second + 1, "pid": 1,
+         "dst_tier": 0, "n_moved": 2, "n_dropped": 0, "cost_ns": 10,
+         "promotion": True, "vpns": [2, 3]},
+        {"type": "migration.complete", "t": 2 * second + 1, "pid": 1,
+         "dst_tier": 1, "n_moved": 5, "n_dropped": 0, "cost_ns": 10,
+         "promotion": False, "vpns": [7, 8, 9, 10, 11]},
+    ]
+
+
+class TestSummarize:
+    def test_counts_and_time_range(self):
+        summary = summarize(_sample_events())
+        assert summary["total"] == 4
+        assert summary["t_first"] == 0
+        assert summary["t_last"] == 2_000_000_001
+        assert summary["by_type"]["migration.complete"]["count"] == 2
+
+    def test_empty(self):
+        summary = summarize([])
+        assert summary["total"] == 0
+        assert summary["t_first"] is None
+
+
+class TestEpochMigrations:
+    def test_buckets_by_direction(self):
+        rows = epoch_migrations(_sample_events(), 1_000_000_000)
+        assert [r["epoch"] for r in rows] == [0, 1, 2]
+        assert rows[0] == {
+            "epoch": 0, "t_start": 0, "promoted": 0, "demoted": 0,
+            "faults": 2, "scan_windows": 1,
+        }
+        assert rows[1]["promoted"] == 2
+        assert rows[2]["demoted"] == 5
+
+    def test_rejects_bad_epoch(self):
+        with pytest.raises(ValueError):
+            epoch_migrations([], 0)
+
+
+class TestPageTimeline:
+    def test_extracts_one_page_in_order(self):
+        rows = page_timeline(_sample_events(), pid=1, vpn=2)
+        assert [r["type"] for r in rows] == [
+            "scan.window", "fault.batch", "migration.complete",
+        ]
+        assert rows[1]["cit_ns"] == 50
+        assert rows[2]["promotion"] is True
+
+    def test_filters_other_pids_and_vpns(self):
+        assert page_timeline(_sample_events(), pid=2, vpn=2) == []
+        assert page_timeline(_sample_events(), pid=1, vpn=99) == []
+
+    def test_page_event_types_all_carry_vpns(self):
+        for name in PAGE_EVENT_TYPES:
+            assert "vpns" in EVENT_SCHEMA[name].fields
+
+
+class TestJsonlStreamEndToEnd:
+    def test_large_trace_streams_and_aggregates(self, tmp_path):
+        path = tmp_path / "big.jsonl"
+        with Tracer(sink=path, flush_every=64) as tracer:
+            for i in range(1_000):
+                tracer.emit(
+                    "migration.complete", i * 1_000_000, pid=0,
+                    dst_tier=0, n_moved=1, n_dropped=0, cost_ns=5,
+                    promotion=(i % 2 == 0), vpns=np.array([i]),
+                )
+        rows = epoch_migrations(read_events(path), 100_000_000)
+        assert sum(r["promoted"] for r in rows) == 500
+        assert sum(r["demoted"] for r in rows) == 500
+        # Every line on disk is valid standalone JSON.
+        with open(path, encoding="utf-8") as handle:
+            assert sum(1 for _ in map(json.loads, handle)) == 1_000
