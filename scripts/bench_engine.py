@@ -9,9 +9,21 @@ and reports simulated quanta per second of host wall time for both,
 plus the cold-cache cells/sec of a small sweep grid and the profiled
 subsystem shares.
 
+The full run also sweeps a page-count ladder (4 K -> 1 M pages per
+process, two processes) to chart ns/page/quantum: the steady-state
+engine cost must grow *sublinearly* in the footprint (deferred
+accounting, incremental tier masses, and sparse aging leave only
+amortized O(pages) work on aging/flush boundaries).  At every rung the
+optimized path is checked against the reference per-page path
+(``fast_path=False``) for statistical equivalence on throughput and
+FMAR.
+
 Writes ``BENCH_engine.json`` (override with ``--out``) so CI can track
-the perf trajectory.  CI-compatible: pure stdlib + the package itself,
-runs in well under a minute at the default scale.
+the perf trajectory.  ``--quick`` is the CI regression gate: it times
+only the optimized path at the default scale and fails (exit 1) when
+quanta/sec drops below ``QUICK_GATE_FRACTION`` of the committed
+baseline's ``after.quanta_per_sec``.  CI-compatible: pure stdlib + the
+package itself, runs in well under a minute at the default scale.
 """
 
 from __future__ import annotations
@@ -26,13 +38,31 @@ sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
+from repro.harness.engine import QuantumEngine  # noqa: E402
 from repro.harness.experiments import (  # noqa: E402
     StandardSetup,
     build_fleet,
 )
-from repro.harness.runner import run_experiment  # noqa: E402
+from repro.harness.runner import (  # noqa: E402
+    run_experiment,
+    summarize_run,
+)
 from repro.harness.sweep import SweepCell, run_cells  # noqa: E402
+from repro.kernel.kernel import Kernel  # noqa: E402
+from repro.sim.rng import RngStreams  # noqa: E402
 from repro.sim.timeunits import SECOND  # noqa: E402
+
+#: --quick fails when quanta/sec falls below this fraction of the
+#: committed baseline (allows host-speed jitter, catches real
+#: regressions)
+QUICK_GATE_FRACTION = 0.7
+
+#: page-count ladder for the scaling sweep (pages per process)
+SCALING_SIZES = (4_096, 16_384, 65_536, 262_144, 1_048_576)
+SCALING_PROCS = 2
+SCALING_DURATION_NS = 4 * SECOND
+#: max relative error between fast and reference paths, per size
+SCALING_TOLERANCE = 0.02
 
 
 def time_engine(setup, policy_name, workload_kwargs, fast_path, profile):
@@ -79,11 +109,214 @@ def time_sweep(duration_ns, workload_kwargs, policies, jobs):
     }
 
 
+def scaling_setup(pages_per_proc: int) -> StandardSetup:
+    """The ladder setup for one rung of the scaling sweep.
+
+    Capacity tracks the footprint (fast tier = 25% of total pages, the
+    paper's ratio), and the background scan / DCSC probe *bandwidths*
+    are held constant by scaling their periods with the footprint --
+    a 60 s kernel scan period covers the address space once regardless
+    of its size, so pages-scanned-per-second is the invariant, not the
+    period.  The aging period stays fixed: aging (and the accounting
+    flush it forces) is the one deliberately amortized O(pages) pass.
+    """
+    scale = pages_per_proc // SCALING_SIZES[0]
+    total = SCALING_PROCS * pages_per_proc
+    return StandardSetup(
+        fast_pages=total // 4,
+        slow_pages=total,
+        duration_ns=SCALING_DURATION_NS,
+        scan_period_ns=5 * SECOND * scale,
+        dcsc_probe_period_ns=(SECOND // 2) * scale,
+        dcsc_probe_timeout_ns=4 * SECOND * scale,
+    )
+
+
+def time_scaling_run(policy_name, pages_per_proc, fast_path):
+    """Time ``engine.run`` only -- steady-state cost, no setup noise.
+
+    Building the kernel, allocating initial placement, and attaching
+    the policy are one-time O(pages) work; the scaling story is about
+    the per-quantum cost, so the clock starts at the engine.
+    """
+    setup = scaling_setup(pages_per_proc)
+    policy = setup.build_policy(policy_name)
+    processes = build_fleet(
+        setup, "pmbench",
+        n_procs=SCALING_PROCS, pages_per_proc=pages_per_proc,
+    )
+    config = setup.run_config()
+    kernel = Kernel(
+        machine=config.build_machine(),
+        rng=RngStreams(config.seed),
+        aging_period_ns=config.aging_period_ns,
+    )
+    for process in processes:
+        kernel.register_process(process)
+    kernel.allocate_initial_placement()
+    kernel.set_policy(policy)
+    engine = QuantumEngine(
+        kernel, quantum_ns=config.quantum_ns, fast_path=fast_path
+    )
+    start = time.perf_counter()
+    end_ns = engine.run(config.duration_ns)
+    wall = time.perf_counter() - start
+    result = summarize_run(policy, kernel, engine, end_ns)
+    quanta = engine.quanta_run
+    total_pages = SCALING_PROCS * pages_per_proc
+    return {
+        "wall_sec": wall,
+        "quanta": quanta,
+        "quanta_per_sec": quanta / wall if wall else 0.0,
+        "ns_per_page_quantum": (
+            wall * 1e9 / (quanta * total_pages) if quanta else 0.0
+        ),
+        "throughput_per_sec": result.throughput_per_sec,
+        "fmar": result.fmar,
+    }
+
+
+def rel_err(value: float, reference: float) -> float:
+    if reference == 0.0:
+        return abs(value)
+    return abs(value - reference) / abs(reference)
+
+
+def run_scaling(policy_name):
+    """The page-count ladder: fast vs reference at every rung.
+
+    Returns ``(section, ok)``; ``ok`` is False when any rung fails the
+    fast-vs-reference equivalence tolerance or the largest rung's
+    ns/page/quantum is not below the smallest's (the sublinearity
+    gate).
+    """
+    print(
+        f"  scaling ladder: {policy_name}, pmbench x{SCALING_PROCS}, "
+        f"{SCALING_DURATION_NS / SECOND:.0f}s simulated per rung"
+    )
+    rungs = []
+    ok = True
+    for pages in SCALING_SIZES:
+        fast = time_scaling_run(policy_name, pages, fast_path=True)
+        reference = time_scaling_run(policy_name, pages, fast_path=False)
+        throughput_err = rel_err(
+            fast["throughput_per_sec"], reference["throughput_per_sec"]
+        )
+        fmar_err = rel_err(fast["fmar"], reference["fmar"])
+        equivalent = (
+            throughput_err <= SCALING_TOLERANCE
+            and fmar_err <= SCALING_TOLERANCE
+        )
+        ok = ok and equivalent
+        rungs.append({
+            "pages_per_proc": pages,
+            "total_pages": SCALING_PROCS * pages,
+            "fast": fast,
+            "reference": reference,
+            "equivalence": {
+                "throughput_rel_err": throughput_err,
+                "fmar_rel_err": fmar_err,
+                "tolerance": SCALING_TOLERANCE,
+                "ok": equivalent,
+            },
+        })
+        print(
+            f"    {pages:>9,d} pages/proc: "
+            f"fast {fast['ns_per_page_quantum']:7.2f} ns/page/q "
+            f"({fast['quanta_per_sec']:8.1f} q/s), "
+            f"ref {reference['ns_per_page_quantum']:7.2f} ns/page/q, "
+            f"equiv={'ok' if equivalent else 'FAIL'}"
+        )
+    sublinear = (
+        rungs[-1]["fast"]["ns_per_page_quantum"]
+        < rungs[0]["fast"]["ns_per_page_quantum"]
+    )
+    ok = ok and sublinear
+    print(
+        "    sublinear ns/page/quantum: "
+        f"{'ok' if sublinear else 'FAIL'} "
+        f"({rungs[0]['fast']['ns_per_page_quantum']:.2f} at "
+        f"{SCALING_SIZES[0]:,d} -> "
+        f"{rungs[-1]['fast']['ns_per_page_quantum']:.2f} at "
+        f"{SCALING_SIZES[-1]:,d})"
+    )
+    section = {
+        "n_procs": SCALING_PROCS,
+        "duration_sec": SCALING_DURATION_NS / SECOND,
+        "tolerance": SCALING_TOLERANCE,
+        "sizes": rungs,
+        "sublinear_ok": sublinear,
+    }
+    return section, ok
+
+
+def run_quick_gate(args, baseline_path: pathlib.Path) -> int:
+    """CI perf smoke: optimized path only, gated on the committed JSON."""
+    try:
+        baseline = json.loads(baseline_path.read_text())
+        committed = float(baseline["after"]["quanta_per_sec"])
+    except (OSError, KeyError, ValueError, TypeError):
+        print(f"  no usable baseline at {baseline_path}; gate skipped")
+        committed = None
+
+    duration_ns = int(args.duration * SECOND)
+    setup = StandardSetup(duration_ns=duration_ns)
+    workload_kwargs = dict(n_procs=args.procs, pages_per_proc=args.pages)
+    print(
+        f"quick gate: {args.policy}, pmbench x{args.procs}, "
+        f"{args.duration:.0f}s simulated"
+    )
+    optimized = time_engine(
+        setup, args.policy, workload_kwargs,
+        fast_path=True, profile=False,
+    )
+    measured = optimized["quanta_per_sec"]
+    print(f"  measured: {measured:8.1f} quanta/sec")
+
+    payload = {
+        "config": {
+            "policy": args.policy,
+            "workload": "pmbench",
+            "n_procs": args.procs,
+            "pages_per_proc": args.pages,
+            "duration_sec": args.duration,
+        },
+        "after": {
+            k: optimized[k]
+            for k in ("wall_sec", "quanta", "quanta_per_sec")
+        },
+        "baseline_quanta_per_sec": committed,
+        "gate_fraction": QUICK_GATE_FRACTION,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"  wrote {out}")
+
+    if committed is None:
+        return 0
+    floor = QUICK_GATE_FRACTION * committed
+    print(
+        f"  baseline: {committed:8.1f} quanta/sec "
+        f"(floor {floor:.1f} = {QUICK_GATE_FRACTION:.0%})"
+    )
+    if measured < floor:
+        print(
+            f"  FAIL: {measured:.1f} quanta/sec is below the "
+            f"{QUICK_GATE_FRACTION:.0%} regression floor"
+        )
+        return 1
+    print("  gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--duration", type=float, default=20.0,
-        help="simulated seconds per run (default: 20)",
+        "--duration", type=float, default=None,
+        help=(
+            "simulated seconds per run "
+            "(default: 20, or 5 with --quick)"
+        ),
     )
     parser.add_argument(
         "--policy", default="chrono",
@@ -96,10 +329,46 @@ def main(argv=None) -> int:
         help="worker pool size for the sweep-grid timing (default: 1)",
     )
     parser.add_argument(
-        "--out", default="BENCH_engine.json",
-        help="output JSON path (default: BENCH_engine.json)",
+        "--out", default=None,
+        help=(
+            "output JSON path (default: BENCH_engine.json, or "
+            "BENCH_engine_quick.json with --quick)"
+        ),
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=(
+            "CI regression gate: time only the optimized path and fail "
+            "when quanta/sec drops below "
+            f"{QUICK_GATE_FRACTION:.0%} of the committed baseline"
+        ),
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help=(
+            "baseline JSON for the --quick gate "
+            "(default: the repo's committed BENCH_engine.json)"
+        ),
+    )
+    parser.add_argument(
+        "--skip-scaling", action="store_true",
+        help="skip the page-count scaling ladder",
     )
     args = parser.parse_args(argv)
+
+    if args.duration is None:
+        args.duration = 5.0 if args.quick else 20.0
+    if args.quick:
+        if args.out is None:
+            args.out = "BENCH_engine_quick.json"
+        if args.baseline is None:
+            args.baseline = str(
+                pathlib.Path(__file__).resolve().parent.parent
+                / "BENCH_engine.json"
+            )
+        return run_quick_gate(args, pathlib.Path(args.baseline))
+    if args.out is None:
+        args.out = "BENCH_engine.json"
 
     duration_ns = int(args.duration * SECOND)
     setup = StandardSetup(duration_ns=duration_ns)
@@ -147,6 +416,11 @@ def main(argv=None) -> int:
         f"jobs={sweep['jobs']})"
     )
 
+    scaling = None
+    scaling_ok = True
+    if not args.skip_scaling:
+        scaling, scaling_ok = run_scaling(args.policy)
+
     payload = {
         "config": {
             "policy": args.policy,
@@ -165,11 +439,15 @@ def main(argv=None) -> int:
         },
         "speedup": speedup,
         "sweep": sweep,
+        "scaling": scaling,
         "profile": optimized["profile"],
     }
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"  wrote {out}")
+    if not scaling_ok:
+        print("  FAIL: scaling ladder equivalence/sublinearity gate")
+        return 1
     return 0
 
 

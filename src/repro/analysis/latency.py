@@ -44,6 +44,23 @@ class LatencyMixture:
         self._total += float(count)
         self._views = None
 
+    def add_keyed(self, key: int, count: float) -> None:
+        """Accumulate onto a precomputed integer latency key (hot path).
+
+        ``key`` must equal ``int(round(latency_ns))`` for the latency
+        class being recorded -- exactly what :meth:`add` computes.
+        Callers pricing a fixed set of latency classes every quantum
+        hoist the rounding out of their inner loop and land here; the
+        dict accumulation is bit-identical to :meth:`add`.
+        """
+        if count <= 0.0:
+            if count == 0.0:
+                return
+            raise ValueError("count cannot be negative")
+        self._mass[key] = self._mass.get(key, 0.0) + count
+        self._total += count
+        self._views = None
+
     def add_many(
         self, latencies_ns: np.ndarray, counts: np.ndarray
     ) -> None:

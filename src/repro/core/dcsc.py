@@ -118,6 +118,9 @@ class DcscCollector:
         victims = victims[~process.pages.probed[victims]]
         if victims.size == 0:
             return 0
+        # Probe order carries no meaning; sorted victims let the
+        # protection path take its monotonic fast paths.
+        victims.sort()
         process.pages.probed[victims] = True
         rounds[victims] = 1
         probe_ts[victims] = now_ns

@@ -385,16 +385,17 @@ class ChronoPolicy(TieringPolicy):
         cits = batch.cit_ns
 
         probed = pages.probed[vpns]
-        if self.dcsc is not None and probed.any():
-            self.dcsc.on_probed_fault(
-                process,
-                vpns[probed],
-                cits[probed],
-                batch.fault_ts_ns[probed],
-            )
-        regular = ~probed
-        vpns = vpns[regular]
-        cits = cits[regular]
+        if probed.any():
+            if self.dcsc is not None:
+                self.dcsc.on_probed_fault(
+                    process,
+                    vpns[probed],
+                    cits[probed],
+                    batch.fault_ts_ns[probed],
+                )
+            regular = ~probed
+            vpns = vpns[regular]
+            cits = cits[regular]
 
         slow_sel = pages.tier[vpns] == SLOW_TIER
         vpns = vpns[slow_sel]

@@ -17,23 +17,37 @@ Every simulated process advances through fixed wall-clock quanta (default
    mixture.
 
 Between quanta the kernel timer queue fires scan events, reclaim passes,
-LRU aging, and policy daemons.  This design makes a run with hundreds of
-thousands of pages cost O(pages) numpy work per quantum while preserving
+LRU aging, and policy daemons.  This design makes the steady-state cost
+of a quantum amortized O(tiers) + O(pages that changed) while preserving
 the per-page fault/CIT statistics of an access-by-access simulation.
 
-Hot-path structure: the expensive O(pages) pricing work -- per-page
-latency gathers and the probability-mass-per-tier reduction -- collapses
-to O(tiers) once the mass each tier serves is known, and that mass only
-changes when the placement changes (a migration bumps
-``PageState.epoch``) or the workload rotates its distribution (phase
-changes swap in a *new* probability array; distributions are treated as
-immutable, per the :mod:`repro.workloads.base` contract).  The engine
-therefore caches per-process tier masses keyed on
-``(id(probs), pages.epoch)``, computes the contention-multiplier vector
-once per quantum instead of per process, and reuses preallocated
-per-process buffers for the ground-truth accounting.  Pass
-``fast_path=False`` to force the original per-page recomputation every
-quantum (used by ``scripts/bench_engine.py`` to measure the win).
+Hot-path structure (``docs/SIMULATION.md`` section 5 is the long form):
+
+* **Pricing** collapses to O(tiers): the mass each tier serves only
+  changes when the placement changes (a migration bumps
+  ``PageState.epoch``) or the workload rotates its distribution (phase
+  changes swap in a *new* probability array; distributions are
+  immutable, per the :mod:`repro.workloads.base` contract).  The
+  per-process tier-mass cache is keyed on ``(id(probs), pages.epoch)``
+  and repaired in O(moved) from the page-state move journal; the
+  contention-multiplier vector is computed once per quantum.
+* **Ground-truth accounting** is deferred: the engine appends one
+  ``(probs, n)`` ledger run per quantum (O(1)) and ``PageState``
+  materialises the counters only when a consumer reads them.
+* **Hint-fault sampling** splits the protected snapshot: pages with
+  per-quantum touch probability above ``FAULT_DORMANT_MAX_TOUCH`` get
+  individual Bernoulli draws, the cold remainder is one aggregate
+  Poisson draw placed by inverse-CDF lookup -- distributionally exact
+  (Poisson thinning) at O(active + faults) cost.
+* **Latency bookkeeping** accumulates per-quantum class counts into
+  plain dicts and folds them into the :class:`LatencyMixture` objects
+  once per :meth:`QuantumEngine.run`.
+
+Pass ``fast_path=False`` to force the original per-page recomputation
+every quantum (used by ``scripts/bench_engine.py`` to measure the win
+and by the equivalence tests); the reference path also draws per-page
+fault indicators from its original RNG stream, so fast and reference
+trajectories agree statistically, not bit for bit.
 """
 
 from __future__ import annotations
@@ -56,16 +70,41 @@ Observer = Callable[["QuantumEngine", int], None]
 class _ProcessBuffers:
     """Preallocated per-process scratch state for the quantum hot path."""
 
-    __slots__ = ("count_buf", "mass_probs", "mass_epoch", "tier_mass")
+    __slots__ = (
+        "count_buf", "mass_probs", "mass_epoch", "tier_mass",
+        "mass_resync", "fault_probs", "fault_prot", "prot_p",
+        "active_pos", "active_p", "dormant_pos", "dormant_cdf",
+        "dormant_mass", "touched_mask",
+    )
 
     def __init__(self, n_pages: int) -> None:
-        self.count_buf = np.empty(n_pages, dtype=np.float64)
+        #: reference-path accounting scratch (unused on the fast path,
+        #: which defers accounting through the page-state ledger)
+        self.count_buf: Optional[np.ndarray] = None
         #: cache key for ``tier_mass``: the workload's probability array
         #: (held by reference, so a freed array's address cannot alias a
         #: new distribution) plus the placement epoch at computation time
         self.mass_probs: Optional[np.ndarray] = None
         self.mass_epoch: int = -1
         self.tier_mass: Optional[np.ndarray] = None
+        #: incremental-delta applications left before the next full
+        #: recount (bounds float drift from repeated add/subtract)
+        self.mass_resync: int = 0
+        #: fault-candidate cache (fast path): the protected snapshot is
+        #: split into an *active* head (per-page Bernoulli draws) and a
+        #: *dormant* tail sampled through one aggregate Poisson draw.
+        #: Keyed by identity on the probability array and the
+        #: copy-on-write protected-page snapshot; both are replaced --
+        #: never mutated -- when their contents change.
+        self.fault_probs: Optional[np.ndarray] = None
+        self.fault_prot: Optional[np.ndarray] = None
+        self.prot_p: Optional[np.ndarray] = None
+        self.active_pos: Optional[np.ndarray] = None
+        self.active_p: Optional[np.ndarray] = None
+        self.dormant_pos: Optional[np.ndarray] = None
+        self.dormant_cdf: Optional[np.ndarray] = None
+        self.dormant_mass: float = 0.0
+        self.touched_mask: Optional[np.ndarray] = None
 
 
 class QuantumEngine:
@@ -84,12 +123,35 @@ class QuantumEngine:
         self.fast_path = bool(fast_path)
         self.latency = LatencyMixture()
         self.latency_by_pid: Dict[int, LatencyMixture] = {}
+        #: per-process pending latency classes ``{pid: {key: count}}``,
+        #: folded into the public mixtures at the end of every ``run``
+        #: (see ``_flush_latency``)
+        self._lat_pending: Dict[int, Dict[int, float]] = {}
         self._prev_demand_bytes_per_sec = np.zeros(kernel.machine.n_tiers)
         self._multipliers = np.ones(kernel.machine.n_tiers)
         self._buffers: Dict[int, _ProcessBuffers] = {}
         # Small per-quantum scratch vectors (O(tiers)).
         n_tiers = kernel.machine.n_tiers
-        self._per_tier_latency = np.empty(n_tiers, dtype=np.float64)
+        self._n_tiers = n_tiers
+        #: per-quantum effective (contended) tier latencies as plain
+        #: Python floats; refreshed by ``run`` whenever the contention
+        #: multipliers change.  The latency mixture keys on ``round()``,
+        #: which is an order of magnitude faster on ``float`` than on
+        #: numpy scalars, and the products are bitwise identical.
+        self._read_lat_list = kernel.machine.read_latency_ns.tolist()
+        self._write_lat_list = kernel.machine.write_latency_ns.tolist()
+        self._read_keys = [int(round(v)) for v in self._read_lat_list]
+        self._write_keys = [int(round(v)) for v in self._write_lat_list]
+        self._fault_lat = (
+            self._read_lat_list[-1]
+            + kernel.machine.spec.effective_fault_cost_ns
+        )
+        self._fault_key = int(round(self._fault_lat))
+        self._demand_accum = np.zeros(n_tiers, dtype=np.float64)
+        self._demand_out = np.empty(n_tiers, dtype=np.float64)
+        #: shared early-return value for finished processes; callers only
+        #: accumulate it, so one zero vector serves every quantum
+        self._zero_demand = np.zeros(n_tiers, dtype=np.float64)
         self.quanta_run = 0
 
     # ------------------------------------------------------------------
@@ -128,13 +190,34 @@ class QuantumEngine:
                         self._prev_demand_bytes_per_sec
                     )
                 )
-                demand = np.zeros(self.kernel.machine.n_tiers)
+                machine = self.kernel.machine
+                self._read_lat_list = read_lats = (
+                    machine.read_latency_ns * self._multipliers
+                ).tolist()
+                self._write_lat_list = write_lats = (
+                    machine.write_latency_ns * self._multipliers
+                ).tolist()
+                # The latency-mixture keys for this quantum's classes are
+                # fixed once the multipliers are known; round once here
+                # instead of per process per class.
+                self._read_keys = [int(round(v)) for v in read_lats]
+                self._write_keys = [int(round(v)) for v in write_lats]
+                self._fault_lat = (
+                    read_lats[-1] + machine.spec.effective_fault_cost_ns
+                )
+                self._fault_key = int(round(self._fault_lat))
+                demand = self._demand_accum
+                demand.fill(0.0)
                 for process in self.kernel.processes:
                     demand += self.run_quantum(process, start, quantum)
                 # Fold migration traffic into the demand picture.
                 for tier in self.kernel.machine.tiers:
                     demand[tier.tier_id] += tier.consume_migration_bytes()
-                self._prev_demand_bytes_per_sec = demand / (quantum / 1e9)
+                np.divide(
+                    demand,
+                    quantum / 1e9,
+                    out=self._prev_demand_bytes_per_sec,
+                )
                 self.kernel.advance_to(start + quantum)
                 self.quanta_run += 1
                 obs = self.kernel.obs
@@ -163,31 +246,54 @@ class QuantumEngine:
                     break
             return clock.now
         finally:
+            self._flush_latency()
             if profiler is not None:
                 profiler.pop()
 
     # ------------------------------------------------------------------
+    #: incremental tier-mass updates applied before forcing a full
+    #: recount; bounds accumulated float error from delta arithmetic
+    MASS_RESYNC_MOVES: int = 256
+
     def _tier_mass(
         self, process: SimProcess, probs: np.ndarray
     ) -> np.ndarray:
         """Probability mass served by each tier, cached across quanta.
 
         ``tier_mass[t] = sum(probs[i] for pages i resident on tier t)``.
-        The reduction is O(pages); the result only changes when a
-        migration moves pages (``pages.epoch``) or the workload swaps in
-        a new distribution array, so it is reused until either happens.
+        The result only changes when a migration moves pages
+        (``pages.epoch``) or the workload swaps in a new distribution
+        array.  On an epoch miss the cached masses are advanced by
+        replaying the placement journal -- O(moved) per migration --
+        falling back to the full O(pages) reduction when the journal was
+        truncated, the distribution changed, or enough deltas accumulated
+        to warrant a drift-bounding resync.
         """
         pages = process.pages
         buffers = self._buffers.get(process.pid)
         if buffers is None:
             buffers = _ProcessBuffers(pages.n_pages)
             self._buffers[process.pid] = buffers
-        if (
-            self.fast_path
-            and buffers.mass_probs is probs
-            and buffers.mass_epoch == pages.epoch
-        ):
-            return buffers.tier_mass
+        if self.fast_path and buffers.mass_probs is probs:
+            if buffers.mass_epoch == pages.epoch:
+                return buffers.tier_mass
+            moves = (
+                pages.moves_since(buffers.mass_epoch)
+                if buffers.mass_resync > 0
+                else None
+            )
+            if moves is not None and len(moves) <= buffers.mass_resync:
+                mass = buffers.tier_mass
+                for _epoch, vpns, old_tiers, new_tier in moves:
+                    if vpns.size:
+                        moved = probs[vpns]
+                        mass -= np.bincount(
+                            old_tiers, weights=moved, minlength=mass.size
+                        )
+                        mass[new_tier] += float(moved.sum())
+                buffers.mass_resync -= len(moves)
+                buffers.mass_epoch = pages.epoch
+                return mass
         tier_mass = np.bincount(
             pages.tier.astype(np.int64),
             weights=probs,
@@ -196,6 +302,7 @@ class QuantumEngine:
         buffers.mass_probs = probs
         buffers.mass_epoch = pages.epoch
         buffers.tier_mass = tier_mass
+        buffers.mass_resync = self.MASS_RESYNC_MOVES
         return tier_mass
 
     def run_quantum(
@@ -204,9 +311,8 @@ class QuantumEngine:
         """Execute one process for one quantum; returns per-tier bytes of
         demand it generated."""
         machine = self.kernel.machine
-        n_tiers = machine.n_tiers
         if process.finished:
-            return np.zeros(n_tiers)
+            return self._zero_demand
 
         workload = process.workload
         workload.advance(start_ns)
@@ -214,6 +320,10 @@ class QuantumEngine:
         pages = process.pages
         write_fraction = workload.write_fraction
         multipliers = self._multipliers
+        buffers = self._buffers.get(process.pid)
+        if buffers is None:
+            buffers = _ProcessBuffers(pages.n_pages)
+            self._buffers[process.pid] = buffers
 
         # Price the access mix against current placement + contention.
         # Every page on a tier shares the tier's latency, so the O(pages)
@@ -221,13 +331,19 @@ class QuantumEngine:
         # product against the per-tier probability mass.
         pricing_mass = self._tier_mass(process, probs)
         if self.fast_path:
-            per_tier = self._per_tier_latency
-            np.multiply(
-                machine.read_latency_ns, 1.0 - write_fraction, out=per_tier
-            )
-            per_tier += write_fraction * machine.write_latency_ns
-            per_tier *= multipliers
-            mean_latency = float(pricing_mass @ per_tier)
+            # Scalar arithmetic over the O(tiers) per-quantum latency
+            # lists: at 2-3 tiers, numpy's per-call dispatch costs more
+            # than the work itself.
+            read_lats = self._read_lat_list
+            write_lats = self._write_lat_list
+            masses = pricing_mass.tolist()
+            read_fraction = 1.0 - write_fraction
+            mean_latency = 0.0
+            for tier_id in range(self._n_tiers):
+                mean_latency += masses[tier_id] * (
+                    read_fraction * read_lats[tier_id]
+                    + write_fraction * write_lats[tier_id]
+                )
         else:
             # Reference path: rebuild the per-page latency vector from
             # scratch, exactly as the pre-optimization engine did.
@@ -247,39 +363,66 @@ class QuantumEngine:
         # maintained protected-page counter makes the common no-scan case
         # free instead of an O(pages) flatnonzero.
         n_faults = 0
-        if n_accesses > 0 and (
-            pages.n_protected > 0 or not self.fast_path
-        ):
-            protected = pages.protected_pages()
-            if protected.size:
-                lam = n_accesses * probs[protected]
-                touched = process.rng.random(protected.size) < -np.expm1(
-                    -lam
+        if n_accesses > 0:
+            if not self.fast_path:
+                # Reference path: the original per-page Bernoulli pass
+                # over the full protected snapshot.
+                protected = pages.protected_pages()
+                if protected.size:
+                    lam = n_accesses * probs[protected]
+                    touched = process.rng.random(
+                        protected.size
+                    ) < -np.expm1(-lam)
+                    touched_vpns = protected[touched]
+                    if touched_vpns.size:
+                        batch = take_hint_faults(
+                            process,
+                            touched_vpns,
+                            start_ns,
+                            quantum_ns,
+                            process.rng,
+                            rates_per_ns=lam[touched] / quantum_ns,
+                            # The surviving protected set is already
+                            # known here -- hand it down so the unprotect
+                            # skips its membership search.
+                            cache_remainder=protected[~touched],
+                        )
+                        n_faults = batch.n_faults
+                        self.kernel.deliver_faults(process, batch)
+            elif pages.n_protected > 0:
+                n_faults = self._sample_hint_faults(
+                    process, pages, probs, buffers, n_accesses,
+                    start_ns, quantum_ns,
                 )
-                touched_vpns = protected[touched]
-                if touched_vpns.size:
-                    batch = take_hint_faults(
-                        process,
-                        touched_vpns,
-                        start_ns,
-                        quantum_ns,
-                        process.rng,
-                        rates_per_ns=lam[touched] / quantum_ns,
-                    )
-                    n_faults = batch.n_faults
-                    self.kernel.deliver_faults(process, batch)
 
         # Accounting runs against the *post-fault* placement: fault-path
         # promotions (Linux-NB, TPP, AutoTiering) bumped the placement
         # epoch, so this re-lookup recomputes the mass only when pages
         # actually moved this quantum.
-        tier_mass = self._tier_mass(process, probs)
+        if (
+            self.fast_path
+            and buffers.mass_epoch == pages.epoch
+            and buffers.mass_probs is probs
+        ):
+            tier_mass = pricing_mass
+        else:
+            tier_mass = self._tier_mass(process, probs)
 
-        # Ground-truth accounting, through the preallocated buffer.
-        count_buf = self._buffers[process.pid].count_buf
-        np.multiply(probs, n_accesses, out=count_buf)
-        pages.access_count += count_buf
-        pages.last_window_count += count_buf
+        # Ground-truth accounting.  The fast path records an O(1) ledger
+        # entry; the O(pages) materialisation happens only when a consumer
+        # (aging, tracing, reporting) reads the counters.  The reference
+        # path keeps the eager per-quantum accumulation.
+        if self.fast_path:
+            pages.defer_accesses(probs, n_accesses)
+        else:
+            count_buf = buffers.count_buf
+            if count_buf is None:
+                count_buf = buffers.count_buf = np.empty(
+                    pages.n_pages, dtype=np.float64
+                )
+            np.multiply(probs, n_accesses, out=count_buf)
+            pages.access_count += count_buf
+            pages.last_window_count += count_buf
 
         fast_accesses = n_accesses * float(tier_mass[FAST_TIER])
         process.record_accesses(
@@ -293,7 +436,6 @@ class QuantumEngine:
             process,
             n_accesses,
             tier_mass,
-            multipliers,
             write_fraction,
             n_faults,
         )
@@ -318,11 +460,129 @@ class QuantumEngine:
             process.finished = True
 
         # Bandwidth demand, write-weighted per tier (Optane writes eat a
-        # multiple of their byte count from the bandwidth budget).
+        # multiple of their byte count from the bandwidth budget).  The
+        # returned buffer is consumed (accumulated) by ``run`` before the
+        # next ``run_quantum`` call, so one O(tiers) scratch serves all.
         write_weight = (
             1.0 - write_fraction
         ) + write_fraction * machine.write_bw_multiplier
-        return tier_mass * n_accesses * CACHE_LINE_BYTES * write_weight
+        np.multiply(
+            tier_mass,
+            n_accesses * CACHE_LINE_BYTES * write_weight,
+            out=self._demand_out,
+        )
+        return self._demand_out
+
+    # ------------------------------------------------------------------
+    #: per-quantum touch probability below which a protected page is
+    #: sampled through the aggregated dormant draw instead of its own
+    #: Bernoulli draw (see ``_sample_hint_faults``)
+    FAULT_DORMANT_MAX_TOUCH: float = 0.02
+
+    def _rebuild_fault_cache(
+        self,
+        buffers: _ProcessBuffers,
+        probs: np.ndarray,
+        protected: np.ndarray,
+        n_accesses: float,
+    ) -> None:
+        """Split the protected snapshot into active / dormant candidates.
+
+        Costs O(protected) and runs only when the protected set or the
+        access distribution changed (both are replaced, never mutated, so
+        an identity check detects staleness).
+        """
+        p_sub = probs[protected]
+        cut = self.FAULT_DORMANT_MAX_TOUCH / max(n_accesses, 1.0)
+        active = p_sub >= cut
+        buffers.prot_p = p_sub
+        buffers.active_pos = active_pos = np.flatnonzero(active)
+        buffers.active_p = p_sub[active_pos]
+        np.logical_not(active, out=active)
+        active &= p_sub > 0.0  # zero-probability pages can never fault
+        buffers.dormant_pos = dormant_pos = np.flatnonzero(active)
+        cdf = np.cumsum(p_sub[dormant_pos])
+        buffers.dormant_cdf = cdf
+        buffers.dormant_mass = float(cdf[-1]) if cdf.size else 0.0
+        buffers.touched_mask = np.empty(protected.size, dtype=bool)
+        buffers.fault_probs = probs
+        buffers.fault_prot = protected
+
+    def _sample_hint_faults(
+        self,
+        process: SimProcess,
+        pages,
+        probs: np.ndarray,
+        buffers: _ProcessBuffers,
+        n_accesses: float,
+        start_ns: int,
+        quantum_ns: int,
+    ) -> int:
+        """Resolve this quantum's hint faults in O(active + touched).
+
+        Distributionally identical to the reference per-page pass: each
+        protected page is touched with probability ``1 - exp(-n * p)``,
+        independently.  Hot ("active") candidates get their own Bernoulli
+        draw; the dormant tail is sampled by drawing the total number of
+        dormant accesses ``K ~ Poisson(n * dormant_mass)`` and placing
+        them on pages proportionally to ``p`` -- by Poisson thinning the
+        two formulations induce exactly the same touched-set law.  At
+        steady state (thousands of cold protected pages, hardly any
+        touched) the quantum costs a few scalar draws instead of an
+        O(protected) vector pass.
+        """
+        protected = pages.protected_pages()
+        if not protected.size:
+            return 0
+        if (
+            buffers.fault_probs is not probs
+            or buffers.fault_prot is not protected
+        ):
+            self._rebuild_fault_cache(
+                buffers, probs, protected, n_accesses
+            )
+        rng = process.rng
+        mask = None
+        active_p = buffers.active_p
+        if active_p.size:
+            lam = n_accesses * active_p
+            touched = rng.random(active_p.size) < -np.expm1(-lam)
+            if touched.any():
+                mask = buffers.touched_mask
+                mask[:] = False
+                mask[buffers.active_pos[touched]] = True
+        if buffers.dormant_mass > 0.0:
+            k = rng.poisson(n_accesses * buffers.dormant_mass)
+            if k:
+                cdf = buffers.dormant_cdf
+                hits = np.searchsorted(
+                    cdf,
+                    rng.random(int(k)) * buffers.dormant_mass,
+                    side="right",
+                )
+                # A draw can round onto the upper cdf edge; clamp it
+                # back into range (measure-zero event, any bucket works).
+                np.minimum(hits, cdf.size - 1, out=hits)
+                if mask is None:
+                    mask = buffers.touched_mask
+                    mask[:] = False
+                mask[buffers.dormant_pos[hits]] = True
+        if mask is None:
+            return 0
+        touched_vpns = protected[mask]
+        rates = n_accesses * buffers.prot_p[mask] / quantum_ns
+        np.logical_not(mask, out=mask)
+        batch = take_hint_faults(
+            process,
+            touched_vpns,
+            start_ns,
+            quantum_ns,
+            rng,
+            rates_per_ns=rates,
+            cache_remainder=protected[mask],
+        )
+        self.kernel.deliver_faults(process, batch)
+        return batch.n_faults
 
     # ------------------------------------------------------------------
     def _record_latency(
@@ -330,47 +590,61 @@ class QuantumEngine:
         process: SimProcess,
         n_accesses: float,
         tier_mass: np.ndarray,
-        multipliers: np.ndarray,
         write_fraction: float,
         n_faults: int,
     ) -> None:
-        machine = self.kernel.machine
-        pid_mix = self.latency_by_pid.get(process.pid)
-        if pid_mix is None:
-            pid_mix = self.latency_by_pid.setdefault(
-                process.pid, LatencyMixture()
-            )
+        pending = self._lat_pending.get(process.pid)
+        if pending is None:
+            pending = self._lat_pending.setdefault(process.pid, {})
         remaining_faults = float(n_faults)
         # Assemble the quantum's latency classes (at most 2 per tier plus
-        # one fault class) and deliver them in one bulk add per mixture.
-        class_lats: list = []
-        class_counts: list = []
-        for tier_id in range(machine.n_tiers):
-            mass = float(tier_mass[tier_id]) * n_accesses
+        # one fault class).  The classes are a handful of scalars keyed
+        # by the per-quantum integer keys ``run`` precomputed, so this is
+        # a few plain dict accumulations; the pending classes fold into
+        # the public mixtures at the end of the run (``_flush_latency``).
+        read_keys = self._read_keys
+        write_keys = self._write_keys
+        masses = tier_mass.tolist()
+        last_tier = self._n_tiers - 1
+        get = pending.get
+        for tier_id in range(self._n_tiers):
+            mass = masses[tier_id] * n_accesses
             if mass <= 0:
                 continue
-            read_lat = machine.read_latency_ns[tier_id] * multipliers[tier_id]
-            write_lat = (
-                machine.write_latency_ns[tier_id] * multipliers[tier_id]
-            )
             reads = mass * (1.0 - write_fraction)
             writes = mass * write_fraction
             # Faulted accesses pay the trap cost on top; attribute them to
             # the slower tiers first (that is where scans concentrate).
-            if tier_id == machine.n_tiers - 1 and remaining_faults > 0:
+            if tier_id == last_tier and remaining_faults > 0:
                 faulted = min(reads, remaining_faults)
-                fault_lat = read_lat + machine.spec.effective_fault_cost_ns
-                class_lats.append(fault_lat)
-                class_counts.append(faulted)
+                fault_key = self._fault_key
+                pending[fault_key] = get(fault_key, 0.0) + faulted
                 reads -= faulted
                 remaining_faults -= faulted
-            class_lats.append(read_lat)
-            class_counts.append(reads)
-            class_lats.append(write_lat)
-            class_counts.append(writes)
-        if not class_lats:
+            read_key = read_keys[tier_id]
+            write_key = write_keys[tier_id]
+            pending[read_key] = get(read_key, 0.0) + reads
+            pending[write_key] = get(write_key, 0.0) + writes
+
+    def _flush_latency(self) -> None:
+        """Fold pending latency classes into the public mixtures.
+
+        Runs at the end of every ``run`` call; until then the per-quantum
+        hot path only touches plain per-process dicts.  Callers driving
+        ``run_quantum`` directly (tests, custom harnesses) can invoke
+        this to materialise ``latency`` / ``latency_by_pid`` on demand.
+        """
+        pending = self._lat_pending
+        if not pending:
             return
-        lats = np.array(class_lats, dtype=np.float64)
-        counts = np.array(class_counts, dtype=np.float64)
-        self.latency.add_many(lats, counts)
-        pid_mix.add_many(lats, counts)
+        global_mix = self.latency
+        for pid, classes in pending.items():
+            pid_mix = self.latency_by_pid.get(pid)
+            if pid_mix is None:
+                pid_mix = self.latency_by_pid.setdefault(
+                    pid, LatencyMixture()
+                )
+            for key, count in classes.items():
+                global_mix.add_keyed(key, count)
+                pid_mix.add_keyed(key, count)
+        pending.clear()

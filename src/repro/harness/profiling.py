@@ -3,16 +3,20 @@
 A :class:`Profiler` attached to a kernel (``kernel.profiler``) splits the
 real (host) wall time of a run across the simulator's subsystems:
 
-==========  ======================================================
-``engine``  the quantum loop itself (pricing, fault generation,
-            ground-truth accounting)
-``policy``  tiering-policy work (per-quantum hooks, fault handlers,
-            scan hooks, policy daemons)
-``fault``   hint-fault delivery and bookkeeping
-``migrate`` the migration engine (frame accounting, cost charging)
-``scan``    Ticking/NUMA-balancing scan passes
-``aging``   LRU reference-bit aging passes
-==========  ======================================================
+==============  ==================================================
+``engine``      the quantum loop itself (pricing, fault generation)
+``policy``      tiering-policy work (per-quantum hooks, fault
+                handlers, scan hooks, policy daemons)
+``fault``       hint-fault delivery and bookkeeping
+``migrate``     the migration engine (frame accounting, cost
+                charging)
+``scan``        Ticking/NUMA-balancing scan passes
+``aging``       LRU reference-bit aging passes
+``accounting``  deferred ground-truth ledger flushes (the O(pages)
+                materialisation of ``access_count`` /
+                ``last_window_count``, charged where the consuming
+                read happens)
+==============  ==================================================
 
 Sections nest (a policy fault handler may migrate pages); the profiler
 charges *exclusive* time to each section, so the shares sum to the

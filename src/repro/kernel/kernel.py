@@ -102,6 +102,9 @@ class Kernel:
         if any(p.pid == process.pid for p in self.processes):
             raise ValueError(f"pid {process.pid} already registered")
         self.processes.append(process)
+        # Deferred-accounting flushes charge their wall time to the
+        # profiler's ``accounting`` section (a no-op while unprofiled).
+        process.pages.profiler = self.profiler
         if cgroup is not None:
             self.cgroups.attach(process, cgroup)
 

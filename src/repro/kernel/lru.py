@@ -68,44 +68,100 @@ class LruLists:
         window, so pages referenced in the same window are
         indistinguishable -- the measurement ceiling the paper's Section
         2.3 attributes to hardware-bit methods.
+
+        The expensive part of the pass (uniform draws, ``-expm1(-lam)``)
+        runs sparsely over the *candidate set*: pages with nonzero window
+        counts, a set accessed bit, or active-list membership.  A page
+        outside that set has touch probability exactly zero and is already
+        inactive, so it cannot change state -- skipping it is behaviour
+        preserving, except that its (unobservable) miss counter stops
+        advancing: a cold page later activated by a migration needs
+        ``DEACTIVATE_AFTER`` observed misses before deactivating instead
+        of inheriting misses accumulated while it was off-list.  When the
+        candidate set covers every page (stationary workloads with
+        full-support distributions) the pass is the dense original,
+        including its RNG stream.
         """
         pages = process.pages
         window = max(now_ns - self._last_age_ns.get(process.pid, 0), 1)
         self._last_age_ns[process.pid] = now_ns
         lam = pages.last_window_count
-        scratch = self._scratch.get(process.pid)
-        if scratch is None:
-            scratch = (
-                np.empty(pages.n_pages, dtype=np.float64),
-                np.empty(pages.n_pages, dtype=np.float64),
-            )
-            self._scratch[process.pid] = scratch
-        draws, prob = scratch
-        # ``1 - exp(-lam)`` computed in place; the RNG stream is identical
-        # to a fresh ``random(n)`` call (same generator, same draw count).
-        self._rng.random(out=draws)
-        np.negative(lam, out=prob)
-        np.expm1(prob, out=prob)
-        np.negative(prob, out=prob)
-        touched = draws < prob
-        touched |= pages.accessed
-
+        n_pages = pages.n_pages
+        candidates = lam > 0.0
+        candidates |= pages.accessed
+        candidates |= pages.lru_active
+        idx = np.flatnonzero(candidates)
         misses = self._misses(process)
-        misses[touched] = 0
-        misses[~touched] += 1
+
+        if idx.size == n_pages:
+            # Dense pass, bitwise identical to the historical full scan.
+            scratch = self._scratch.get(process.pid)
+            if scratch is None:
+                scratch = (
+                    np.empty(n_pages, dtype=np.float64),
+                    np.empty(n_pages, dtype=np.float64),
+                )
+                self._scratch[process.pid] = scratch
+            draws, prob = scratch
+            # ``1 - exp(-lam)`` computed in place; the RNG stream is
+            # identical to a fresh ``random(n)`` call (same generator,
+            # same draw count).
+            self._rng.random(out=draws)
+            np.negative(lam, out=prob)
+            np.expm1(prob, out=prob)
+            np.negative(prob, out=prob)
+            touched = draws < prob
+            touched |= pages.accessed
+
+            misses[touched] = 0
+            misses[~touched] += 1
+
+            if self.fine_grained:
+                rates = np.maximum(lam[touched], 1.0) / window
+                back_gaps = self._rng.exponential(1.0 / rates)
+                back_gaps = np.minimum(back_gaps, window - 1).astype(
+                    np.int64
+                )
+                pages.lru_gen[touched] = now_ns - back_gaps
+            else:
+                pages.lru_gen[touched] = now_ns
+            pages.lru_active[touched] = True
+            pages.lru_active[misses >= self.DEACTIVATE_AFTER] = False
+
+            pages.accessed[:] = False
+            pages.clear_window_counts()
+            return touched
+
+        # Sparse pass over the candidate subset.
+        lam_sub = lam[idx]
+        prob_sub = -np.expm1(-lam_sub)
+        touched_sub = self._rng.random(idx.size) < prob_sub
+        touched_sub |= pages.accessed[idx]
+        touched_idx = idx[touched_sub]
+        missed_idx = idx[~touched_sub]
+
+        misses[touched_idx] = 0
+        misses[missed_idx] += 1
 
         if self.fine_grained:
-            rates = np.maximum(lam[touched], 1.0) / window
+            rates = np.maximum(lam_sub[touched_sub], 1.0) / window
             back_gaps = self._rng.exponential(1.0 / rates)
             back_gaps = np.minimum(back_gaps, window - 1).astype(np.int64)
-            pages.lru_gen[touched] = now_ns - back_gaps
+            pages.lru_gen[touched_idx] = now_ns - back_gaps
         else:
-            pages.lru_gen[touched] = now_ns
-        pages.lru_active[touched] = True
-        pages.lru_active[misses >= self.DEACTIVATE_AFTER] = False
+            pages.lru_gen[touched_idx] = now_ns
+        pages.lru_active[touched_idx] = True
+        deactivate = missed_idx[
+            misses[missed_idx] >= self.DEACTIVATE_AFTER
+        ]
+        pages.lru_active[deactivate] = False
 
-        pages.accessed[:] = False
-        pages.clear_window_counts()
+        # Accessed bits and nonzero window counts live inside the
+        # candidate set by construction, so sparse resets are complete.
+        pages.accessed[idx] = False
+        pages.clear_window_counts(idx)
+        touched = np.zeros(n_pages, dtype=bool)
+        touched[touched_idx] = True
         return touched
 
     def coldest_pages(

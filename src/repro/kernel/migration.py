@@ -84,12 +84,18 @@ class MigrationEngine:
         moved = vpns[:granted]
         if moved.size == 0:
             return moved
+        # Batch order encoded the caller's priority; now that the
+        # truncation happened it carries no meaning, and sorted batches
+        # keep the journal/protection paths on their monotonic fast
+        # paths.
+        moved = np.sort(moved)
 
         # Release source frames, per source tier.
         src_tiers = pages.tier[moved]
-        for tier_id in np.unique(src_tiers):
-            count = int(np.count_nonzero(src_tiers == tier_id))
-            machine.tiers[int(tier_id)].release(count)
+        tier_counts = np.bincount(src_tiers, minlength=len(machine.tiers))
+        for tier_id, count in enumerate(tier_counts.tolist()):
+            if count:
+                machine.tiers[tier_id].release(count)
 
         pages.move_to_tier(moved, dst_tier_id)
 

@@ -205,12 +205,16 @@ class TieredMachine:
         demand = np.asarray(demand_bytes_per_sec, dtype=np.float64)
         if demand.shape != self.bandwidth_bytes.shape:
             raise ValueError("demand vector must cover every tier")
-        if np.any(demand < 0):
+        if float(demand.min()) < 0:
             raise ValueError("demand cannot be negative")
         utilization = demand / self.bandwidth_bytes
-        saturated = utilization >= 1.0 - 1.0 / self.MAX_CONTENTION
-        with np.errstate(divide="ignore"):
-            multipliers = 1.0 / (1.0 - utilization)
+        sat_level = 1.0 - 1.0 / self.MAX_CONTENTION
+        saturated = utilization >= sat_level
+        # Clamp before dividing: saturated entries are overwritten below,
+        # and the clamp keeps the division finite without paying for an
+        # ``errstate`` context on every quantum.
+        np.minimum(utilization, sat_level, out=utilization)
+        multipliers = 1.0 / (1.0 - utilization)
         multipliers[saturated] = self.MAX_CONTENTION
         return multipliers
 

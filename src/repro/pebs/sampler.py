@@ -76,6 +76,22 @@ class PebsSampler:
             action.  Counts are Poisson around the expectation, matching
             the randomness of period-based sampling.
         """
+        n_samples = self.window_budget(n_accesses, window_ns, budget_share)
+        return self.draw(access_probs, n_samples, pid=pid, now_ns=now_ns)
+
+    def window_budget(
+        self,
+        n_accesses: float,
+        window_ns: int,
+        budget_share: float = 1.0,
+    ) -> float:
+        """Samples the budget admits for one window: O(1).
+
+        ``min(n_accesses, rate * window * share)``.  Policies that defer
+        the Poisson draw accumulate these scalars and call :meth:`draw`
+        at consumption time -- Poisson additivity makes drawing once over
+        the summed budget statistically identical to drawing per window.
+        """
         if not 0 < budget_share <= 1:
             raise ValueError("budget share must be in (0, 1]")
         if n_accesses < 0:
@@ -83,7 +99,16 @@ class PebsSampler:
         budget = (
             self.config.max_samples_per_sec * (window_ns / 1e9) * budget_share
         )
-        n_samples = min(float(n_accesses), budget)
+        return min(float(n_accesses), budget)
+
+    def draw(
+        self,
+        access_probs: np.ndarray,
+        n_samples: float,
+        pid: Optional[int] = None,
+        now_ns: Optional[int] = None,
+    ) -> np.ndarray:
+        """Draw per-page Poisson hit counts for ``n_samples`` samples."""
         if n_samples <= 0:
             return np.zeros_like(np.asarray(access_probs))
         expected = np.asarray(access_probs, dtype=np.float64) * n_samples

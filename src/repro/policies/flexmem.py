@@ -69,6 +69,9 @@ class FlexMemPolicy(MemtisPolicy):
         if timely.size == 0:
             return
         state = self.state(process)
+        # The warm gate reads the sampled counters, so pending sampling
+        # runs must materialise first (Memtis defers draws to classify).
+        self._flush_samples(process, state, kernel.clock.now)
         warm = timely[state.counts[timely] > 0]
         if warm.size == 0:
             return

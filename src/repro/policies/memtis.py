@@ -23,7 +23,7 @@ Two behaviours matter for the reproduction:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 import numpy as np
@@ -46,6 +46,11 @@ class _ProcState:
     counts: np.ndarray  # cooled base-page sample counters
     split: np.ndarray  # huge groups managed at base granularity
     last_cool_ns: int = 0
+    #: pending ``[probs, n_samples]`` sampling runs: per-quantum budgets
+    #: accumulate O(1) here, and the Poisson draw happens at
+    #: classification time (Poisson additivity keeps the statistics of
+    #: per-quantum draws)
+    pending: list = field(default_factory=list)
 
 
 class MemtisPolicy(TieringPolicy):
@@ -143,14 +148,37 @@ class MemtisPolicy(TieringPolicy):
     def on_quantum(
         self, process, probs, n_accesses, start_ns, quantum_ns
     ) -> None:
+        """Admit this quantum's samples into the pending ledger: O(1).
+
+        The budget arithmetic is scalar; the O(pages) Poisson draw and
+        counter accumulation are deferred to the classification pass.
+        Poisson(a) + Poisson(b) ~ Poisson(a + b), so drawing once over
+        the accumulated budget is statistically identical to drawing per
+        quantum.
+        """
         kernel = self._require_kernel()
         n_procs = max(len(kernel.processes), 1)
-        sampled = self.sampler.sample_window(
-            probs, n_accesses, quantum_ns, budget_share=1.0 / n_procs,
-            pid=process.pid, now_ns=start_ns,
+        n_samples = self.sampler.window_budget(
+            n_accesses, quantum_ns, budget_share=1.0 / n_procs
         )
-        state = self.state(process)
-        state.counts += sampled
+        pending = self.state(process).pending
+        if pending and pending[-1][0] is probs:
+            pending[-1][1] += n_samples
+        else:
+            pending.append([probs, n_samples])
+
+    def _flush_samples(
+        self, process, state: _ProcState, now_ns: int
+    ) -> None:
+        """Draw and accumulate every pending sampling run."""
+        if not state.pending:
+            return
+        kernel = self._require_kernel()
+        for probs, n_samples in state.pending:
+            state.counts += self.sampler.draw(
+                probs, n_samples, pid=process.pid, now_ns=now_ns
+            )
+        state.pending.clear()
         overhead = self.sampler.drain_overhead_ns()
         if overhead:
             process.charge_kernel(overhead)
@@ -182,6 +210,7 @@ class MemtisPolicy(TieringPolicy):
     def _classify_process(self, process, now_ns: int) -> None:
         kernel = self._require_kernel()
         state = self.state(process)
+        self._flush_samples(process, state, now_ns)
         if now_ns - state.last_cool_ns >= self.cooling_period_ns:
             state.counts *= 0.5
             state.last_cool_ns = now_ns

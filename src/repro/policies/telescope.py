@@ -75,6 +75,9 @@ class TelescopePolicy(TieringPolicy):
         self.rate_limiter = PromotionRateLimiter(promote_rate_limit_mbps)
         self._drill: Dict[int, _DrillState] = {}
         self._window_counts: Dict[int, np.ndarray] = {}
+        #: per-pid pending ``[probs, n_accesses]`` ledger runs; quanta
+        #: accumulate O(1) here and materialise at the window tick
+        self._window_pending: Dict[int, list] = {}
 
     # ------------------------------------------------------------------
     def _configure(self, kernel) -> None:
@@ -106,10 +109,31 @@ class TelescopePolicy(TieringPolicy):
     def on_quantum(
         self, process, probs, n_accesses, start_ns, quantum_ns
     ) -> None:
-        """Accumulate expected access counts for the current window."""
-        if process.pid not in self._window_counts:
-            self._window_counts[process.pid] = np.zeros(process.n_pages)
-        self._window_counts[process.pid] += n_accesses * probs
+        """Record the quantum's expected accesses for the current window.
+
+        O(1) per quantum: the O(pages) accumulation into the window
+        counter is deferred to the profiling tick (consecutive quanta
+        sharing a distribution array merge into one run).
+        """
+        pending = self._window_pending.setdefault(process.pid, [])
+        if pending and pending[-1][0] is probs:
+            pending[-1][1] += n_accesses
+        else:
+            pending.append([probs, float(n_accesses)])
+
+    def _materialized_counts(self, process) -> np.ndarray:
+        """The window counter with every pending quantum folded in."""
+        counts = self._window_counts.get(process.pid)
+        if counts is None:
+            counts = self._window_counts[process.pid] = np.zeros(
+                process.n_pages
+            )
+        pending = self._window_pending.get(process.pid)
+        if pending:
+            for probs, n_accesses in pending:
+                counts += n_accesses * probs
+            pending.clear()
+        return counts
 
     # ------------------------------------------------------------------
     def _window_tick(self, now_ns: int) -> None:
@@ -128,9 +152,12 @@ class TelescopePolicy(TieringPolicy):
         self, process, level: int, regions: np.ndarray
     ) -> np.ndarray:
         """Regions whose upper-level accessed bit was set this window."""
-        counts = self._window_counts.get(process.pid)
-        if counts is None:
+        if (
+            process.pid not in self._window_counts
+            and not self._window_pending.get(process.pid)
+        ):
             return np.empty(0, dtype=np.int64)
+        counts = self._materialized_counts(process)
         span = self.region_pages(process, level)
         n_regions = -(-process.n_pages // span)
         lam = np.bincount(
@@ -173,7 +200,12 @@ class TelescopePolicy(TieringPolicy):
             )
             state.level = 0
             state.candidates = np.arange(n_regions)
-        # Every level uses a fresh window of access bits.
+        # Every level uses a fresh window of access bits.  Pending runs
+        # are dropped without materialising -- they belong to the window
+        # being discarded.
+        pending = self._window_pending.get(process.pid)
+        if pending:
+            pending.clear()
         counts = self._window_counts.get(process.pid)
         if counts is not None:
             counts[:] = 0.0

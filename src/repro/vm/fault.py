@@ -80,6 +80,7 @@ def take_hint_faults(
     quantum_len_ns: int,
     rng: np.random.Generator,
     rates_per_ns: Optional[np.ndarray] = None,
+    cache_remainder: Optional[np.ndarray] = None,
 ) -> FaultBatch:
     """Resolve hint faults for protected pages touched this quantum.
 
@@ -95,6 +96,12 @@ def take_hint_faults(
 
     Side effects: clears ``prot_none`` for the faulted pages and sets their
     accessed bits (the faulting access is an access).
+
+    ``cache_remainder`` is a hot-path shortcut for callers that derived
+    ``touched_vpns`` from :meth:`~repro.vm.page_state.PageState.\
+protected_pages` with a boolean mask: it must be the complementary
+    (untouched) slice of that same snapshot, and lets the unprotect skip
+    its membership search.
     """
     pages = process.pages
     touched_vpns = np.asarray(touched_vpns)
@@ -108,7 +115,7 @@ def take_hint_faults(
         rates = np.asarray(rates_per_ns, dtype=np.float64)
         if rates.shape != touched_vpns.shape:
             raise ValueError("rates must parallel touched vpns")
-        if np.any(rates <= 0):
+        if float(rates.min()) <= 0:
             raise ValueError("touched pages must have positive rates")
         # First-arrival time conditioned on >= 1 arrival in the quantum:
         # t = -ln(1 - u * (1 - exp(-lambda * Q))) / lambda.
@@ -120,12 +127,15 @@ def take_hint_faults(
     scan_ts = pages.scan_ts_ns[touched_vpns]
     cit = np.where(scan_ts >= 0, fault_ts - scan_ts, np.int64(-1))
 
-    pages.unprotect(touched_vpns)
+    if cache_remainder is not None:
+        pages.unprotect_resolved(touched_vpns, cache_remainder)
+    else:
+        pages.unprotect(touched_vpns)
     pages.accessed[touched_vpns] = True
 
     return FaultBatch(
         pid=process.pid,
-        vpns=touched_vpns.astype(np.int64),
-        fault_ts_ns=fault_ts.astype(np.int64),
-        cit_ns=cit.astype(np.int64),
+        vpns=touched_vpns.astype(np.int64, copy=False),
+        fault_ts_ns=fault_ts.astype(np.int64, copy=False),
+        cit_ns=cit.astype(np.int64, copy=False),
     )

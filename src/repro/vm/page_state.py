@@ -21,9 +21,26 @@ Fields and their kernel analogues:
 ``lru_active``     page is on the active (vs inactive) LRU list
 ``lru_gen``        generation of last observed access (LRU ordering)
 =================  ====================================================
+
+Ground-truth access accounting is *deferred*: the engine records one
+``(probs, n_accesses)`` ledger entry per quantum (O(1); consecutive quanta
+sharing the same distribution array merge into a single entry), and the
+O(pages) materialisation into ``access_count`` / ``last_window_count``
+only happens when a consumer actually reads the counters.  Both counters
+are properties that flush the pending ledger on access, so every consumer
+-- LRU aging, trace recording, figure code, tests -- sees exact values
+without knowing about the deferral.
+
+``move_to_tier`` additionally journals each placement change (moved vpns
+plus their previous tiers) so the engine can maintain its per-tier
+probability masses incrementally -- O(moved) per migration instead of a
+full O(pages) recount.
 """
 
 from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
 
 import numpy as np
 
@@ -32,8 +49,30 @@ from repro.mem.tier import FAST_TIER, SLOW_TIER
 NO_TIMESTAMP: int = -1
 
 
+def _sorted_unique(vpns: np.ndarray) -> np.ndarray:
+    """``vpns`` sorted and duplicate-free.
+
+    The protection and migration paths almost always receive already
+    sorted, duplicate-free arrays (``flatnonzero`` output, scan windows),
+    so a strict-monotonicity check avoids ``np.unique``'s sort on the
+    hot path.
+    """
+    if vpns.size < 2:
+        return vpns
+    if bool((vpns[1:] > vpns[:-1]).all()):
+        return vpns
+    return np.unique(vpns)
+
+
 class PageState:
     """Structure-of-arrays page metadata for one process."""
+
+    #: moved pages retained in the placement journal before the oldest
+    #: entries are dropped (consumers then fall back to a full recount)
+    MOVE_LOG_CAP_PAGES: int = 65_536
+    #: journal entries retained regardless of size (empty moves -- epoch
+    #: bumps without pages -- must not grow the journal unboundedly)
+    MOVE_LOG_CAP_ENTRIES: int = 4_096
 
     def __init__(self, n_pages: int) -> None:
         if n_pages <= 0:
@@ -51,9 +90,19 @@ class PageState:
         self.candidate_cit_ns = np.full(n_pages, NO_TIMESTAMP, dtype=np.int64)
         self.lru_active = np.zeros(n_pages, dtype=bool)
         self.lru_gen = np.zeros(n_pages, dtype=np.int64)
-        # Exact ground-truth access accounting (the simulator's PMU):
-        self.access_count = np.zeros(n_pages, dtype=np.float64)
-        self.last_window_count = np.zeros(n_pages, dtype=np.float64)
+        # Exact ground-truth access accounting (the simulator's PMU),
+        # materialised lazily from the pending ledger below.
+        self._access_count = np.zeros(n_pages, dtype=np.float64)
+        self._last_window_count = np.zeros(n_pages, dtype=np.float64)
+        #: pending ``[probs, n_accesses]`` ledger runs awaiting
+        #: materialisation; consecutive entries with the same (immutable)
+        #: distribution array merge into one run
+        self._pending: List[List[Any]] = []
+        self._flush_buf: Optional[np.ndarray] = None
+        #: optional :class:`repro.harness.profiling.Profiler`; when set,
+        #: ledger flushes charge their wall time to the ``accounting``
+        #: section (wired by ``Kernel.register_process``)
+        self.profiler: Any = None
         #: placement generation: bumped on every ``move_to_tier`` so the
         #: engine can reuse per-quantum placement-derived caches (tier
         #: masses) across quanta without migrations
@@ -62,6 +111,110 @@ class PageState:
         #: protect/unprotect paths so the engine's hot loop can skip the
         #: hint-fault machinery without an O(pages) scan
         self.n_protected: int = 0
+        #: sorted vpns of currently protected pages.  Maintained
+        #: copy-on-write (never mutated in place) so a snapshot returned
+        #: by :meth:`protected_pages` stays valid across later updates.
+        self._protected_vpns = np.empty(0, dtype=np.int64)
+        #: placement journal: ``(epoch, vpns, old_tiers, new_tier)`` per
+        #: ``move_to_tier`` call, oldest first
+        self._move_log: Deque[Tuple[int, np.ndarray, np.ndarray, int]] = (
+            deque()
+        )
+        self._move_log_pages = 0
+        #: epoch of the journal's start state: entries cover the range
+        #: ``(move_log_base, epoch]``
+        self.move_log_base: int = 0
+
+    # ------------------------------------------------------------------
+    # Deferred ground-truth accounting
+    # ------------------------------------------------------------------
+    def defer_accesses(self, probs: np.ndarray, n_accesses: float) -> None:
+        """Record ``n_accesses`` drawn from ``probs`` for later
+        materialisation.
+
+        O(1): the ledger stores the distribution by reference (the
+        :mod:`repro.workloads.base` contract makes distribution arrays
+        immutable), and consecutive quanta that reuse the same array
+        object merge into a single ``[probs, n]`` run, preserving the
+        chronological run structure for phase-changing workloads.
+        """
+        pending = self._pending
+        if pending and pending[-1][0] is probs:
+            pending[-1][1] += n_accesses
+        else:
+            pending.append([probs, float(n_accesses)])
+
+    @property
+    def has_pending_accesses(self) -> bool:
+        """True when ledger entries await materialisation."""
+        return bool(self._pending)
+
+    def flush_accounting(self) -> None:
+        """Materialise the pending ledger into both counters.
+
+        Each run costs one O(pages) multiply plus two axpys -- the exact
+        operation sequence the eager pre-deferral engine performed per
+        quantum -- so a flush after ``k`` same-distribution quanta does
+        the work once instead of ``k`` times.
+        """
+        if not self._pending:
+            return
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.push("accounting")
+        try:
+            buf = self._flush_buf
+            if buf is None:
+                buf = self._flush_buf = np.empty(
+                    self.n_pages, dtype=np.float64
+                )
+            for probs, n_accesses in self._pending:
+                np.multiply(probs, n_accesses, out=buf)
+                self._access_count += buf
+                self._last_window_count += buf
+            self._pending.clear()
+        finally:
+            if profiler is not None:
+                profiler.pop()
+
+    @property
+    def access_count(self) -> np.ndarray:
+        """Lifetime ground-truth access counts (flushes the ledger)."""
+        if self._pending:
+            self.flush_accounting()
+        return self._access_count
+
+    @access_count.setter
+    def access_count(self, value: np.ndarray) -> None:
+        self._access_count = value
+
+    @property
+    def last_window_count(self) -> np.ndarray:
+        """Per-window ground-truth access counts (flushes the ledger)."""
+        if self._pending:
+            self.flush_accounting()
+        return self._last_window_count
+
+    @last_window_count.setter
+    def last_window_count(self, value: np.ndarray) -> None:
+        self._last_window_count = value
+
+    def clear_window_counts(
+        self, vpns: Optional[np.ndarray] = None
+    ) -> None:
+        """Roll the per-window ground-truth access counters.
+
+        Pending accesses are flushed first -- they belong to the closing
+        window (and to the lifetime counter).  ``vpns`` restricts the
+        reset to a sparse index set; callers passing it guarantee the set
+        covers every nonzero entry (the sparse-aging candidate set does
+        by construction).
+        """
+        self.flush_accounting()
+        if vpns is None:
+            self._last_window_count[:] = 0.0
+        else:
+            self._last_window_count[vpns] = 0.0
 
     # ------------------------------------------------------------------
     # Residency queries
@@ -81,17 +234,64 @@ class PageState:
     # ------------------------------------------------------------------
     # PTE protection (scan / fault paths)
     # ------------------------------------------------------------------
+    def _cache_protect(self, fresh: np.ndarray) -> None:
+        """Merge sorted, newly protected vpns into the sorted cache."""
+        if fresh.size == 0:
+            return
+        current = self._protected_vpns
+        if current.size == 0:
+            self._protected_vpns = fresh
+        else:
+            # Hand-rolled sorted merge: ``np.insert`` carries generic
+            # axis/object machinery that dominates at these sizes.
+            positions = np.searchsorted(current, fresh)
+            merged = np.empty(
+                current.size + fresh.size, dtype=np.int64
+            )
+            at = positions + np.arange(fresh.size)
+            mask = np.zeros(merged.size, dtype=bool)
+            mask[at] = True
+            merged[mask] = fresh
+            merged[~mask] = current
+            self._protected_vpns = merged
+
+    def _cache_unprotect(self, gone: np.ndarray) -> None:
+        """Drop sorted, previously protected vpns from the cache.
+
+        Tolerates vpns missing from the cache: tests may flip
+        ``prot_none`` directly, bypassing :meth:`protect`; such pages
+        were never cached and are simply skipped here.
+        """
+        if gone.size == 0:
+            return
+        current = self._protected_vpns
+        if current.size == 0:
+            return
+        positions = np.searchsorted(current, gone)
+        cached = positions < current.size
+        cached[cached] &= current[positions[cached]] == gone[cached]
+        hit = positions[cached]
+        if hit.size == 0:
+            return
+        keep = np.ones(current.size, dtype=bool)
+        keep[hit] = False
+        self._protected_vpns = current[keep]
+
     def protect(self, vpns: np.ndarray, now_ns: int) -> int:
         """Mark pages PROT_NONE and stamp the scan time; return count.
 
         Already-protected pages keep their original scan timestamp, the way
-        the kernel skips PTEs that are already ``pte_protnone``.
+        the kernel skips PTEs that are already ``pte_protnone``.  Duplicate
+        vpns count once.
         """
         vpns = np.asarray(vpns)
-        fresh = vpns[~self.prot_none[vpns]]
+        fresh = _sorted_unique(vpns[~self.prot_none[vpns]]).astype(
+            np.int64, copy=False
+        )
         self.prot_none[fresh] = True
         self.scan_ts_ns[fresh] = now_ns
         self.n_protected += int(fresh.size)
+        self._cache_protect(fresh)
         return int(fresh.size)
 
     def protect_at(self, vpns: np.ndarray, ts_ns: np.ndarray) -> None:
@@ -101,38 +301,109 @@ class PageState:
         each page's own fault time) and by the thrashing monitor (the
         demotion time substitutes for the scan time).  Unlike
         :meth:`protect`, existing protection timestamps are overwritten.
+        Duplicate vpns count once toward ``n_protected``; the last
+        duplicate's timestamp wins, as with fancy assignment.
         """
         vpns = np.asarray(vpns)
-        self.n_protected += int(
-            np.count_nonzero(~self.prot_none[vpns])
+        ts_ns = np.broadcast_to(
+            np.asarray(ts_ns, dtype=np.int64), vpns.shape
         )
-        self.prot_none[vpns] = True
-        self.scan_ts_ns[vpns] = np.asarray(ts_ns, dtype=np.int64)
+        if vpns.size < 2 or bool((vpns[1:] > vpns[:-1]).all()):
+            unique = vpns.astype(np.int64, copy=False)
+            unique_ts = ts_ns
+        else:
+            unique, inverse = np.unique(vpns, return_inverse=True)
+            unique = unique.astype(np.int64, copy=False)
+            unique_ts = np.empty(unique.shape, dtype=np.int64)
+            # later duplicates overwrite earlier, as fancy assignment does
+            unique_ts[inverse] = ts_ns
+        fresh_mask = ~self.prot_none[unique]
+        self.n_protected += int(np.count_nonzero(fresh_mask))
+        self.prot_none[unique] = True
+        self.scan_ts_ns[unique] = unique_ts
+        self._cache_protect(unique[fresh_mask])
 
     def unprotect(self, vpns: np.ndarray) -> None:
         """Clear PROT_NONE after a fault restored the mapping."""
         vpns = np.asarray(vpns)
-        self.n_protected -= int(
-            np.count_nonzero(self.prot_none[vpns])
-        )
+        unique = _sorted_unique(vpns).astype(np.int64, copy=False)
+        gone = unique[self.prot_none[unique]]
+        self.n_protected -= int(gone.size)
+        self.prot_none[unique] = False
+        self._cache_unprotect(gone)
+
+    def unprotect_resolved(
+        self, vpns: np.ndarray, remainder: np.ndarray
+    ) -> None:
+        """Unprotect ``vpns`` when the caller already split the cache.
+
+        Fast path for the engine's fault resolution: ``vpns`` and
+        ``remainder`` must be the two complementary slices of one
+        :meth:`protected_pages` snapshot (so ``vpns`` are sorted, unique,
+        and all currently protected).  Skips the membership search the
+        general :meth:`unprotect` performs and installs ``remainder`` as
+        the new cache directly.
+        """
         self.prot_none[vpns] = False
+        self.n_protected -= int(vpns.size)
+        self._protected_vpns = remainder
 
     def protected_pages(self) -> np.ndarray:
-        """vpns of all currently protected pages."""
-        return np.flatnonzero(self.prot_none)
+        """vpns of all currently protected pages, ascending.
+
+        O(protected): served from the incrementally maintained sorted
+        cache instead of an O(pages) ``flatnonzero``.  The returned array
+        is a copy-on-write snapshot -- later protect/unprotect calls
+        replace the cache rather than mutating it -- so callers may hold
+        it across updates; they must not write into it.
+        """
+        return self._protected_vpns
 
     # ------------------------------------------------------------------
     # Residency updates (migration path)
     # ------------------------------------------------------------------
     def move_to_tier(self, vpns: np.ndarray, tier_id: int) -> None:
         """Retarget pages to a new tier (frame accounting is the kernel's
-        job; this only updates the per-page node id)."""
-        self.tier[np.asarray(vpns)] = np.int8(tier_id)
-        self.epoch += 1
+        job; this only updates the per-page node id).
 
-    def clear_window_counts(self) -> None:
-        """Roll the per-window ground-truth access counters."""
-        self.last_window_count[:] = 0.0
+        Bumps ``epoch`` exactly once per call and journals the move
+        (deduplicated vpns plus their previous tiers) so placement-derived
+        caches can apply an O(moved) delta instead of recomputing from
+        the full tier array.
+        """
+        vpns = _sorted_unique(np.asarray(vpns, dtype=np.int64))
+        old_tiers = self.tier[vpns]  # fancy indexing copies
+        self.tier[vpns] = np.int8(tier_id)
+        self.epoch += 1
+        log = self._move_log
+        log.append((self.epoch, vpns, old_tiers, int(tier_id)))
+        self._move_log_pages += int(vpns.size)
+        while log and (
+            self._move_log_pages > self.MOVE_LOG_CAP_PAGES
+            or len(log) > self.MOVE_LOG_CAP_ENTRIES
+        ):
+            dropped_epoch, dropped_vpns, _, _ = log.popleft()
+            self._move_log_pages -= int(dropped_vpns.size)
+            self.move_log_base = dropped_epoch
+
+    def moves_since(
+        self, epoch: int
+    ) -> Optional[List[Tuple[int, np.ndarray, np.ndarray, int]]]:
+        """Journal entries covering ``(epoch, self.epoch]``, oldest first.
+
+        Returns ``None`` when the journal no longer reaches back to
+        ``epoch`` (entries were dropped past the retention cap); callers
+        must then fall back to a full recount.
+        """
+        if epoch < self.move_log_base:
+            return None
+        entries: List[Tuple[int, np.ndarray, np.ndarray, int]] = []
+        for entry in reversed(self._move_log):
+            if entry[0] <= epoch:
+                break
+            entries.append(entry)
+        entries.reverse()
+        return entries
 
     def __repr__(self) -> str:
         return (

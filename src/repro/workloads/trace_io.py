@@ -49,6 +49,8 @@ class TraceRecorder:
     def observe(self, engine, now_ns: int) -> None:
         """Engine observer hook: record one window per process."""
         for process in engine.kernel.processes:
+            # Reading ``access_count`` materialises the engine's pending
+            # deferred-accounting ledger, so each window is exact.
             counts = process.pages.access_count
             previous = self._last_counts.get(process.pid)
             window = (

@@ -1,0 +1,182 @@
+"""Deferred ground-truth accounting is exact, and the optimized engine
+path agrees with the reference path.
+
+The engine no longer materialises expected access counts every quantum;
+it appends ``(probs, n_accesses)`` runs to a per-process ledger that is
+flushed when a consumer reads the counters.  These tests pin down the
+equivalence contract at three levels:
+
+1. ledger semantics: flushing after every deferral reproduces the eager
+   per-quantum accumulation *bit for bit*;
+2. whole-simulation: a run whose ledger is flushed after every deferral
+   matches a stock (lazily flushed) run;
+3. engine paths: the optimized fast path and the reference per-page
+   path (``fast_path=False``) agree statistically on throughput and
+   FMAR across policies -- they draw different random streams for hint
+   faults, so the comparison is tolerance-based, not bitwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import StandardSetup, build_fleet
+from repro.harness.runner import run_experiment
+from repro.sim.timeunits import SECOND
+from repro.vm.page_state import PageState
+
+
+def _distributions(n_pages, n_dists, seed):
+    rng = np.random.default_rng(seed)
+    dists = []
+    for _ in range(n_dists):
+        weights = rng.random(n_pages) ** 3
+        dists.append(weights / weights.sum())
+    return dists
+
+
+class TestLedgerExactness:
+    def test_flush_per_defer_is_bitwise_eager(self):
+        """Flushing after every deferral == the old eager accumulation.
+
+        With one run per flush there is no run merging, so the flush
+        performs exactly the multiply-and-add the eager engine did each
+        quantum -- the counters must match bit for bit.
+        """
+        n_pages = 257
+        dists = _distributions(n_pages, 4, seed=1)
+        rng = np.random.default_rng(2)
+
+        pages = PageState(n_pages)
+        eager = np.zeros(n_pages)
+        for _ in range(50):
+            probs = dists[rng.integers(len(dists))]
+            n = float(rng.integers(1, 10_000))
+            pages.defer_accesses(probs, n)
+            pages.flush_accounting()
+            eager += probs * n
+        assert np.array_equal(pages.access_count, eager)
+
+    def test_merged_runs_collapse_to_one_multiply(self):
+        """Same-distribution quanta merge into a single ``probs * n``.
+
+        This is the documented deferral semantics: ``k`` consecutive
+        quanta over one distribution cost one multiply at flush time,
+        and the result is the single-multiply expectation bit for bit.
+        """
+        n_pages = 64
+        (probs,) = _distributions(n_pages, 1, seed=3)
+        pages = PageState(n_pages)
+        for n in (100.0, 250.0, 7.5):
+            pages.defer_accesses(probs, n)
+        assert np.array_equal(pages.access_count, probs * 357.5)
+
+    def test_lifetime_and_window_counters_share_the_ledger(self):
+        n_pages = 32
+        (probs,) = _distributions(n_pages, 1, seed=4)
+        pages = PageState(n_pages)
+        pages.defer_accesses(probs, 10.0)
+        assert pages.has_pending_accesses
+        np.testing.assert_array_equal(
+            pages.last_window_count, pages.access_count
+        )
+        assert not pages.has_pending_accesses
+        # The window rolls; the lifetime counter keeps accumulating.
+        pages.clear_window_counts()
+        pages.defer_accesses(probs, 5.0)
+        np.testing.assert_array_equal(pages.last_window_count, probs * 5.0)
+        # Two flushed runs accumulate as two multiply-adds (eager
+        # semantics), not as one ``probs * 15`` multiply.
+        np.testing.assert_array_equal(
+            pages.access_count, probs * 10.0 + probs * 5.0
+        )
+
+
+class TestWholeRunEquivalence:
+    @pytest.mark.parametrize(
+        "policy_name",
+        ["linux-nb", "multiclock", "memtis", "telescope", "chrono"],
+    )
+    def test_eager_flush_regime_matches_lazy(
+        self, policy_name, monkeypatch
+    ):
+        """A run flushed after every deferral == a stock lazy run.
+
+        Forcing a flush per quantum degenerates the ledger to the old
+        eager engine; both regimes must produce the same ground-truth
+        counters and the same headline metrics for an identical
+        (policy, workload, seed) configuration.
+        """
+
+        def run_once(eager):
+            if eager:
+                original = PageState.defer_accesses
+
+                def eager_defer(self, probs, n_accesses):
+                    original(self, probs, n_accesses)
+                    self.flush_accounting()
+
+                monkeypatch.setattr(
+                    PageState, "defer_accesses", eager_defer
+                )
+            setup = StandardSetup(duration_ns=2 * SECOND)
+            policy = setup.build_policy(policy_name)
+            processes = build_fleet(
+                setup, "pmbench", n_procs=2, pages_per_proc=512
+            )
+            result = run_experiment(
+                processes, policy, setup.run_config()
+            )
+            counts = [
+                np.array(p.pages.access_count) for p in processes
+            ]
+            if eager:
+                monkeypatch.undo()
+            return result, counts
+
+        lazy_result, lazy_counts = run_once(eager=False)
+        eager_result, eager_counts = run_once(eager=True)
+
+        # Flush timing must not leak into the simulation: the
+        # trajectories are bit-for-bit identical.
+        assert (
+            eager_result.throughput_per_sec
+            == lazy_result.throughput_per_sec
+        )
+        assert eager_result.fmar == lazy_result.fmar
+        # The counters themselves are exact up to float reassociation:
+        # merging k same-distribution runs materialises ``probs * Σn``
+        # in one multiply where the eager regime did k multiply-adds.
+        for eager_arr, lazy_arr in zip(eager_counts, lazy_counts):
+            np.testing.assert_allclose(
+                eager_arr, lazy_arr, rtol=1e-12, atol=0
+            )
+
+
+class TestFastVsReferencePath:
+    @pytest.mark.parametrize(
+        "policy_name", ["linux-nb", "multiclock", "memtis", "chrono"]
+    )
+    def test_paths_agree_statistically(self, policy_name):
+        """Optimized vs reference engine path: same physics, different
+        random streams for hint faults -- headline metrics must agree
+        within a small tolerance."""
+
+        def run_once(fast_path):
+            setup = StandardSetup(duration_ns=2 * SECOND)
+            policy = setup.build_policy(policy_name)
+            processes = build_fleet(
+                setup, "pmbench", n_procs=2, pages_per_proc=1024
+            )
+            return run_experiment(
+                processes, policy, setup.run_config(),
+                fast_path=fast_path,
+            )
+
+        fast = run_once(fast_path=True)
+        reference = run_once(fast_path=False)
+        assert fast.throughput_per_sec == pytest.approx(
+            reference.throughput_per_sec, rel=0.02
+        )
+        assert fast.fmar == pytest.approx(
+            reference.fmar, rel=0.02, abs=1e-4
+        )

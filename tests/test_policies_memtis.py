@@ -59,12 +59,21 @@ class TestConfiguration:
 
 
 class TestSampling:
-    def test_on_quantum_accumulates(self):
+    def test_on_quantum_defers_then_flush_accumulates(self):
         policy = MemtisPolicy(sample_rate_per_sec=1e6)
         kernel, process = attach(policy)
         probs = process.workload.access_distribution()
         policy.on_quantum(process, probs, 10_000, 0, SECOND)
-        assert policy.state(process).counts.sum() > 0
+        state = policy.state(process)
+        # The quantum hook is O(1): it only records the admitted budget.
+        assert state.counts.sum() == 0
+        assert len(state.pending) == 1
+        # Quanta sharing the distribution array merge into one run.
+        policy.on_quantum(process, probs, 10_000, SECOND, SECOND)
+        assert len(state.pending) == 1
+        policy._flush_samples(process, state, 2 * SECOND)
+        assert state.counts.sum() > 0
+        assert not state.pending
         assert process.pending_kernel_ns > 0  # drain overhead charged
 
 

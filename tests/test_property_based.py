@@ -19,6 +19,7 @@ from repro.mem.tier import FAST_TIER, SLOW_TIER, MemoryTier, dram_spec
 from repro.pebs.histogram import bin_of
 from repro.sim.events import EventScheduler
 from repro.vm.hugepage import aggregate_by_huge, n_huge_pages
+from repro.vm.page_state import PageState
 from tests.conftest import make_process
 
 
@@ -238,3 +239,57 @@ class TestSchedulerProperties:
         scheduler.run_due(2000)
         assert fired == sorted(fired)
         assert len(fired) == len(times)
+
+
+class TestPageProtectionInvariants:
+    """Random protect / protect_at / unprotect / move_to_tier sequences
+    keep the protection bookkeeping consistent.
+
+    The engine's hot path trusts ``n_protected`` and the sorted
+    ``protected_pages()`` cache instead of scanning ``prot_none``; any
+    drift between the three representations silently corrupts fault
+    sampling.
+    """
+
+    N_PAGES = 32
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["protect", "protect_at", "unprotect", "move"]
+                ),
+                st.lists(
+                    st.integers(min_value=0, max_value=31),
+                    min_size=1,
+                    max_size=12,
+                ),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(deadline=None)
+    def test_counters_and_cache_track_the_bitmap(self, ops):
+        pages = PageState(self.N_PAGES)
+        now = 0
+        for kind, raw_vpns in ops:
+            now += 1
+            vpns = np.array(raw_vpns, dtype=np.int64)
+            if kind == "protect":
+                pages.protect(vpns, now_ns=now)
+            elif kind == "protect_at":
+                pages.protect_at(
+                    vpns, np.arange(vpns.size, dtype=np.int64) + now
+                )
+            elif kind == "unprotect":
+                pages.unprotect(vpns)
+            else:
+                epoch_before = pages.epoch
+                pages.move_to_tier(vpns, FAST_TIER)
+                assert pages.epoch == epoch_before + 1
+            assert pages.n_protected == int(pages.prot_none.sum())
+            cached = pages.protected_pages()
+            assert cached.size == pages.n_protected
+            np.testing.assert_array_equal(
+                cached, np.flatnonzero(pages.prot_none)
+            )
