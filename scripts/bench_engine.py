@@ -6,8 +6,14 @@ the engine's optimized pricing path (cached tier masses, per-quantum
 contention vector, preallocated buffers) and once with the reference
 per-page path (``fast_path=False``, the pre-optimization behaviour) --
 and reports simulated quanta per second of host wall time for both,
-plus the cold-cache cells/sec of a small sweep grid and the profiled
-subsystem shares.
+plus the profiled subsystem shares.
+
+The sweep section exercises the fleet-scale execution layer: a
+16-cell (policy x seed) pmbench grid is re-run cold at every rung of
+a worker-pool ladder (jobs 1/2/4/8, shared-memory table transport on
+and off), and a reuse-heavy graph500 grid compares warm-pool table
+reuse against the old rebuild-per-cell behaviour.  ``host_cpus`` is
+recorded with the ladder because parallel speedup is bounded by it.
 
 The full run also sweeps a page-count ladder (4 K -> 1 M pages per
 process, two processes) to chart ns/page/quantum: the steady-state
@@ -22,14 +28,17 @@ Writes ``BENCH_engine.json`` (override with ``--out``) so CI can track
 the perf trajectory.  ``--quick`` is the CI regression gate: it times
 only the optimized path at the default scale and fails (exit 1) when
 quanta/sec drops below ``QUICK_GATE_FRACTION`` of the committed
-baseline's ``after.quanta_per_sec``.  CI-compatible: pure stdlib + the
-package itself, runs in well under a minute at the default scale.
+baseline's ``after.quanta_per_sec``, or when cold sweep throughput at
+jobs=2 drops below ``SWEEP_GATE_FRACTION`` of the committed ladder's
+matching rung.  CI-compatible: pure stdlib + the package itself, runs
+in well under a minute at the default scale.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -47,15 +56,45 @@ from repro.harness.runner import (  # noqa: E402
     run_experiment,
     summarize_run,
 )
-from repro.harness.sweep import SweepCell, run_cells  # noqa: E402
+from repro.harness.sweep import (  # noqa: E402
+    SweepCell,
+    clear_memory_cache,
+    run_cell,
+    run_cells,
+)
 from repro.kernel.kernel import Kernel  # noqa: E402
 from repro.sim.rng import RngStreams  # noqa: E402
 from repro.sim.timeunits import SECOND  # noqa: E402
+from repro.workloads import reset_table_cache  # noqa: E402
 
 #: --quick fails when quanta/sec falls below this fraction of the
 #: committed baseline (allows host-speed jitter, catches real
 #: regressions)
 QUICK_GATE_FRACTION = 0.7
+
+#: --quick sweep-throughput floor: cells/sec at jobs=2 must stay above
+#: this fraction of the committed ladder's jobs=2 rung.  Looser than
+#: the quanta/sec gate because pool spin-up adds fixed overhead that a
+#: short grid amortizes poorly on slow runners.
+SWEEP_GATE_FRACTION = 0.5
+
+#: worker-pool sizes for the sweep throughput ladder
+SWEEP_JOBS_LADDER = (1, 2, 4, 8)
+SWEEP_POLICIES = ("linux-nb", "tpp", "memtis", "chrono")
+SWEEP_SEEDS = (0, 1, 2, 3)
+
+
+def host_cpus() -> int:
+    """CPUs usable by this process (affinity-aware) -- parallel speedup
+    in the sweep ladder is bounded by this, so it is recorded alongside
+    the numbers."""
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0))
+        except OSError:
+            pass
+    return os.cpu_count() or 1
 
 #: page-count ladder for the scaling sweep (pages per process)
 SCALING_SIZES = (4_096, 16_384, 65_536, 262_144, 1_048_576)
@@ -88,24 +127,136 @@ def time_engine(setup, policy_name, workload_kwargs, fast_path, profile):
     }
 
 
-def time_sweep(duration_ns, workload_kwargs, policies, jobs):
-    cells = [
+def sweep_grid_cells(duration_ns, workload_kwargs, policies, seeds):
+    """The (policy x seed) grid every ladder rung re-runs cold."""
+    return [
         SweepCell(
             policy=name,
             workload="pmbench",
+            seed=seed,
             workload_kwargs=dict(workload_kwargs),
+            setup_kwargs={"duration_ns": duration_ns},
+        )
+        for seed in seeds
+        for name in policies
+    ]
+
+
+def _reset_sweep_state():
+    """Drop every warm layer so each rung times a truly cold run."""
+    reset_table_cache()
+    clear_memory_cache()
+
+
+def time_sweep_rung(cells, jobs, shared_memory):
+    """Time one cold run of the grid at one (jobs, shm) point."""
+    _reset_sweep_state()
+    start = time.perf_counter()
+    run_cells(
+        cells, jobs=jobs, use_cache=False, share_tables=shared_memory
+    )
+    wall = time.perf_counter() - start
+    return {
+        "jobs": jobs,
+        "shared_memory": shared_memory,
+        "wall_sec": wall,
+        "cells_per_sec": len(cells) / wall if wall else 0.0,
+    }
+
+
+def time_sweep_ladder(duration_ns, workload_kwargs, policies, seeds):
+    """Cold cells/sec across the jobs ladder, shm on and off.
+
+    Every rung re-runs the same (policy x seed) grid with the result
+    cache bypassed and the in-process table/memory caches cleared, so
+    the only variables are the pool width and the table transport.
+    ``speedup_vs_jobs1`` is relative to the jobs=1 rung with the same
+    transport; parallel speedup is bounded by ``host_cpus``.
+    """
+    cells = sweep_grid_cells(duration_ns, workload_kwargs, policies, seeds)
+    ladder = []
+    base = {}
+    for shared_memory in (True, False):
+        for jobs in SWEEP_JOBS_LADDER:
+            rung = time_sweep_rung(cells, jobs, shared_memory)
+            if jobs == 1:
+                base[shared_memory] = rung["cells_per_sec"]
+            reference = base.get(shared_memory, 0.0)
+            rung["speedup_vs_jobs1"] = (
+                rung["cells_per_sec"] / reference if reference else 0.0
+            )
+            ladder.append(rung)
+            print(
+                f"    jobs={jobs} shm={'on ' if shared_memory else 'off'}"
+                f" {rung['wall_sec']:6.2f}s wall, "
+                f"{rung['cells_per_sec']:6.2f} cells/sec "
+                f"({rung['speedup_vs_jobs1']:.2f}x vs jobs=1)"
+            )
+    return {
+        "grid": {
+            "workload": "pmbench",
+            "policies": list(policies),
+            "seeds": list(seeds),
+            "n_cells": len(cells),
+            "n_procs": workload_kwargs.get("n_procs"),
+            "pages_per_proc": workload_kwargs.get("pages_per_proc"),
+            "duration_sec": duration_ns / SECOND,
+        },
+        "host_cpus": host_cpus(),
+        "ladder": ladder,
+    }
+
+
+def time_warm_vs_cold(duration_ns, n_procs, pages_per_proc):
+    """Warm-pool table reuse vs per-cell rebuild on a reuse-heavy grid.
+
+    Six policies on the same graph500 fleet (same seed) share one set
+    of compiled workload tables.  ``cold`` empties the table cache
+    before every cell -- the pre-warm-pool behaviour, where each worker
+    process rebuilt its own tables -- while ``warm`` runs the same grid
+    through ``run_cells`` at jobs=1 with the cache primed once.
+    """
+    policies = (
+        "linux-nb", "autotiering", "tpp", "memtis", "multiclock", "chrono"
+    )
+    cells = [
+        SweepCell(
+            policy=name,
+            workload="graph500",
+            seed=0,
+            workload_kwargs={
+                "n_procs": n_procs, "pages_per_proc": pages_per_proc
+            },
             setup_kwargs={"duration_ns": duration_ns},
         )
         for name in policies
     ]
+    _reset_sweep_state()
     start = time.perf_counter()
-    run_cells(cells, jobs=jobs, use_cache=False)
-    wall = time.perf_counter() - start
+    for cell in cells:
+        reset_table_cache()
+        run_cell(cell, use_cache=False)
+    cold_wall = time.perf_counter() - start
+
+    _reset_sweep_state()
+    start = time.perf_counter()
+    run_cells(cells, jobs=1, use_cache=False)
+    warm_wall = time.perf_counter() - start
     return {
-        "cells": len(cells),
-        "jobs": jobs,
-        "wall_sec": wall,
-        "cells_per_sec": len(cells) / wall if wall else 0.0,
+        "workload": "graph500",
+        "n_cells": len(cells),
+        "n_procs": n_procs,
+        "pages_per_proc": pages_per_proc,
+        "duration_sec": duration_ns / SECOND,
+        "cold": {
+            "wall_sec": cold_wall,
+            "cells_per_sec": len(cells) / cold_wall if cold_wall else 0.0,
+        },
+        "warm": {
+            "wall_sec": warm_wall,
+            "cells_per_sec": len(cells) / warm_wall if warm_wall else 0.0,
+        },
+        "speedup": cold_wall / warm_wall if warm_wall else 0.0,
     }
 
 
@@ -250,14 +401,86 @@ def run_scaling(policy_name):
     return section, ok
 
 
+def _sweep_baseline(baseline):
+    """The committed jobs=2/shm-on ladder rung, or ``None`` if the
+    baseline predates the sweep-ladder schema."""
+    try:
+        grid = baseline["sweep"]["grid"]
+        for rung in baseline["sweep"]["ladder"]:
+            if rung["jobs"] == 2 and rung["shared_memory"]:
+                return grid, float(rung["cells_per_sec"])
+    except (KeyError, ValueError, TypeError):
+        pass
+    return None, None
+
+
+def run_quick_sweep_gate(baseline):
+    """Cold sweep throughput at jobs=2 vs the committed ladder rung.
+
+    Returns ``(section, ok)``; a missing or pre-ladder baseline skips
+    the gate (``ok`` stays True) but still reports the measurement.
+    """
+    grid, committed = (None, None)
+    if baseline is not None:
+        grid, committed = _sweep_baseline(baseline)
+    if grid is None:
+        grid = {
+            "policies": list(SWEEP_POLICIES),
+            "seeds": list(SWEEP_SEEDS),
+            "n_procs": 8,
+            "pages_per_proc": 4_096,
+            "duration_sec": 1.25,
+        }
+    cells = sweep_grid_cells(
+        int(grid["duration_sec"] * SECOND),
+        {
+            "n_procs": grid["n_procs"],
+            "pages_per_proc": grid["pages_per_proc"],
+        },
+        grid["policies"],
+        grid["seeds"],
+    )
+    print(
+        f"  sweep gate: {len(cells)} cells at jobs=2, shm on "
+        f"({host_cpus()} host cpus)"
+    )
+    rung = time_sweep_rung(cells, jobs=2, shared_memory=True)
+    measured = rung["cells_per_sec"]
+    print(f"  measured: {measured:8.2f} cells/sec")
+    section = {
+        "grid": grid,
+        "host_cpus": host_cpus(),
+        "measured": rung,
+        "baseline_cells_per_sec": committed,
+        "gate_fraction": SWEEP_GATE_FRACTION,
+    }
+    if committed is None:
+        print("  no committed sweep ladder; sweep gate skipped")
+        return section, True
+    floor = SWEEP_GATE_FRACTION * committed
+    print(
+        f"  baseline: {committed:8.2f} cells/sec "
+        f"(floor {floor:.2f} = {SWEEP_GATE_FRACTION:.0%})"
+    )
+    if measured < floor:
+        print(
+            f"  FAIL: {measured:.2f} cells/sec is below the "
+            f"{SWEEP_GATE_FRACTION:.0%} sweep regression floor"
+        )
+        return section, False
+    print("  sweep gate passed")
+    return section, True
+
+
 def run_quick_gate(args, baseline_path: pathlib.Path) -> int:
     """CI perf smoke: optimized path only, gated on the committed JSON."""
+    baseline = None
+    committed = None
     try:
         baseline = json.loads(baseline_path.read_text())
         committed = float(baseline["after"]["quanta_per_sec"])
     except (OSError, KeyError, ValueError, TypeError):
         print(f"  no usable baseline at {baseline_path}; gate skipped")
-        committed = None
 
     duration_ns = int(args.duration * SECOND)
     setup = StandardSetup(duration_ns=duration_ns)
@@ -273,6 +496,24 @@ def run_quick_gate(args, baseline_path: pathlib.Path) -> int:
     measured = optimized["quanta_per_sec"]
     print(f"  measured: {measured:8.1f} quanta/sec")
 
+    quanta_ok = True
+    if committed is not None:
+        floor = QUICK_GATE_FRACTION * committed
+        print(
+            f"  baseline: {committed:8.1f} quanta/sec "
+            f"(floor {floor:.1f} = {QUICK_GATE_FRACTION:.0%})"
+        )
+        if measured < floor:
+            print(
+                f"  FAIL: {measured:.1f} quanta/sec is below the "
+                f"{QUICK_GATE_FRACTION:.0%} regression floor"
+            )
+            quanta_ok = False
+        else:
+            print("  gate passed")
+
+    sweep_section, sweep_ok = run_quick_sweep_gate(baseline)
+
     payload = {
         "config": {
             "policy": args.policy,
@@ -287,26 +528,12 @@ def run_quick_gate(args, baseline_path: pathlib.Path) -> int:
         },
         "baseline_quanta_per_sec": committed,
         "gate_fraction": QUICK_GATE_FRACTION,
+        "sweep_gate": sweep_section,
     }
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"  wrote {out}")
-
-    if committed is None:
-        return 0
-    floor = QUICK_GATE_FRACTION * committed
-    print(
-        f"  baseline: {committed:8.1f} quanta/sec "
-        f"(floor {floor:.1f} = {QUICK_GATE_FRACTION:.0%})"
-    )
-    if measured < floor:
-        print(
-            f"  FAIL: {measured:.1f} quanta/sec is below the "
-            f"{QUICK_GATE_FRACTION:.0%} regression floor"
-        )
-        return 1
-    print("  gate passed")
-    return 0
+    return 0 if quanta_ok and sweep_ok else 1
 
 
 def main(argv=None) -> int:
@@ -325,10 +552,6 @@ def main(argv=None) -> int:
     parser.add_argument("--procs", type=int, default=8)
     parser.add_argument("--pages", type=int, default=4_096)
     parser.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker pool size for the sweep-grid timing (default: 1)",
-    )
-    parser.add_argument(
         "--out", default=None,
         help=(
             "output JSON path (default: BENCH_engine.json, or "
@@ -340,7 +563,9 @@ def main(argv=None) -> int:
         help=(
             "CI regression gate: time only the optimized path and fail "
             "when quanta/sec drops below "
-            f"{QUICK_GATE_FRACTION:.0%} of the committed baseline"
+            f"{QUICK_GATE_FRACTION:.0%} of the committed baseline or "
+            "cold sweep cells/sec at jobs=2 drops below "
+            f"{SWEEP_GATE_FRACTION:.0%} of the committed ladder rung"
         ),
     )
     parser.add_argument(
@@ -403,17 +628,25 @@ def main(argv=None) -> int:
     )
     print(f"  speedup: {speedup:.2f}x")
 
-    sweep = time_sweep(
-        duration_ns // 2,
+    print(
+        f"  sweep ladder: {len(SWEEP_POLICIES) * len(SWEEP_SEEDS)} "
+        f"cells, jobs {SWEEP_JOBS_LADDER} x shm on/off "
+        f"({host_cpus()} host cpus)"
+    )
+    sweep = time_sweep_ladder(
+        duration_ns // 4,
         workload_kwargs,
-        ("linux-nb", "tpp", "memtis", "chrono"),
-        jobs=args.jobs,
+        SWEEP_POLICIES,
+        SWEEP_SEEDS,
+    )
+    warm_vs_cold = time_warm_vs_cold(
+        duration_ns // 4, n_procs=2, pages_per_proc=args.pages
     )
     print(
-        f"  sweep grid: {sweep['cells']} cells in "
-        f"{sweep['wall_sec']:.2f}s "
-        f"({sweep['cells_per_sec']:.2f} cells/sec, "
-        f"jobs={sweep['jobs']})"
+        f"  warm vs cold tables (graph500 x{warm_vs_cold['n_cells']}): "
+        f"cold {warm_vs_cold['cold']['wall_sec']:.2f}s, "
+        f"warm {warm_vs_cold['warm']['wall_sec']:.2f}s "
+        f"({warm_vs_cold['speedup']:.2f}x)"
     )
 
     scaling = None
@@ -439,6 +672,7 @@ def main(argv=None) -> int:
         },
         "speedup": speedup,
         "sweep": sweep,
+        "warm_vs_cold": warm_vs_cold,
         "scaling": scaling,
         "profile": optimized["profile"],
     }

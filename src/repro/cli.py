@@ -14,7 +14,8 @@ Six subcommands:
   printing the paper-style normalized tables; ``--jobs N`` fans the
   policies out over a worker pool through the sweep layer.
 * ``chrono-sim sweep`` -- a (policy x seed) grid through the parallel
-  sweep layer with result caching.
+  sweep layer with result caching; ``--progress`` streams per-cell
+  timing and an ETA as cells complete.
 * ``chrono-sim policies`` -- the available tiering systems and the
   Table 1 characteristics.
 * ``chrono-sim defaults`` -- Chrono's Table 2 parameter defaults.
@@ -44,7 +45,7 @@ from repro.harness.reporting import (
     throughput_table,
 )
 from repro.harness.runner import run_experiment
-from repro.harness.sweep import default_jobs, run_cells
+from repro.harness.sweep import default_jobs, iter_cells
 from repro.obs.hub import ObsHub
 from repro.obs.tracefile import (
     epoch_migrations,
@@ -161,6 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit machine-readable JSON instead of a table",
     )
+    sweep_p.add_argument(
+        "--progress", action="store_true",
+        help=(
+            "stream one line per completed cell (wall time, result "
+            "source, ETA) to stderr while the grid runs"
+        ),
+    )
     _add_sweep_args(sweep_p)
 
     sub.add_parser("policies", help="list policies and Table 1")
@@ -212,6 +220,13 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the on-disk result cache",
+    )
+    parser.add_argument(
+        "--no-shm", action="store_true",
+        help=(
+            "do not share compiled workload tables with sweep workers "
+            "(each worker rebuilds its own copy)"
+        ),
     )
 
 
@@ -462,6 +477,7 @@ def cmd_compare(args) -> int:
         seed=args.seed,
         workload_kwargs=_workload_kwargs(args),
         setup_kwargs=_setup_kwargs(args),
+        share_tables=not args.no_shm,
     )
     title = (
         f"{args.workload}, {args.procs} procs x {args.pages} pages, "
@@ -495,21 +511,49 @@ def cmd_sweep(args) -> int:
                 setup_kwargs=_setup_kwargs(args),
             )
         )
-    summaries = run_cells(
+    jobs = _resolve_jobs(args.jobs)
+    results: List[Optional[object]] = [None] * len(cells)
+    done = 0
+    executed_walls: List[float] = []
+    for result in iter_cells(
         cells,
-        jobs=_resolve_jobs(args.jobs),
+        jobs=jobs,
         use_cache=not args.no_cache,
-    )
+        share_tables=not args.no_shm,
+    ):
+        results[result.index] = result
+        done += 1
+        if result.source == "run":
+            executed_walls.append(result.wall_sec)
+        if args.progress:
+            remaining = len(cells) - done
+            if executed_walls and remaining:
+                mean_wall = sum(executed_walls) / len(executed_walls)
+                eta = f"eta {mean_wall * remaining / jobs:6.1f}s"
+            else:
+                eta = "eta    0.0s" if not remaining else "eta      ?"
+            cell = result.cell
+            print(
+                f"[{done:>{len(str(len(cells)))}}/{len(cells)}] "
+                f"{cell.policy:<10} {cell.workload:<10} "
+                f"seed={cell.seed:<3} {result.wall_sec:7.2f}s "
+                f"{result.source:<6} {eta}",
+                file=sys.stderr,
+            )
+    summaries = [result.summary for result in results]
     if args.json:
         payload = [
             {
-                "policy": cell.policy,
-                "workload": cell.workload,
-                "seed": cell.seed,
-                "cached": summary.cached,
-                **summary.to_dict(),
+                "policy": result.cell.policy,
+                "workload": result.cell.workload,
+                "seed": result.cell.seed,
+                "cached": result.summary.cached,
+                # host wall time is deliberately omitted: the JSON
+                # payload stays byte-identical across jobs/reruns
+                "source": result.source,
+                **result.summary.to_dict(),
             }
-            for cell, summary in zip(cells, summaries)
+            for result in results
         ]
         print(json.dumps(payload, indent=2))
         return 0
@@ -520,9 +564,9 @@ def cmd_sweep(args) -> int:
             summary.throughput_per_sec,
             100.0 * summary.fmar,
             summary.latency_summary["p99"],
-            "hit" if summary.cached else "run",
+            result.source,
         ]
-        for cell, summary in zip(cells, summaries)
+        for cell, summary, result in zip(cells, summaries, results)
     ]
     print(
         format_table(
@@ -530,7 +574,7 @@ def cmd_sweep(args) -> int:
             rows,
             title=(
                 f"{args.workload} sweep: {len(cells)} cells, "
-                f"jobs={_resolve_jobs(args.jobs)}"
+                f"jobs={jobs}"
             ),
         )
     )

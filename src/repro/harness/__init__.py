@@ -7,9 +7,13 @@
 * :mod:`repro.harness.runner` -- one-call experiment runner producing a
   :class:`RunResult` with every metric the paper's figures need.
 * :mod:`repro.harness.sweep` -- declarative experiment cells with
-  process-pool fan-out (``run_cells(cells, jobs=N)``).
+  warm-worker-pool fan-out (``run_cells(cells, jobs=N)``) and streamed
+  results (``iter_cells``).
+* :mod:`repro.harness.shm` -- zero-copy shared-memory transport for
+  compiled workload tables between the sweep parent and its workers.
 * :mod:`repro.harness.cache` -- on-disk result cache keyed by a content
-  hash of (cell description, code version).
+  hash of (cell description, code version), plus per-cell wall-time
+  history for the adaptive scheduler.
 * :mod:`repro.harness.profiling` -- per-subsystem wall-time shares
   (scan / fault / migrate / policy / engine).
 * :mod:`repro.harness.reporting` -- plain-text tables in the shape of the
@@ -25,9 +29,17 @@ from repro.harness.runner import (
     RunSummary,
     run_experiment,
 )
-from repro.harness.sweep import SweepCell, run_cells
+from repro.harness.sweep import (
+    CellResult,
+    SweepCell,
+    default_jobs,
+    iter_cells,
+    run_cell,
+    run_cells,
+)
 
 __all__ = [
+    "CellResult",
     "Profiler",
     "QuantumEngine",
     "ResultCache",
@@ -35,6 +47,9 @@ __all__ = [
     "RunResult",
     "RunSummary",
     "SweepCell",
+    "default_jobs",
+    "iter_cells",
+    "run_cell",
     "run_cells",
     "run_experiment",
 ]

@@ -21,7 +21,17 @@ Controls:
 
 Robustness: entries are written atomically (tmp file + rename) and any
 unreadable/corrupt entry is treated as a miss, so a truncated cache file
-degrades to a recompute, never an error.
+degrades to a recompute, never an error.  A corrupt entry is also
+*deleted* and reported through the obs layer (``cache.corrupt`` event,
+``cache.corrupt_entries`` counter) so bad files do not linger and get
+re-parsed on every lookup.
+
+Besides results, the cache keeps a small per-cell *timing store*
+(``timings/`` subdirectory): an exponentially weighted moving average of
+each cell's execution wall time, keyed by the cell description **without**
+the code fingerprint -- a wall-time estimate survives code changes even
+though the result itself must not.  The adaptive sweep scheduler uses it
+for longest-expected-first ordering.
 """
 
 from __future__ import annotations
@@ -37,6 +47,9 @@ from repro.harness.runner import RunSummary
 
 #: cache-format version; bump to orphan old entries wholesale
 CACHE_FORMAT: int = 1
+
+#: EWMA weight of the newest wall-time observation in the timing store
+TIMING_ALPHA: float = 0.5
 
 _code_fingerprint: Optional[str] = None
 
@@ -87,11 +100,26 @@ def content_key(description: Mapping[str, Any]) -> str:
     return hashlib.sha256(_canonical(payload).encode()).hexdigest()
 
 
-class ResultCache:
-    """Content-addressed store of run summaries."""
+def timing_key(description: Mapping[str, Any]) -> str:
+    """The timing-store key: description only, no code fingerprint.
 
-    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+    A wall-time estimate is a scheduling hint, not a result -- staying
+    valid across code versions is the point.
+    """
+    return hashlib.sha256(_canonical(description).encode()).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of run summaries (plus cell timings)."""
+
+    def __init__(
+        self,
+        directory: Optional[os.PathLike] = None,
+        obs=None,
+    ) -> None:
         self.directory = pathlib.Path(directory or default_cache_dir())
+        #: optional :class:`~repro.obs.hub.ObsHub` for cache telemetry
+        self.obs = obs
 
     def _path(self, key: str) -> pathlib.Path:
         return self.directory / f"{key}.json"
@@ -99,16 +127,83 @@ class ResultCache:
     def get(self, key: str) -> Optional[RunSummary]:
         """The cached summary for ``key``, or ``None`` on miss.
 
-        Corrupt or truncated entries are misses.
+        Corrupt or truncated entries are misses; the bad file is
+        deleted and reported (``cache.corrupt``) so it is not re-parsed
+        on every lookup.
         """
         path = self._path(key)
         try:
-            data = json.loads(path.read_text())
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            data = json.loads(text)
             summary = RunSummary.from_dict(data["summary"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError) as exc:
+            self._discard_corrupt(path, key, type(exc).__name__)
             return None
         summary.cached = True
         return summary
+
+    def _discard_corrupt(
+        self, path: pathlib.Path, key: str, reason: str
+    ) -> None:
+        """Delete an unparseable entry and report it via obs."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        if self.obs is not None:
+            self.obs.inc("cache.corrupt_entries")
+            # Cache lookups happen outside any simulation, so the
+            # event's timestamp is a constant 0.
+            self.obs.emit("cache.corrupt", 0, key=key, reason=reason)
+
+    # -- timing store --------------------------------------------------
+    def _timing_path(self, tkey: str) -> pathlib.Path:
+        return self.directory / "timings" / f"{tkey}.json"
+
+    def expected_wall_sec(self, tkey: str) -> Optional[float]:
+        """The EWMA wall-time estimate for a cell, or ``None``."""
+        path = self._timing_path(tkey)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            value = float(json.loads(text)["wall_sec"])
+        except (ValueError, KeyError, TypeError):
+            self._discard_corrupt(path, tkey, "timing")
+            return None
+        return value if value >= 0 else None
+
+    def record_timing(self, tkey: str, wall_sec: float) -> None:
+        """Fold one execution wall time into the cell's EWMA estimate.
+
+        Write failures are silently ignored, like :meth:`put` -- the
+        timing store is advisory.
+        """
+        prior = self.expected_wall_sec(tkey)
+        if prior is not None:
+            wall_sec = (
+                TIMING_ALPHA * wall_sec + (1.0 - TIMING_ALPHA) * prior
+            )
+        path = self._timing_path(tkey)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(json.dumps({"wall_sec": wall_sec}))
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
 
     def put(self, key: str, summary: RunSummary) -> None:
         """Store a summary; failures to write are silently ignored

@@ -377,6 +377,7 @@ def sweep_policy_comparison(
     jobs: int = 1,
     use_cache: bool = True,
     profile: bool = False,
+    share_tables: Optional[bool] = None,
     **cell_kwargs,
 ) -> Dict[str, "RunSummary"]:
     """Policy comparison through the parallel/cached sweep layer.
@@ -384,6 +385,8 @@ def sweep_policy_comparison(
     Returns ``{policy: RunSummary}`` in the requested policy order; the
     summaries expose the same metric attributes the reporting tables
     read, so they are drop-in replacements for :class:`RunResult` there.
+    ``share_tables=False`` disables the warm pool's shared workload
+    tables (see :func:`repro.harness.sweep.iter_cells`).
     """
     from repro.harness.sweep import run_cells
 
@@ -391,6 +394,10 @@ def sweep_policy_comparison(
         workload, policies=policies, **cell_kwargs
     )
     summaries = run_cells(
-        cells, jobs=jobs, use_cache=use_cache, profile=profile
+        cells,
+        jobs=jobs,
+        use_cache=use_cache,
+        profile=profile,
+        share_tables=share_tables,
     )
     return dict(zip(policies, summaries))

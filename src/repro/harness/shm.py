@@ -1,0 +1,170 @@
+"""Zero-copy transport for compiled workload tables.
+
+An 8-job sweep at 1M pages/proc would otherwise hold nine copies of
+every multi-MB access distribution: one in the parent that prebuilt it
+and one pickled copy per worker.  :class:`SharedTableArena` exports the
+parent's table cache (:func:`repro.workloads.base.snapshot_tables`)
+into ``multiprocessing.shared_memory`` segments and hands workers a
+small picklable *manifest*; :func:`attach_tables` maps the segments
+read-only in each worker and seeds the same process-global table cache
+there, so every process shares one physical copy.
+
+Two safety valves:
+
+* a **size threshold** (``CHRONO_SHM_MIN_BYTES``, default 1 MiB): small
+  arrays ride pickled inline in the manifest -- a shared-memory segment
+  per 4 KB array would cost more in file descriptors and page-table
+  setup than it saves;
+* a **pickle fallback** (``CHRONO_NO_SHM=1`` or any export failure):
+  the manifest degrades to inline arrays and the sweep still runs, just
+  with per-worker copies.
+
+Lifecycle: the parent owns every segment and unlinks them when the
+sweep finishes (``close()``); workers only map and never unlink.  Pool
+workers are children of the arena-owning parent and therefore share
+its ``multiprocessing`` resource tracker, where registration is an
+idempotent set-add -- the worker-side attach re-registering a name the
+parent already registered is a no-op, and the parent's single
+``unlink()`` balances the books.  (Attaching from an *unrelated*
+process -- not this module's usage -- would need
+``resource_tracker.unregister`` to stop that process's own tracker
+from unlinking the segment at exit.)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+#: arrays below this many bytes are pickled inline instead of shared
+DEFAULT_SHM_MIN_BYTES = 1 << 20
+
+#: segments this process has attached (kept alive for the mapped views)
+_ATTACHED: List[Any] = []
+
+
+def shm_disabled_by_env() -> bool:
+    """True when ``CHRONO_NO_SHM`` disables the shared-memory path."""
+    return os.environ.get("CHRONO_NO_SHM", "") not in ("", "0")
+
+
+def shm_min_bytes() -> int:
+    """The per-array sharing threshold (``CHRONO_SHM_MIN_BYTES``)."""
+    env = os.environ.get("CHRONO_SHM_MIN_BYTES", "")
+    try:
+        return int(env) if env else DEFAULT_SHM_MIN_BYTES
+    except ValueError:
+        return DEFAULT_SHM_MIN_BYTES
+
+
+class SharedTableArena:
+    """Parent-side owner of the exported shared-memory segments."""
+
+    def __init__(self) -> None:
+        """Create an empty arena (no segments yet)."""
+        self._segments: List[Any] = []
+        self.shared_bytes = 0
+        self.inline_bytes = 0
+
+    def export(
+        self,
+        entries: Mapping[str, Mapping[str, np.ndarray]],
+        min_bytes: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Export table sets into a picklable worker manifest.
+
+        Arrays of at least ``min_bytes`` move into shared-memory
+        segments (one per array); smaller ones are embedded in the
+        manifest and travel by pickle.  Any shared-memory failure falls
+        back to embedding, so export never raises for transport
+        reasons.
+        """
+        if min_bytes is None:
+            min_bytes = shm_min_bytes()
+        manifest: List[Dict[str, Any]] = []
+        for key, tables in entries.items():
+            for name, array in tables.items():
+                array = np.ascontiguousarray(array)
+                item: Dict[str, Any] = {"key": key, "name": name}
+                if array.nbytes >= min_bytes and not shm_disabled_by_env():
+                    segment = self._share(array)
+                    if segment is not None:
+                        item["shm"] = segment
+                        item["dtype"] = array.dtype.str
+                        item["shape"] = list(array.shape)
+                        manifest.append(item)
+                        continue
+                item["data"] = array
+                self.inline_bytes += array.nbytes
+                manifest.append(item)
+        return manifest
+
+    def _share(self, array: np.ndarray):
+        """Copy one array into a new segment; None on any failure."""
+        from multiprocessing import shared_memory
+
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True, size=array.nbytes
+            )
+        except (OSError, ValueError):
+            return None
+        view = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=segment.buf
+        )
+        view[...] = array
+        self._segments.append(segment)
+        self.shared_bytes += array.nbytes
+        return segment.name
+
+    @property
+    def n_segments(self) -> int:
+        """Number of live shared-memory segments this arena owns."""
+        return len(self._segments)
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:
+                pass
+        self._segments = []
+
+
+def attach_tables(manifest: List[Dict[str, Any]]) -> int:
+    """Worker-side attach: map segments and seed the table cache.
+
+    Returns the number of bytes mapped from shared memory (0 when the
+    manifest is fully inline).  Attach failures for individual
+    segments degrade to skipping the entry -- the worker rebuilds that
+    table on demand instead of failing the sweep.
+    """
+    from multiprocessing import shared_memory
+
+    from repro.workloads.base import seed_tables
+
+    entries: Dict[str, Dict[str, np.ndarray]] = {}
+    mapped = 0
+    for item in manifest:
+        if "shm" in item:
+            try:
+                segment = shared_memory.SharedMemory(name=item["shm"])
+            except (OSError, ValueError):
+                continue
+            _ATTACHED.append(segment)
+            array = np.ndarray(
+                tuple(item["shape"]),
+                dtype=np.dtype(item["dtype"]),
+                buffer=segment.buf,
+            )
+            mapped += array.nbytes
+        else:
+            array = item["data"]
+        entries.setdefault(item["key"], {})[item["name"]] = array
+    if entries:
+        seed_tables(entries)
+    return mapped

@@ -1,4 +1,4 @@
-"""Parallel experiment fan-out over declarative cells.
+"""Fleet-scale experiment fan-out over declarative cells.
 
 The whole evaluation is a grid of independent
 ``(policy x workload x seed)`` cells.  A :class:`SweepCell` describes one
@@ -15,6 +15,26 @@ buys three things at once:
   :class:`~repro.harness.cache.ResultCache`, so a param-identical rerun
   under the same code version never recomputes.
 
+The execution engine behind both entry points is :func:`iter_cells`, a
+generator that **streams** :class:`CellResult` records as cells
+complete.  Per sweep it:
+
+* serves memory-LRU and disk-cache hits immediately (before any worker
+  spawns);
+* coalesces identical cells with **single-flight dedup** -- each
+  distinct description executes once and fans out to every duplicate
+  index;
+* orders execution **longest-expected-first** using the per-cell
+  wall-time EWMAs the :class:`~repro.harness.cache.ResultCache` records
+  (a parameter heuristic when no history exists), which minimizes the
+  pool's tail latency;
+* runs a **persistent warm worker pool**: workers are spawned once per
+  sweep, pre-import the experiment stack, and are seeded with the
+  parent's compiled workload tables through
+  :mod:`repro.harness.shm` (zero-copy for large arrays, pickled inline
+  below the size threshold), so repeated cells never rebuild
+  distributions.
+
 Example::
 
     cells = [
@@ -23,24 +43,52 @@ Example::
         for s in range(3)
     ]
     summaries = run_cells(cells, jobs=4)
+
+    for result in iter_cells(cells, jobs=4):
+        print(result.index, result.source, result.wall_sec)
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.harness.cache import (
     ResultCache,
     cache_disabled_by_env,
     content_key,
+    timing_key,
 )
 from repro.harness.runner import RunSummary, run_experiment
 
 #: cap the default pool size; experiment cells are CPU-bound
 MAX_DEFAULT_JOBS = 16
+
+#: distinct summaries retained in the in-memory LRU above the disk cache
+MEMORY_CACHE_CAPACITY = 256
+
+_MEMORY_CACHE: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+#: obs counter bumped for each result source
+_SOURCE_COUNTERS = {
+    "run": "sweep.cells_run",
+    "disk": "sweep.cache_hits",
+    "memory": "sweep.memory_hits",
+    "dedup": "sweep.dedup_hits",
+}
 
 
 @dataclass(frozen=True)
@@ -75,6 +123,30 @@ class SweepCell:
     def key(self) -> str:
         return content_key(self.description())
 
+    def timing_key(self) -> str:
+        """The wall-time-history key (survives code changes)."""
+        return timing_key(self.description())
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One streamed sweep outcome: a cell, its summary, and provenance.
+
+    ``source`` records where the summary came from:
+
+    * ``run`` -- executed (inline or in a worker); ``wall_sec`` is the
+      execution wall time;
+    * ``dedup`` -- coalesced with an identical in-grid cell that ran;
+    * ``memory`` -- served from the in-process LRU;
+    * ``disk`` -- served from the on-disk result cache.
+    """
+
+    index: int
+    cell: SweepCell
+    summary: RunSummary
+    wall_sec: float
+    source: str
+
 
 def run_cell(
     cell: SweepCell,
@@ -82,7 +154,7 @@ def run_cell(
     cache_dir: Optional[str] = None,
     profile: bool = False,
 ) -> RunSummary:
-    """Execute one cell (or serve it from the cache).
+    """Execute one cell (or serve it from the disk cache).
 
     Profiled runs are never cached: the profile measures *this host's*
     wall time, not a property of the cell.
@@ -114,16 +186,329 @@ def run_cell(
     return summary
 
 
-def _run_cell_worker(args) -> RunSummary:
-    cell, use_cache, cache_dir, profile = args
-    return run_cell(
-        cell, use_cache=use_cache, cache_dir=cache_dir, profile=profile
-    )
+# ----------------------------------------------------------------------
+# In-memory LRU (above the disk cache)
+# ----------------------------------------------------------------------
+def _memory_get(key: str) -> Optional[RunSummary]:
+    payload = _MEMORY_CACHE.get(key)
+    if payload is None:
+        return None
+    _MEMORY_CACHE.move_to_end(key)
+    summary = RunSummary.from_dict(payload)
+    summary.cached = True
+    return summary
+
+
+def _memory_put(key: str, summary: RunSummary) -> None:
+    if summary.profile:  # profiled runs are never cached
+        return
+    _MEMORY_CACHE[key] = summary.to_dict()
+    _MEMORY_CACHE.move_to_end(key)
+    while len(_MEMORY_CACHE) > MEMORY_CACHE_CAPACITY:
+        _MEMORY_CACHE.popitem(last=False)
+
+
+def clear_memory_cache() -> int:
+    """Drop the in-memory summary LRU; returns the entries removed."""
+    removed = len(_MEMORY_CACHE)
+    _MEMORY_CACHE.clear()
+    return removed
+
+
+def _clone_summary(summary: RunSummary) -> RunSummary:
+    """An independent copy (dedup fan-out must not alias one object)."""
+    clone = RunSummary.from_dict(summary.to_dict())
+    clone.cached = summary.cached
+    return clone
+
+
+# ----------------------------------------------------------------------
+# Pool sizing
+# ----------------------------------------------------------------------
+def _available_cpus() -> int:
+    """CPUs actually usable by this process (cgroup/affinity-aware).
+
+    ``os.cpu_count()`` reports the machine, not the budget: in a
+    container pinned to 2 of 64 cores it would spawn 16 workers that
+    time-slice 2 CPUs.  Prefer ``os.process_cpu_count()`` (3.13+), then
+    the scheduler affinity mask, then the raw count.
+    """
+    counter = getattr(os, "process_cpu_count", None)
+    if counter is not None:
+        count = counter()
+        if count:
+            return count
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            count = len(affinity(0))
+            if count:
+                return count
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+    return os.cpu_count() or 1
 
 
 def default_jobs() -> int:
     """A sensible pool size for this host."""
-    return max(1, min(os.cpu_count() or 1, MAX_DEFAULT_JOBS))
+    return max(1, min(_available_cpus(), MAX_DEFAULT_JOBS))
+
+
+# ----------------------------------------------------------------------
+# Warm worker pool
+# ----------------------------------------------------------------------
+def _warm_worker_init(manifest) -> None:
+    """Worker initializer: pre-import the stack, attach shared tables.
+
+    Runs once per worker process, not once per cell -- the point of the
+    persistent pool.  Failures here must never break the pool: a worker
+    that cannot attach simply rebuilds tables on demand.
+    """
+    try:
+        import repro.harness.experiments  # noqa: F401  (pre-import)
+
+        if manifest:
+            from repro.harness.shm import attach_tables
+
+            attach_tables(manifest)
+    except Exception:  # pragma: no cover - defensive
+        pass
+
+
+def _warm_worker_run(args) -> Tuple[RunSummary, float]:
+    cell, use_cache, cache_dir, profile = args
+    start = time.perf_counter()
+    summary = run_cell(
+        cell, use_cache=use_cache, cache_dir=cache_dir, profile=profile
+    )
+    return summary, time.perf_counter() - start
+
+
+def _prepare_shared_tables(cells: Sequence[SweepCell], obs):
+    """Prebuild workload tables in the parent and export them.
+
+    Returns ``(arena, manifest)``; both ``None`` when there is nothing
+    to share.  Build errors (e.g. an unknown workload) are swallowed
+    here so they surface from the real execution path with a clean
+    traceback.
+    """
+    from repro.harness.shm import SharedTableArena
+    from repro.workloads.base import snapshot_tables
+
+    try:
+        _prebuild_workload_tables(cells)
+    except Exception:
+        return None, None
+    entries = snapshot_tables()
+    if not entries:
+        return None, None
+    arena = SharedTableArena()
+    manifest = arena.export(entries)
+    if not manifest:
+        arena.close()
+        return None, None
+    if obs is not None and arena.shared_bytes:
+        obs.inc("sweep.shm_bytes", arena.shared_bytes)
+    return arena, manifest
+
+
+def _prebuild_workload_tables(cells: Sequence[SweepCell]) -> None:
+    """Build each distinct fleet once so its tables land in the cache."""
+    from repro.harness.experiments import StandardSetup, build_fleet
+
+    seen = set()
+    for cell in cells:
+        signature = (
+            cell.workload,
+            cell.seed,
+            tuple(sorted(cell.workload_kwargs.items())),
+            tuple(sorted(cell.setup_kwargs.items())),
+        )
+        if signature in seen:
+            continue
+        seen.add(signature)
+        setup = StandardSetup(seed=cell.seed, **cell.setup_kwargs)
+        build_fleet(setup, cell.workload, **cell.workload_kwargs)
+
+
+# ----------------------------------------------------------------------
+# Scheduling
+# ----------------------------------------------------------------------
+def _expected_wall_sec(
+    cache: Optional[ResultCache], cell: SweepCell
+) -> float:
+    """Predicted execution wall time for longest-expected-first order.
+
+    Prefers the timing store's EWMA of past executions; with no
+    history, a work heuristic (simulated duration x footprint) that
+    only needs to rank cells, not predict seconds.
+    """
+    if cache is not None:
+        estimate = cache.expected_wall_sec(cell.timing_key())
+        if estimate is not None:
+            return estimate
+    duration_ns = cell.setup_kwargs.get("duration_ns", 120 * 10**9)
+    n_procs = cell.workload_kwargs.get("n_procs", 8)
+    pages = cell.workload_kwargs.get("pages_per_proc", 4_096)
+    return float(duration_ns) * 1e-9 * float(n_procs) * float(pages) * 1e-6
+
+
+# ----------------------------------------------------------------------
+# Streaming execution engine
+# ----------------------------------------------------------------------
+def iter_cells(
+    cells: Iterable[SweepCell],
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    profile: bool = False,
+    share_tables: Optional[bool] = None,
+    obs=None,
+) -> Iterator[CellResult]:
+    """Stream :class:`CellResult` records as cells complete.
+
+    Completion order is *not* submission order: cache hits come first,
+    then executed cells as the pool finishes them (longest expected
+    first).  Consumers that need submission order reassemble by
+    ``result.index`` -- or use :func:`run_cells`, which does exactly
+    that.
+
+    ``share_tables`` controls the warm-pool table transport: ``None``
+    (default) shares compiled workload tables with workers via
+    :mod:`repro.harness.shm`; ``False`` disables prebuild+sharing
+    entirely (each worker rebuilds, the pre-warm-pool behaviour).
+    ``obs`` is an optional :class:`~repro.obs.hub.ObsHub` receiving
+    ``sweep.*`` metrics and one ``sweep.cell`` event per result.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    cells = list(cells)
+    if not cells:
+        return
+    start_ns = time.perf_counter_ns()
+    caching = use_cache and not cache_disabled_by_env() and not profile
+    cache = ResultCache(cache_dir, obs=obs) if caching else None
+
+    def note(result: CellResult) -> CellResult:
+        if obs is not None:
+            obs.inc(_SOURCE_COUNTERS[result.source])
+            if result.source == "run":
+                obs.observe("sweep.cell_wall_sec", result.wall_sec)
+            obs.emit(
+                "sweep.cell",
+                time.perf_counter_ns() - start_ns,
+                policy=result.cell.policy,
+                workload=result.cell.workload,
+                seed=result.cell.seed,
+                index=result.index,
+                source=result.source,
+                wall_sec=result.wall_sec,
+            )
+        return result
+
+    # Pass 1: serve cache layers, group the rest for single-flight.
+    groups: "OrderedDict[str, List[int]]" = OrderedDict()
+    leader: Dict[str, SweepCell] = {}
+    served: List[CellResult] = []
+    for index, cell in enumerate(cells):
+        if caching:
+            key = cell.key()
+            summary = _memory_get(key)
+            if summary is not None:
+                served.append(
+                    CellResult(index, cell, summary, 0.0, "memory")
+                )
+                continue
+            summary = cache.get(key)
+            if summary is not None:
+                _memory_put(key, summary)
+                served.append(
+                    CellResult(index, cell, summary, 0.0, "disk")
+                )
+                continue
+        group = cell.timing_key()
+        if profile:
+            # A profile measures one execution; never coalesce.
+            group = f"{group}:{index}"
+        if group in groups:
+            groups[group].append(index)
+        else:
+            groups[group] = [index]
+            leader[group] = cell
+    for result in served:
+        yield note(result)
+    if not groups:
+        return
+
+    def finish(
+        group: str, summary: RunSummary, wall: float
+    ) -> List[CellResult]:
+        cell = leader[group]
+        if caching:
+            _memory_put(cell.key(), summary)
+            if not summary.cached:
+                cache.record_timing(cell.timing_key(), wall)
+        indices = groups[group]
+        source = "disk" if summary.cached else "run"
+        results = [CellResult(indices[0], cell, summary, wall, source)]
+        for index in indices[1:]:
+            results.append(
+                CellResult(
+                    index,
+                    cells[index],
+                    _clone_summary(summary),
+                    0.0,
+                    "dedup",
+                )
+            )
+        return results
+
+    # Longest-expected-first order minimizes pool tail latency.
+    order = sorted(
+        groups,
+        key=lambda g: -_expected_wall_sec(cache, leader[g]),
+    )
+
+    if jobs == 1 or len(order) == 1:
+        for group in order:
+            t0 = time.perf_counter()
+            summary = run_cell(
+                leader[group],
+                use_cache=caching,
+                cache_dir=cache_dir,
+                profile=profile,
+            )
+            wall = time.perf_counter() - t0
+            for result in finish(group, summary, wall):
+                yield note(result)
+        return
+
+    share = share_tables if share_tables is not None else True
+    arena = manifest = None
+    if share:
+        arena, manifest = _prepare_shared_tables(
+            [leader[group] for group in order], obs
+        )
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(order)),
+            initializer=_warm_worker_init,
+            initargs=(manifest,),
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _warm_worker_run,
+                    (leader[group], caching, cache_dir, profile),
+                ): group
+                for group in order
+            }
+            for future in as_completed(futures):
+                summary, wall = future.result()
+                for result in finish(futures[future], summary, wall):
+                    yield note(result)
+    finally:
+        if arena is not None:
+            arena.close()
 
 
 def run_cells(
@@ -132,31 +517,31 @@ def run_cells(
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
     profile: bool = False,
+    share_tables: Optional[bool] = None,
+    obs=None,
 ) -> List[RunSummary]:
     """Run a grid of cells, optionally fanned out over ``jobs`` workers.
 
     Results come back in submission order regardless of completion
     order.  ``jobs=1`` runs inline (no pool, easier debugging); any
-    ``jobs > 1`` uses a process pool because the engine is CPU-bound
-    numpy work.  Serial and parallel execution produce bit-identical
-    summaries: each cell seeds its own RNG streams and shares no mutable
-    state with its neighbours.
+    ``jobs > 1`` uses the warm worker pool because the engine is
+    CPU-bound numpy work.  Serial and parallel execution produce
+    bit-identical summaries: each cell seeds its own RNG streams and
+    shares no mutable state with its neighbours.
+
+    This is :func:`iter_cells` reassembled into submission order; the
+    extra keyword arguments are documented there.
     """
-    if jobs < 1:
-        raise ValueError("jobs must be at least 1")
     cells = list(cells)
-    if not cells:
-        return []
-    if jobs == 1 or len(cells) == 1:
-        return [
-            run_cell(
-                cell,
-                use_cache=use_cache,
-                cache_dir=cache_dir,
-                profile=profile,
-            )
-            for cell in cells
-        ]
-    work = [(cell, use_cache, cache_dir, profile) for cell in cells]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-        return list(pool.map(_run_cell_worker, work))
+    summaries: List[Optional[RunSummary]] = [None] * len(cells)
+    for result in iter_cells(
+        cells,
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        profile=profile,
+        share_tables=share_tables,
+        obs=obs,
+    ):
+        summaries[result.index] = result.summary
+    return summaries

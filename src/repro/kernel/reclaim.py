@@ -250,17 +250,46 @@ class ReclaimDaemon:
 
 
 def _merge_victims(first, second):
-    """Merge two per-process victim lists, deduplicating vpns."""
-    by_pid = {}
-    order = []
-    for process, vpns in first + second:
-        if process.pid not in by_pid:
-            by_pid[process.pid] = (process, [])
-            order.append(process.pid)
-        by_pid[process.pid][1].append(vpns)
-    merged = []
-    for pid in order:
-        process, chunks = by_pid[pid]
-        vpns = np.unique(np.concatenate(chunks))
-        merged.append((process, vpns))
-    return merged
+    """Merge two per-process victim lists, deduplicating vpns.
+
+    One vectorized pass over all entries: ``(owner, vpn)`` pairs are
+    packed into a single int64 key, deduplicated+sorted by one
+    ``np.unique``, and split back per owner with ``searchsorted``.
+    Semantics match the sequential reference exactly -- process order
+    is first appearance across ``first + second``, per-process vpns are
+    sorted unique -- and no RNG is consumed.
+    """
+    entries = first + second
+    if not entries:
+        return []
+    if len(entries) == 1:
+        process, vpns = entries[0]
+        return [(process, np.unique(np.asarray(vpns, dtype=np.int64)))]
+    process_of = {}
+    rank_of = {}
+    for process, _ in entries:
+        if process.pid not in rank_of:
+            rank_of[process.pid] = len(rank_of)
+            process_of[process.pid] = process
+    pids = list(rank_of)
+    owners = np.concatenate([
+        np.full(vpns.size, rank_of[process.pid], dtype=np.int64)
+        for process, vpns in entries
+    ])
+    vpns = np.concatenate([
+        np.asarray(vpns, dtype=np.int64) for _, vpns in entries
+    ])
+    # Pack (owner, vpn) into one sortable key; vpn < span keeps the
+    # packing collision-free and the per-owner vpn order intact.
+    span = int(vpns.max()) + 1 if vpns.size else 1
+    packed = np.unique(owners * span + vpns)
+    packed_owners = packed // span
+    packed_vpns = packed - packed_owners * span
+    bounds = np.searchsorted(
+        packed_owners, np.arange(len(pids) + 1, dtype=np.int64)
+    )
+    return [
+        (process_of[pids[rank]], packed_vpns[bounds[rank]:bounds[rank + 1]])
+        for rank in range(len(pids))
+        if bounds[rank + 1] > bounds[rank]
+    ]

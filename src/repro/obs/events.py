@@ -276,6 +276,45 @@ EVENT_SCHEMA: Dict[str, EventSpec] = {
             ),
         ),
         EventSpec(
+            name="sweep.cell",
+            module="repro.harness.sweep",
+            description=(
+                "One sweep cell produced its summary -- executed, "
+                "coalesced by single-flight dedup, or served from a "
+                "cache layer.  Harness scope: 't' is host nanoseconds "
+                "since the sweep started, not simulated time."
+            ),
+            fields=_fields(
+                policy=("id", "cell policy name"),
+                workload=("id", "cell workload family"),
+                seed=("id", "cell seed"),
+                index=("count", "cell position in the submitted grid"),
+                source=(
+                    "enum",
+                    "where the summary came from: run, dedup, memory, "
+                    "or disk",
+                ),
+                wall_sec=("s", "host wall time to produce the summary"),
+            ),
+        ),
+        EventSpec(
+            name="cache.corrupt",
+            module="repro.harness.cache",
+            description=(
+                "A corrupt or truncated result-cache entry was deleted "
+                "and treated as a miss.  Harness scope: no clock exists "
+                "at cache level, so 't' is always 0."
+            ),
+            fields=_fields(
+                key=("id", "content key of the discarded entry"),
+                reason=(
+                    "enum",
+                    "what rejected the entry: the exception class name, "
+                    "or 'timing' for a timing-store file",
+                ),
+            ),
+        ),
+        EventSpec(
             name="engine.quantum",
             module="repro.harness.engine",
             description=(

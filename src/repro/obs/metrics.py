@@ -30,6 +30,11 @@ _BATCH_EDGES_PAGES: Tuple[float, ...] = tuple(
     float(2**k) for k in range(0, 13)
 )
 
+#: power-of-two bucket edges for cell wall times: ~16 ms .. ~17 min
+_WALL_EDGES_SEC: Tuple[float, ...] = tuple(
+    float(2.0**k) for k in range(-6, 11)
+)
+
 
 @dataclass(frozen=True)
 class MetricSpec:
@@ -147,6 +152,35 @@ METRIC_CATALOGUE: Dict[str, MetricSpec] = {
               "bounded-rate access samples collected."),
         _spec("pebs.overhead_ns", "counter", "ns", "repro.pebs.sampler",
               "sample interrupt/drain time accumulated."),
+        # -- sweep / result cache ---------------------------------------
+        _spec("sweep.cells_run", "counter", "count",
+              "repro.harness.sweep",
+              "sweep cells actually executed (not served from a cache "
+              "layer or coalesced by dedup)."),
+        _spec("sweep.cache_hits", "counter", "count",
+              "repro.harness.sweep",
+              "sweep cells served from the on-disk result cache."),
+        _spec("sweep.memory_hits", "counter", "count",
+              "repro.harness.sweep",
+              "sweep cells served from the in-memory LRU above the "
+              "disk cache."),
+        _spec("sweep.dedup_hits", "counter", "count",
+              "repro.harness.sweep",
+              "duplicate in-grid cells coalesced by single-flight "
+              "dedup."),
+        _spec("sweep.shm_bytes", "counter", "bytes",
+              "repro.harness.sweep",
+              "workload-table bytes exported to workers via shared "
+              "memory (counted once per sweep, not per worker)."),
+        _spec("sweep.cell_wall_sec", "histogram", "s",
+              "repro.harness.sweep",
+              "distribution of per-cell host wall times (executed "
+              "cells only).",
+              edges=_WALL_EDGES_SEC),
+        _spec("cache.corrupt_entries", "counter", "count",
+              "repro.harness.cache",
+              "corrupt result-cache entries deleted and treated as "
+              "misses."),
         # -- machine / engine ------------------------------------------
         _spec("engine.quanta", "counter", "count", "repro.harness.engine",
               "engine quanta executed."),

@@ -16,7 +16,16 @@ paper's benchmarks exhibit:
   of Section 5.1.3.
 """
 
-from repro.workloads.base import TraceWorkload, Workload
+from repro.workloads.base import (
+    TraceWorkload,
+    Workload,
+    cached_tables,
+    reset_table_cache,
+    seed_tables,
+    snapshot_tables,
+    table_cache_stats,
+    table_key,
+)
 from repro.workloads.graph500 import Graph500Workload
 from repro.workloads.kvstore import KVStoreWorkload
 from repro.workloads.multitenant import make_multitenant_processes
@@ -28,5 +37,11 @@ __all__ = [
     "PmbenchWorkload",
     "TraceWorkload",
     "Workload",
+    "cached_tables",
     "make_multitenant_processes",
+    "reset_table_cache",
+    "seed_tables",
+    "snapshot_tables",
+    "table_cache_stats",
+    "table_key",
 ]

@@ -16,14 +16,122 @@ per-quantum cost at a single array read.
 Ground truth: ``hot_page_mask`` marks the pages the workload itself
 considers hot (e.g. the central 25% of a Gaussian pattern).  The F1/PPR
 experiments compare policies against this oracle.
+
+Compiled-table cache
+--------------------
+
+Building a workload's access tables can dwarf the simulation itself
+(the Graph500 builder constructs an actual scale-free graph and runs a
+BFS).  The tables are pure functions of the constructor parameters, so
+the module keeps a process-global LRU (:func:`cached_tables`) mapping a
+canonical parameter key to the compiled, **read-only** arrays.  Sweep
+cells that differ only in policy/seed/delay rebuild nothing, warm sweep
+workers reuse tables across cells, and the shared-memory transport
+(:mod:`repro.harness.shm`) seeds the same cache in worker processes so
+an 8-job sweep holds one copy of each distribution.
 """
 
 from __future__ import annotations
 
+import json
 from abc import ABC, abstractmethod
-from typing import Optional
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Mapping, Optional
 
 import numpy as np
+
+#: distinct table sets retained in the process-global LRU
+TABLE_CACHE_CAPACITY = 64
+
+_TABLE_CACHE: "OrderedDict[str, Dict[str, np.ndarray]]" = OrderedDict()
+_TABLE_STATS: Dict[str, int] = {"hits": 0, "builds": 0, "seeded": 0}
+
+
+def table_key(kind: str, **params: Any) -> str:
+    """Canonical cache key for one workload's compiled tables.
+
+    ``kind`` names the builder (usually the workload's ``name``) and
+    ``params`` must include *every* parameter the tables depend on --
+    and nothing else, so cells differing only in non-table knobs
+    (delay, read/write mix, policy, seed) share an entry.
+    """
+    return json.dumps(
+        {"kind": kind, "params": params}, sort_keys=True, allow_nan=False
+    )
+
+
+def _freeze(tables: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Mark every table read-only (shared across workload instances)."""
+    frozen = {}
+    for name, array in tables.items():
+        array = np.asarray(array)
+        array.setflags(write=False)
+        frozen[name] = array
+    return frozen
+
+
+def cached_tables(
+    key: str, builder: Callable[[], Mapping[str, np.ndarray]]
+) -> Dict[str, np.ndarray]:
+    """Get-or-build the compiled table set for ``key``.
+
+    On a miss, ``builder()`` runs once and its arrays are frozen
+    read-only before caching -- callers share the arrays, so nobody may
+    mutate them in place (phase changes must install *new* arrays,
+    which the engine's identity-based caching already requires).
+    """
+    tables = _TABLE_CACHE.get(key)
+    if tables is not None:
+        _TABLE_CACHE.move_to_end(key)
+        _TABLE_STATS["hits"] += 1
+        return tables
+    _TABLE_STATS["builds"] += 1
+    tables = _freeze(builder())
+    _TABLE_CACHE[key] = tables
+    while len(_TABLE_CACHE) > TABLE_CACHE_CAPACITY:
+        _TABLE_CACHE.popitem(last=False)
+    return tables
+
+
+def seed_tables(
+    entries: Mapping[str, Mapping[str, np.ndarray]]
+) -> None:
+    """Install pre-built table sets (the shared-memory attach path)."""
+    for key, tables in entries.items():
+        _TABLE_CACHE[key] = _freeze(tables)
+        _TABLE_CACHE.move_to_end(key)
+        _TABLE_STATS["seeded"] += 1
+    while len(_TABLE_CACHE) > TABLE_CACHE_CAPACITY:
+        _TABLE_CACHE.popitem(last=False)
+
+
+def snapshot_tables(
+    min_bytes: int = 0,
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Return cached table sets totalling at least ``min_bytes`` each.
+
+    The parent side of the shared-memory transport exports this
+    snapshot to sweep workers.
+    """
+    return {
+        key: dict(tables)
+        for key, tables in _TABLE_CACHE.items()
+        if sum(a.nbytes for a in tables.values()) >= min_bytes
+    }
+
+
+def table_cache_stats() -> Dict[str, int]:
+    """Hit/build/seed counters plus the current entry count."""
+    stats = dict(_TABLE_STATS)
+    stats["entries"] = len(_TABLE_CACHE)
+    return stats
+
+
+def reset_table_cache() -> None:
+    """Drop every cached table set and zero the counters (tests)."""
+    _TABLE_CACHE.clear()
+    for counter in _TABLE_STATS:
+        _TABLE_STATS[counter] = 0
 
 
 class Workload(ABC):

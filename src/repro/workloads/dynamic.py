@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.workloads.base import TraceWorkload
+from repro.workloads.base import TraceWorkload, cached_tables, table_key
 
 
 def shifting_hotspot(
@@ -33,18 +33,34 @@ def shifting_hotspot(
     """
     if n_phases < 2:
         raise ValueError("need at least two phases to shift between")
-    positions = np.arange(n_pages, dtype=np.float64)
-    sigma = max(sigma_fraction * n_pages, 1.0)
-    phases = []
-    for phase in range(n_phases):
-        center = (phase + 0.5) / n_phases * n_pages
-        weights = np.exp(-0.5 * ((positions - center) / sigma) ** 2)
-        weights = (
-            (1.0 - background_fraction) * weights / weights.sum()
-            + background_fraction / n_pages
-        )
-        phases.append((phase_len_ns, weights))
-    return TraceWorkload(phases, write_fraction=write_fraction)
+
+    def build() -> dict:
+        positions = np.arange(n_pages, dtype=np.float64)
+        sigma = max(sigma_fraction * n_pages, 1.0)
+        rows = []
+        for phase in range(n_phases):
+            center = (phase + 0.5) / n_phases * n_pages
+            weights = np.exp(-0.5 * ((positions - center) / sigma) ** 2)
+            rows.append(
+                (1.0 - background_fraction) * weights / weights.sum()
+                + background_fraction / n_pages
+            )
+        return {"weights": np.stack(rows)}
+
+    # Phase weights depend on geometry only (not phase length or write
+    # mix), so sweeps over timing knobs share one compiled table.
+    key = table_key(
+        "shifting-hotspot",
+        n_pages=int(n_pages),
+        n_phases=int(n_phases),
+        sigma_fraction=float(sigma_fraction),
+        background_fraction=float(background_fraction),
+    )
+    weights = cached_tables(key, build)["weights"]
+    return TraceWorkload(
+        [(phase_len_ns, weights[phase]) for phase in range(n_phases)],
+        write_fraction=write_fraction,
+    )
 
 
 def expanding_working_set(

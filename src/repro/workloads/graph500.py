@@ -25,7 +25,7 @@ import networkx as nx
 import numpy as np
 
 from repro.sim.timeunits import SECOND
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, cached_tables, table_key
 
 
 class Graph500Workload(Workload):
@@ -70,31 +70,64 @@ class Graph500Workload(Workload):
 
         n_vertices = self.n_pages * self.vertices_per_page
         attachment = min(attachment, max(1, n_vertices - 1))
-        graph = nx.barabasi_albert_graph(n_vertices, attachment, seed=seed)
+        self.attachment = int(attachment)
+        self.seed = int(seed)
+
+        # Graph construction + BFS is by far the most expensive build in
+        # the workload zoo; the result depends only on the shape/seed
+        # parameters below, so repeated cells (other policies, other
+        # frontier boosts) reuse the compiled tables.
+        key = table_key(
+            self.name,
+            n_pages=self.n_pages,
+            vertices_per_page=self.vertices_per_page,
+            attachment=self.attachment,
+            seed=self.seed,
+        )
+        tables = cached_tables(key, self._build_tables)
+        self._vertex_page = tables["vertex_page"]
+        self._base_weights = tables["base_weights"]
+        lengths = tables["frontier_lengths"].astype(np.int64)
+        self._frontier_pages: List[np.ndarray] = np.split(
+            tables["frontier_pages"], np.cumsum(lengths)[:-1]
+        )
+        self._phase = 0
+        self._probs = self._phase_distribution(0)
+
+    def _build_tables(self) -> dict:
+        """Build the graph, page placement, and BFS frontier schedule."""
+        n_vertices = self.n_pages * self.vertices_per_page
+        graph = nx.barabasi_albert_graph(
+            n_vertices, self.attachment, seed=self.seed
+        )
         degrees = np.array(
             [graph.degree(v) for v in range(n_vertices)], dtype=np.float64
         )
         # Page weight = degree mass of the vertices stored on it.  Vertices
         # are shuffled across pages (allocation order is not degree order).
-        rng = np.random.default_rng(seed)
+        rng = np.random.default_rng(self.seed)
         placement = rng.permutation(n_vertices)
-        self._vertex_page = placement // self.vertices_per_page
+        vertex_page = placement // self.vertices_per_page
         base = np.bincount(
-            self._vertex_page, weights=degrees, minlength=self.n_pages
+            vertex_page, weights=degrees, minlength=self.n_pages
         )
-        self._base_weights = base + base.mean() * 0.02  # cold floor
 
         # BFS levels from a random source define the frontier schedule.
         source = int(rng.integers(n_vertices))
         levels = nx.single_source_shortest_path_length(graph, source)
         max_level = max(levels.values())
-        self._frontier_pages: List[np.ndarray] = []
+        frontiers: List[np.ndarray] = []
         for level in range(max_level + 1):
             verts = [v for v, d in levels.items() if d == level]
-            pages = np.unique(self._vertex_page[verts])
-            self._frontier_pages.append(pages)
-        self._phase = 0
-        self._probs = self._phase_distribution(0)
+            frontiers.append(np.unique(vertex_page[verts]))
+        return {
+            "vertex_page": vertex_page,
+            "base_weights": base + base.mean() * 0.02,  # cold floor
+            "frontier_pages": np.concatenate(frontiers),
+            "frontier_lengths": np.array(
+                [f.size for f in frontiers], dtype=np.int64
+            ),
+        }
 
     @property
     def n_levels(self) -> int:

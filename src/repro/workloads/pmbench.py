@@ -15,7 +15,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, cached_tables, table_key
 
 #: one pmbench delay unit = 50 cycles at the testbed's 2.6 GHz
 DELAY_UNIT_NS: float = 50 / 2.6
@@ -82,7 +82,21 @@ class PmbenchWorkload(Workload):
         self.sigma_fraction = float(sigma_fraction)
         self.zipf_s = float(zipf_s)
         self.background_fraction = float(background_fraction)
-        self._probs = self._build_distribution()
+        # The distribution depends on the pattern geometry only -- not
+        # on delay/read-write mix -- so fleets of throttled tenants
+        # (the 50-cgroup experiment) share a single compiled table.
+        key = table_key(
+            self.name,
+            n_pages=self.n_pages,
+            pattern=self.pattern,
+            stride=self.stride,
+            sigma_fraction=self.sigma_fraction,
+            zipf_s=self.zipf_s,
+            background_fraction=self.background_fraction,
+        )
+        self._probs = cached_tables(
+            key, lambda: {"probs": self._build_distribution()}
+        )["probs"]
 
     def _build_distribution(self) -> np.ndarray:
         positions = np.arange(self.n_pages, dtype=np.float64)

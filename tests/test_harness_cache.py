@@ -2,18 +2,24 @@
 
 Covers the keying contract (param-identical rerun hits, any parameter
 change misses), corruption tolerance (a truncated entry degrades to a
-recompute), and the ``CHRONO_NO_CACHE`` / ``--no-cache`` bypass.
+recompute, the bad file is deleted and reported), the wall-time EWMA
+timing store, and the ``CHRONO_NO_CACHE`` / ``--no-cache`` bypass.
 """
 
 import json
 
+import pytest
+
 from repro.harness.cache import (
+    TIMING_ALPHA,
     ResultCache,
     cache_disabled_by_env,
     code_fingerprint,
     content_key,
     default_cache_dir,
+    timing_key,
 )
+from repro.obs.hub import ObsHub
 from repro.harness.runner import RunSummary
 from repro.harness.sweep import SweepCell, run_cell
 from repro.sim.timeunits import SECOND
@@ -27,6 +33,14 @@ CELL_KWARGS = dict(
 
 def make_cell(policy="linux-nb", seed=0):
     return SweepCell(policy=policy, seed=seed, **CELL_KWARGS)
+
+
+@pytest.fixture(autouse=True)
+def local_cache_control(monkeypatch):
+    """These tests drive the cache through explicit arguments; a
+    ``CHRONO_NO_CACHE`` inherited from the surrounding environment (CI
+    sets it for the test job) must not override them."""
+    monkeypatch.delenv("CHRONO_NO_CACHE", raising=False)
 
 
 def make_summary(throughput=123.0):
@@ -97,6 +111,31 @@ class TestResultCacheStore:
         cache._path("k").write_text(json.dumps({"unexpected": 1}))
         assert cache.get("k") is None
 
+    def test_corrupt_entry_deleted_and_reported(self, tmp_path):
+        hub = ObsHub.create(trace=True, metrics=True)
+        cache = ResultCache(tmp_path, obs=hub)
+        cache.put("k", make_summary())
+        path = cache._path("k")
+        path.write_text("{not json")
+
+        assert cache.get("k") is None
+        assert not path.exists()  # the bad file cannot linger
+        assert hub.snapshot()["counters"]["cache.corrupt_entries"] == 1
+        [event] = [
+            e
+            for e in hub.tracer.events()
+            if e["type"] == "cache.corrupt"
+        ]
+        assert event["key"] == "k"
+        assert event["reason"]  # the exception class name
+
+    def test_corrupt_entry_deleted_without_obs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", make_summary())
+        cache._path("k").write_text("[1, 2]")
+        assert cache.get("k") is None
+        assert not cache._path("k").exists()
+
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put("a", make_summary())
@@ -108,6 +147,54 @@ class TestResultCacheStore:
         cache = ResultCache(tmp_path)
         cache.put("k", make_summary())
         assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestTimingStore:
+    def test_unknown_cell_has_no_estimate(self, tmp_path):
+        assert ResultCache(tmp_path).expected_wall_sec("t") is None
+
+    def test_first_observation_recorded_verbatim(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.record_timing("t", 2.0)
+        assert cache.expected_wall_sec("t") == 2.0
+
+    def test_ewma_fold(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.record_timing("t", 2.0)
+        cache.record_timing("t", 4.0)
+        expected = TIMING_ALPHA * 4.0 + (1.0 - TIMING_ALPHA) * 2.0
+        assert cache.expected_wall_sec("t") == pytest.approx(expected)
+
+    def test_corrupt_timing_discarded(self, tmp_path):
+        hub = ObsHub.create(trace=True, metrics=True)
+        cache = ResultCache(tmp_path, obs=hub)
+        cache.record_timing("t", 2.0)
+        cache._timing_path("t").write_text("nope")
+        assert cache.expected_wall_sec("t") is None
+        assert not cache._timing_path("t").exists()
+        [event] = [
+            e
+            for e in hub.tracer.events()
+            if e["type"] == "cache.corrupt"
+        ]
+        assert event["reason"] == "timing"
+
+    def test_timing_key_excludes_code_version(self):
+        # Scheduling history must survive code changes: the key digests
+        # only the description, unlike content_key.
+        description = make_cell().description()
+        assert timing_key(description) == timing_key(description)
+        assert timing_key(description) != content_key(description)
+
+    def test_clear_preserves_timings(self, tmp_path):
+        # Results are invalidated wholesale; wall-time history is a
+        # scheduling hint and deliberately survives.
+        cache = ResultCache(tmp_path)
+        cache.put("k", make_summary())
+        cache.record_timing("t", 2.0)
+        cache.clear()
+        assert cache.get("k") is None
+        assert cache.expected_wall_sec("t") == 2.0
 
 
 class TestRunCellCaching:

@@ -1,0 +1,150 @@
+"""Tests for the shared-memory table transport.
+
+The arena must round-trip arrays bit-exactly through segments, honour
+the inline-size threshold and the ``CHRONO_NO_SHM`` kill switch, and
+seed the worker-side table cache so attached workloads skip rebuilds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.shm import (
+    DEFAULT_SHM_MIN_BYTES,
+    SharedTableArena,
+    attach_tables,
+    shm_disabled_by_env,
+    shm_min_bytes,
+)
+from repro.workloads.base import (
+    cached_tables,
+    reset_table_cache,
+    table_cache_stats,
+    table_key,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_table_cache():
+    reset_table_cache()
+    yield
+    reset_table_cache()
+
+
+def make_entries():
+    return {
+        table_key("fake", n=1): {
+            "big": np.arange(4096, dtype=np.float64),
+            "small": np.array([1.0, 2.0, 3.0]),
+        }
+    }
+
+
+class TestArenaExport:
+    def test_threshold_splits_shm_and_inline(self):
+        arena = SharedTableArena()
+        try:
+            manifest = arena.export(make_entries(), min_bytes=1024)
+            by_name = {item["name"]: item for item in manifest}
+            assert "shm" in by_name["big"]
+            assert "data" in by_name["small"]
+            assert arena.n_segments == 1
+            assert arena.shared_bytes == 4096 * 8
+            assert arena.inline_bytes == 3 * 8
+        finally:
+            arena.close()
+
+    def test_everything_inline_below_threshold(self):
+        arena = SharedTableArena()
+        try:
+            manifest = arena.export(
+                make_entries(), min_bytes=10**9
+            )
+            assert all("data" in item for item in manifest)
+            assert arena.n_segments == 0
+        finally:
+            arena.close()
+
+    def test_no_shm_env_forces_inline(self, monkeypatch):
+        monkeypatch.setenv("CHRONO_NO_SHM", "1")
+        assert shm_disabled_by_env()
+        arena = SharedTableArena()
+        try:
+            manifest = arena.export(make_entries(), min_bytes=0)
+            assert all("data" in item for item in manifest)
+            assert arena.n_segments == 0
+        finally:
+            arena.close()
+
+    def test_min_bytes_env(self, monkeypatch):
+        monkeypatch.setenv("CHRONO_SHM_MIN_BYTES", "123")
+        assert shm_min_bytes() == 123
+        monkeypatch.setenv("CHRONO_SHM_MIN_BYTES", "junk")
+        assert shm_min_bytes() == DEFAULT_SHM_MIN_BYTES
+
+    def test_close_is_idempotent(self):
+        arena = SharedTableArena()
+        arena.export(make_entries(), min_bytes=0)
+        arena.close()
+        arena.close()
+        assert arena.n_segments == 0
+
+
+class TestAttach:
+    def test_roundtrip_seeds_table_cache(self):
+        entries = make_entries()
+        [key] = entries
+        arena = SharedTableArena()
+        try:
+            manifest = arena.export(entries, min_bytes=1024)
+            reset_table_cache()
+            mapped = attach_tables(manifest)
+            assert mapped == 4096 * 8
+            assert table_cache_stats()["entries"] == 1
+
+            # The attached tables are served as cache hits, bit-exact.
+            calls = []
+
+            def builder():
+                calls.append(1)
+                return {}
+
+            tables = cached_tables(key, builder)
+            assert calls == []  # never rebuilt
+            np.testing.assert_array_equal(
+                tables["big"], entries[key]["big"]
+            )
+            np.testing.assert_array_equal(
+                tables["small"], entries[key]["small"]
+            )
+            assert not tables["big"].flags.writeable
+        finally:
+            arena.close()
+
+    def test_inline_manifest_attaches_without_segments(self):
+        entries = make_entries()
+        [key] = entries
+        arena = SharedTableArena()
+        try:
+            manifest = arena.export(entries, min_bytes=10**9)
+            reset_table_cache()
+            assert attach_tables(manifest) == 0
+            tables = cached_tables(key, lambda: {})
+            np.testing.assert_array_equal(
+                tables["big"], entries[key]["big"]
+            )
+        finally:
+            arena.close()
+
+    def test_missing_segment_skips_entry(self):
+        manifest = [
+            {
+                "key": "k",
+                "name": "gone",
+                "shm": "chrono-test-no-such-segment",
+                "dtype": "<f8",
+                "shape": [4],
+            }
+        ]
+        reset_table_cache()
+        assert attach_tables(manifest) == 0
+        assert table_cache_stats()["entries"] == 0

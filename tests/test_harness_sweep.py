@@ -1,20 +1,49 @@
-"""Tests for the parallel sweep layer.
+"""Tests for the fleet-scale sweep layer.
 
 The load-bearing contract: a cell's outcome depends only on its
 declarative description, never on how it was executed -- directly via
-``run_experiment``, inline via ``run_cells(jobs=1)``, or in a worker
-process via ``run_cells(jobs=4)`` all produce bit-identical summaries.
+``run_experiment``, inline via ``run_cells(jobs=1)``, in a warm worker
+via ``run_cells(jobs=4)``, over shared-memory tables or the pickle
+fallback, streamed out of order or reassembled -- all produce
+bit-identical summaries.
 """
+
+import os
 
 import pytest
 
 from repro.harness.experiments import StandardSetup, build_fleet
 from repro.harness.runner import run_experiment
-from repro.harness.sweep import SweepCell, default_jobs, run_cells
+from repro.harness.sweep import (
+    MAX_DEFAULT_JOBS,
+    SweepCell,
+    clear_memory_cache,
+    default_jobs,
+    iter_cells,
+    run_cells,
+)
+from repro.obs.hub import ObsHub
 from repro.sim.timeunits import SECOND
+from repro.workloads.base import reset_table_cache, table_cache_stats
 
 DURATION_NS = 2 * SECOND
 WORKLOAD_KWARGS = {"n_procs": 2, "pages_per_proc": 256}
+
+
+@pytest.fixture(autouse=True)
+def isolate_caches(monkeypatch):
+    """Each test sees empty in-process caches and local cache control.
+
+    ``CHRONO_NO_CACHE`` from the surrounding environment (CI sets it)
+    must not leak in: these tests pass explicit ``use_cache`` /
+    ``cache_dir`` arguments and assert on cache behaviour.
+    """
+    monkeypatch.delenv("CHRONO_NO_CACHE", raising=False)
+    clear_memory_cache()
+    reset_table_cache()
+    yield
+    clear_memory_cache()
+    reset_table_cache()
 
 
 def make_cell(policy="linux-nb", seed=0):
@@ -132,3 +161,147 @@ class TestSweepCell:
                 [SweepCell(policy="linux-nb", workload="nope")],
                 use_cache=False,
             )
+
+
+class TestSharedTables:
+    def test_shm_and_pickle_transports_identical(self, monkeypatch):
+        # Force every array through a shared-memory segment regardless
+        # of size, and compare against the no-sharing path and serial.
+        cells = [
+            make_cell("linux-nb", seed=0),
+            make_cell("tpp", seed=0),
+            make_cell("linux-nb", seed=1),
+            make_cell("tpp", seed=1),
+        ]
+        serial = run_cells(cells, jobs=1, use_cache=False)
+
+        monkeypatch.setenv("CHRONO_SHM_MIN_BYTES", "0")
+        shared = run_cells(
+            cells, jobs=2, use_cache=False, share_tables=True
+        )
+        unshared = run_cells(
+            cells, jobs=2, use_cache=False, share_tables=False
+        )
+        expected = [summary_fingerprint(s) for s in serial]
+        assert [summary_fingerprint(s) for s in shared] == expected
+        assert [summary_fingerprint(s) for s in unshared] == expected
+
+    def test_warm_run_reuses_tables(self):
+        # Four cells over the same fleet: the distribution compiles
+        # once and every later cell is a table-cache hit.
+        cells = [
+            make_cell(policy)
+            for policy in ("linux-nb", "tpp", "memtis", "chrono")
+        ]
+        run_cells(cells, jobs=1, use_cache=False)
+        stats = table_cache_stats()
+        assert stats["builds"] == 1
+        assert stats["hits"] >= len(cells) - 1
+
+
+class TestStreaming:
+    def test_iter_cells_matches_run_cells(self):
+        cells = [
+            make_cell("linux-nb", seed=0),
+            make_cell("tpp", seed=0),
+            make_cell("linux-nb", seed=1),
+        ]
+        expected = [
+            summary_fingerprint(s)
+            for s in run_cells(cells, jobs=1, use_cache=False)
+        ]
+        # Consume the stream in completion order (whatever it is) and
+        # reassemble by index, as a progress-displaying caller would.
+        results = list(iter_cells(cells, jobs=2, use_cache=False))
+        assert sorted(r.index for r in results) == [0, 1, 2]
+        reassembled = [None] * len(cells)
+        for result in results:
+            reassembled[result.index] = result.summary
+        assert [
+            summary_fingerprint(s) for s in reassembled
+        ] == expected
+        assert all(r.source == "run" for r in results)
+
+    def test_single_flight_dedup(self):
+        # Identical descriptions coalesce onto one execution; distinct
+        # ones do not.
+        cells = [make_cell(), make_cell(), make_cell("tpp")]
+        results = list(iter_cells(cells, jobs=1, use_cache=False))
+        sources = {r.index: r.source for r in results}
+        assert sorted(sources.values()) == ["dedup", "run", "run"]
+        by_index = {r.index: r.summary for r in results}
+        assert summary_fingerprint(by_index[0]) == summary_fingerprint(
+            by_index[1]
+        )
+        # Clones must not alias the leader's summary object.
+        assert by_index[0] is not by_index[1]
+
+    def test_profile_never_coalesced(self):
+        cells = [make_cell(), make_cell()]
+        results = list(
+            iter_cells(cells, jobs=1, use_cache=False, profile=True)
+        )
+        assert [r.source for r in results] == ["run", "run"]
+        assert all(r.summary.profile for r in results)
+
+
+class TestCacheLayers:
+    def test_disk_then_memory_hits(self, tmp_path):
+        cells = [make_cell()]
+        [first] = list(iter_cells(cells, cache_dir=tmp_path))
+        assert first.source == "run"
+
+        clear_memory_cache()
+        [second] = list(iter_cells(cells, cache_dir=tmp_path))
+        assert second.source == "disk"
+
+        # The disk hit primed the memory LRU: delete the disk entry
+        # and the next lookup is still served, now from memory.
+        for path in tmp_path.glob("*.json"):
+            path.unlink()
+        [third] = list(iter_cells(cells, cache_dir=tmp_path))
+        assert third.source == "memory"
+        assert summary_fingerprint(third.summary) == summary_fingerprint(
+            first.summary
+        )
+
+    def test_obs_counters_and_events(self, tmp_path):
+        hub = ObsHub.create(trace=True, metrics=True)
+        cells = [make_cell(), make_cell()]
+        list(iter_cells(cells, cache_dir=tmp_path, obs=hub))
+        list(iter_cells(cells, cache_dir=tmp_path, obs=hub))
+        counters = hub.snapshot()["counters"]
+        assert counters["sweep.cells_run"] == 1
+        assert counters["sweep.dedup_hits"] == 1
+        assert counters["sweep.memory_hits"] == 2
+        events = [
+            e for e in hub.tracer.events() if e["type"] == "sweep.cell"
+        ]
+        assert len(events) == 4
+        assert {e["source"] for e in events} == {
+            "run", "dedup", "memory",
+        }
+
+
+class TestDefaultJobs:
+    def test_clamped_to_max(self, monkeypatch):
+        monkeypatch.setattr(
+            os, "process_cpu_count", lambda: 64, raising=False
+        )
+        assert default_jobs() == MAX_DEFAULT_JOBS
+
+    def test_small_host_uses_all_cpus(self, monkeypatch):
+        monkeypatch.setattr(
+            os, "process_cpu_count", lambda: 4, raising=False
+        )
+        assert default_jobs() == 4
+
+    def test_affinity_mask_respected(self, monkeypatch):
+        # Without process_cpu_count (pre-3.13), the scheduler affinity
+        # mask -- the container/cgroup budget -- wins over cpu_count.
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 1, 2},
+            raising=False,
+        )
+        assert default_jobs() == 3

@@ -113,3 +113,91 @@ class TestReclaim:
         kernel, _ = make_pressured_kernel()
         with pytest.raises(ValueError):
             ReclaimDaemon(kernel, kernel.watermarks, period_ns=0)
+
+
+class _FakeProcess:
+    def __init__(self, pid):
+        self.pid = pid
+
+
+def _merge_victims_reference(first, second):
+    """The pre-vectorization sequential merge, kept as the oracle.
+
+    Zero-victim entries are filtered: migrating an empty vpn array
+    moves nothing, so an entry without pages is behaviourally inert
+    and the vectorized merge is free to drop it.
+    """
+    merged = {}
+    order = []
+    for process, vpns in first + second:
+        if process.pid not in merged:
+            merged[process.pid] = (process, set())
+            order.append(process.pid)
+        merged[process.pid][1].update(int(v) for v in vpns)
+    return [
+        (merged[pid][0], np.array(sorted(merged[pid][1]), dtype=np.int64))
+        for pid in order
+        if merged[pid][1]
+    ]
+
+
+class TestMergeVictims:
+    def _assert_equivalent(self, first, second):
+        from repro.kernel.reclaim import _merge_victims
+
+        got = _merge_victims(first, second)
+        want = _merge_victims_reference(first, second)
+        assert [p.pid for p, _ in got] == [p.pid for p, _ in want]
+        for (gp, gv), (wp, wv) in zip(got, want):
+            assert gp is wp  # same live object, not a copy
+            np.testing.assert_array_equal(
+                np.asarray(gv, dtype=np.int64), wv
+            )
+
+    def test_overlapping_lists_deduplicate(self):
+        a, b = _FakeProcess(1), _FakeProcess(2)
+        first = [(a, np.array([5, 3])), (b, np.array([7]))]
+        second = [(b, np.array([7, 2])), (a, np.array([3, 9]))]
+        self._assert_equivalent(first, second)
+
+    def test_disjoint_processes(self):
+        a, b = _FakeProcess(1), _FakeProcess(2)
+        self._assert_equivalent(
+            [(a, np.array([1, 2]))], [(b, np.array([0]))]
+        )
+
+    def test_empty_and_single_entry(self):
+        from repro.kernel.reclaim import _merge_victims
+
+        a = _FakeProcess(1)
+        assert _merge_victims([], []) == []
+        # A lone entry still gets the sort+dedup the full merge applies.
+        [(process, vpns)] = _merge_victims(
+            [(a, np.array([4, 1, 4]))], []
+        )
+        assert process is a
+        np.testing.assert_array_equal(vpns, [1, 4])
+
+    def test_empty_vpn_arrays(self):
+        a, b = _FakeProcess(1), _FakeProcess(2)
+        first = [(a, np.array([], dtype=np.int64))]
+        second = [(b, np.array([3])), (a, np.array([], dtype=np.int64))]
+        self._assert_equivalent(first, second)
+
+    def test_randomized_equivalence(self):
+        rng = np.random.default_rng(1234)
+        processes = [_FakeProcess(pid) for pid in (11, 3, 7, 20)]
+        for _ in range(50):
+            def victim_list():
+                chosen = rng.permutation(len(processes))[
+                    : rng.integers(0, len(processes) + 1)
+                ]
+                return [
+                    (
+                        processes[i],
+                        rng.integers(0, 500, size=rng.integers(0, 40)),
+                    )
+                    for i in chosen
+                ]
+
+            self._assert_equivalent(victim_list(), victim_list())

@@ -1,9 +1,19 @@
-"""Tests for the workload interface and TraceWorkload."""
+"""Tests for the workload interface, TraceWorkload, and table cache."""
 
 import numpy as np
 import pytest
 
-from repro.workloads.base import TraceWorkload, Workload
+from repro.workloads.base import (
+    TABLE_CACHE_CAPACITY,
+    TraceWorkload,
+    Workload,
+    cached_tables,
+    reset_table_cache,
+    seed_tables,
+    snapshot_tables,
+    table_cache_stats,
+    table_key,
+)
 
 
 class TestValidation:
@@ -89,3 +99,79 @@ class TestHotPageMask:
         workload = TraceWorkload([(10, np.ones(4))])
         with pytest.raises(ValueError):
             workload.hot_page_mask(0)
+
+
+class TestTableCache:
+    @pytest.fixture(autouse=True)
+    def clean_cache(self):
+        reset_table_cache()
+        yield
+        reset_table_cache()
+
+    def test_build_once_then_hit(self):
+        key = table_key("fake", n=4)
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return {"probs": np.ones(4) / 4}
+
+        first = cached_tables(key, builder)
+        second = cached_tables(key, builder)
+        assert len(calls) == 1
+        assert first["probs"] is second["probs"]  # shared, not copied
+        stats = table_cache_stats()
+        assert stats["builds"] == 1
+        assert stats["hits"] == 1
+        assert stats["entries"] == 1
+
+    def test_key_includes_only_named_params(self):
+        assert table_key("w", a=1, b=2) == table_key("w", b=2, a=1)
+        assert table_key("w", a=1) != table_key("w", a=2)
+        assert table_key("w", a=1) != table_key("v", a=1)
+
+    def test_tables_frozen_read_only(self):
+        tables = cached_tables(
+            table_key("fake", n=2), lambda: {"x": np.zeros(2)}
+        )
+        assert not tables["x"].flags.writeable
+        with pytest.raises(ValueError):
+            tables["x"][0] = 1.0
+
+    def test_lru_eviction(self):
+        for n in range(TABLE_CACHE_CAPACITY + 1):
+            cached_tables(
+                table_key("fake", n=n), lambda: {"x": np.zeros(1)}
+            )
+        assert table_cache_stats()["entries"] == TABLE_CACHE_CAPACITY
+        # The oldest entry (n=0) was evicted and rebuilds.
+        calls = []
+        cached_tables(
+            table_key("fake", n=0),
+            lambda: calls.append(1) or {"x": np.zeros(1)},
+        )
+        assert calls == [1]
+
+    def test_seed_and_snapshot_roundtrip(self):
+        key = table_key("fake", n=8)
+        arrays = {"probs": np.arange(8.0)}
+        seed_tables({key: arrays})
+        assert table_cache_stats()["seeded"] == 1
+
+        snapshot = snapshot_tables()
+        assert set(snapshot) == {key}
+        np.testing.assert_array_equal(
+            snapshot[key]["probs"], arrays["probs"]
+        )
+        # Seeded entries serve as hits without ever building.
+        served = cached_tables(key, lambda: pytest.fail("rebuilt"))
+        assert not served["probs"].flags.writeable
+
+    def test_snapshot_min_bytes_filter(self):
+        seed_tables({
+            table_key("small"): {"x": np.zeros(2)},
+            table_key("large"): {"x": np.zeros(1024)},
+        })
+        assert len(snapshot_tables()) == 2
+        filtered = snapshot_tables(min_bytes=1024)
+        assert set(filtered) == {table_key("large")}
