@@ -10,10 +10,17 @@ plus the profiled subsystem shares.
 
 The sweep section exercises the fleet-scale execution layer: a
 16-cell (policy x seed) pmbench grid is re-run cold at every rung of
-a worker-pool ladder (jobs 1/2/4/8, shared-memory table transport on
-and off), and a reuse-heavy graph500 grid compares warm-pool table
-reuse against the old rebuild-per-cell behaviour.  ``host_cpus`` is
-recorded with the ladder because parallel speedup is bounded by it.
+a worker-pool ladder (jobs 1/2/4/8, capped at the host's usable CPU
+count -- rungs wider than the machine only measure scheduler churn --
+with shared-memory table transport on and off), and a reuse-heavy
+graph500 grid compares warm-pool table reuse against the old
+rebuild-per-cell behaviour.  ``host_cpus`` is recorded with the
+ladder because parallel speedup is bounded by it.
+
+The fusion section times quantum fusion (one macro-quantum per
+steady-state stretch; see ``docs/SIMULATION.md``) against per-quantum
+stepping (``fusion=False``) on a steady-state Memtis/pmbench config,
+reporting quanta/sec both ways, the fusion ratio, and the speedup.
 
 The full run also sweeps a page-count ladder (4 K -> 1 M pages per
 process, two processes) to chart ns/page/quantum: the steady-state
@@ -28,10 +35,13 @@ Writes ``BENCH_engine.json`` (override with ``--out``) so CI can track
 the perf trajectory.  ``--quick`` is the CI regression gate: it times
 only the optimized path at the default scale and fails (exit 1) when
 quanta/sec drops below ``QUICK_GATE_FRACTION`` of the committed
-baseline's ``after.quanta_per_sec``, or when cold sweep throughput at
+baseline's ``after.quanta_per_sec``, when cold sweep throughput at
 jobs=2 drops below ``SWEEP_GATE_FRACTION`` of the committed ladder's
-matching rung.  CI-compatible: pure stdlib + the package itself, runs
-in well under a minute at the default scale.
+matching rung, when fused steady-state quanta/sec drops below
+``FUSION_GATE_FRACTION`` of the committed fusion section, or when the
+fused-vs-unfused speedup falls below ``FUSION_SPEEDUP_FLOOR``.
+CI-compatible: pure stdlib + the package itself, runs in well under a
+minute at the default scale.
 """
 
 from __future__ import annotations
@@ -78,6 +88,23 @@ QUICK_GATE_FRACTION = 0.7
 #: short grid amortizes poorly on slow runners.
 SWEEP_GATE_FRACTION = 0.5
 
+#: --quick fused-throughput floor, as a fraction of the committed
+#: fusion section's fused quanta/sec.  Looser than the quanta/sec gate
+#: because the quick run simulates a quarter of the full duration, so
+#: the warm-up stretch (where fusion cannot engage) weighs heavier.
+FUSION_GATE_FRACTION = 0.5
+
+#: --quick floor on the fused-vs-per-quantum speedup at the fusion
+#: config: fusion must actually pay for itself on steady-state work.
+FUSION_SPEEDUP_FLOOR = 1.2
+
+#: steady-state config for the fusion section: Memtis on stationary
+#: pmbench reaches a stable classification quickly, after which most
+#: quanta fuse up to the classify/aging event horizon.
+FUSION_POLICY = "memtis"
+FUSION_PROCS = 4
+FUSION_PAGES = 2_048
+
 #: worker-pool sizes for the sweep throughput ladder
 SWEEP_JOBS_LADDER = (1, 2, 4, 8)
 SWEEP_POLICIES = ("linux-nb", "tpp", "memtis", "chrono")
@@ -95,6 +122,20 @@ def host_cpus() -> int:
         except OSError:
             pass
     return os.cpu_count() or 1
+
+
+def sweep_jobs_ladder() -> tuple:
+    """The worker-pool ladder, capped at the host's usable CPUs.
+
+    A rung wider than the machine cannot speed anything up -- it only
+    times oversubscription churn (a committed jobs=8 rung from a 1-CPU
+    host reads as a pool slowdown that is really scheduler thrash) --
+    so rungs above ``host_cpus`` are dropped.  ``host_cpus`` is still
+    recorded alongside the ladder so readers can judge the ceiling.
+    """
+    cpus = host_cpus()
+    ladder = tuple(jobs for jobs in SWEEP_JOBS_LADDER if jobs <= cpus)
+    return ladder or SWEEP_JOBS_LADDER[:1]
 
 #: page-count ladder for the scaling sweep (pages per process)
 SCALING_SIZES = (4_096, 16_384, 65_536, 262_144, 1_048_576)
@@ -177,7 +218,7 @@ def time_sweep_ladder(duration_ns, workload_kwargs, policies, seeds):
     ladder = []
     base = {}
     for shared_memory in (True, False):
-        for jobs in SWEEP_JOBS_LADDER:
+        for jobs in sweep_jobs_ladder():
             rung = time_sweep_rung(cells, jobs, shared_memory)
             if jobs == 1:
                 base[shared_memory] = rung["cells_per_sec"]
@@ -258,6 +299,81 @@ def time_warm_vs_cold(duration_ns, n_procs, pages_per_proc):
         },
         "speedup": cold_wall / warm_wall if warm_wall else 0.0,
     }
+
+
+def time_fusion(duration_ns, best_of=1):
+    """Fused vs per-quantum stepping on the steady-state fusion config.
+
+    Both runs share (policy, workload, seed); they differ only in the
+    engine's ``fusion`` switch, so the quanta/sec gap is the cost of
+    stepping every quantum through a steady-state stretch the fused
+    engine crosses in one macro-quantum.  The simulation is
+    deterministic per mode -- only wall time varies between repeats --
+    so ``best_of > 1`` keeps each mode's fastest pass, which is the
+    least-noise estimate on a loaded runner.
+    """
+    runs = {}
+    for fusion in (True, False):
+        best = None
+        for _ in range(max(1, best_of)):
+            setup = StandardSetup(duration_ns=duration_ns)
+            policy = setup.build_policy(FUSION_POLICY)
+            processes = build_fleet(
+                setup, "pmbench",
+                n_procs=FUSION_PROCS, pages_per_proc=FUSION_PAGES,
+            )
+            start = time.perf_counter()
+            result = run_experiment(
+                processes, policy, setup.run_config(fusion=fusion)
+            )
+            wall = time.perf_counter() - start
+            if best is None or wall < best[0]:
+                best = (wall, result)
+        wall, result = best
+        engine = result.engine
+        runs["fused" if fusion else "per_quantum"] = {
+            "wall_sec": wall,
+            "quanta": engine.quanta_run,
+            "steps": engine.steps_run,
+            "fused_quanta": engine.fused_quanta,
+            "quanta_per_sec": (
+                engine.quanta_run / wall if wall else 0.0
+            ),
+            "fusion_ratio": (
+                engine.fused_quanta / engine.quanta_run
+                if engine.quanta_run else 0.0
+            ),
+            "throughput_per_sec": result.throughput_per_sec,
+            "fmar": result.fmar,
+        }
+    per_quantum_qps = runs["per_quantum"]["quanta_per_sec"]
+    return {
+        "config": {
+            "policy": FUSION_POLICY,
+            "workload": "pmbench",
+            "n_procs": FUSION_PROCS,
+            "pages_per_proc": FUSION_PAGES,
+            "duration_sec": duration_ns / SECOND,
+        },
+        "fused": runs["fused"],
+        "per_quantum": runs["per_quantum"],
+        "speedup": (
+            runs["fused"]["quanta_per_sec"] / per_quantum_qps
+            if per_quantum_qps else 0.0
+        ),
+    }
+
+
+def print_fusion(section):
+    fused = section["fused"]
+    per_quantum = section["per_quantum"]
+    print(
+        f"  fusion ({FUSION_POLICY}, pmbench x{FUSION_PROCS}): "
+        f"fused {fused['quanta_per_sec']:8.1f} q/s "
+        f"({fused['fusion_ratio']:.0%} of quanta fused), "
+        f"per-quantum {per_quantum['quanta_per_sec']:8.1f} q/s, "
+        f"speedup {section['speedup']:.2f}x"
+    )
 
 
 def scaling_setup(pages_per_proc: int) -> StandardSetup:
@@ -401,13 +517,13 @@ def run_scaling(policy_name):
     return section, ok
 
 
-def _sweep_baseline(baseline):
-    """The committed jobs=2/shm-on ladder rung, or ``None`` if the
-    baseline predates the sweep-ladder schema."""
+def _sweep_baseline(baseline, jobs):
+    """The committed shm-on ladder rung at ``jobs``, or ``None`` if the
+    baseline predates the sweep-ladder schema or lacks the rung."""
     try:
         grid = baseline["sweep"]["grid"]
         for rung in baseline["sweep"]["ladder"]:
-            if rung["jobs"] == 2 and rung["shared_memory"]:
+            if rung["jobs"] == jobs and rung["shared_memory"]:
                 return grid, float(rung["cells_per_sec"])
     except (KeyError, ValueError, TypeError):
         pass
@@ -415,14 +531,17 @@ def _sweep_baseline(baseline):
 
 
 def run_quick_sweep_gate(baseline):
-    """Cold sweep throughput at jobs=2 vs the committed ladder rung.
+    """Cold sweep throughput vs the committed ladder rung.
 
-    Returns ``(section, ok)``; a missing or pre-ladder baseline skips
-    the gate (``ok`` stays True) but still reports the measurement.
+    The gate rung is jobs=2 capped at ``host_cpus`` (a 1-CPU runner
+    gates at jobs=1 against the committed jobs=1 rung).  Returns
+    ``(section, ok)``; a missing or pre-ladder baseline skips the gate
+    (``ok`` stays True) but still reports the measurement.
     """
+    gate_jobs = min(2, host_cpus())
     grid, committed = (None, None)
     if baseline is not None:
-        grid, committed = _sweep_baseline(baseline)
+        grid, committed = _sweep_baseline(baseline, gate_jobs)
     if grid is None:
         grid = {
             "policies": list(SWEEP_POLICIES),
@@ -441,15 +560,16 @@ def run_quick_sweep_gate(baseline):
         grid["seeds"],
     )
     print(
-        f"  sweep gate: {len(cells)} cells at jobs=2, shm on "
+        f"  sweep gate: {len(cells)} cells at jobs={gate_jobs}, shm on "
         f"({host_cpus()} host cpus)"
     )
-    rung = time_sweep_rung(cells, jobs=2, shared_memory=True)
+    rung = time_sweep_rung(cells, jobs=gate_jobs, shared_memory=True)
     measured = rung["cells_per_sec"]
     print(f"  measured: {measured:8.2f} cells/sec")
     section = {
         "grid": grid,
         "host_cpus": host_cpus(),
+        "gate_jobs": gate_jobs,
         "measured": rung,
         "baseline_cells_per_sec": committed,
         "gate_fraction": SWEEP_GATE_FRACTION,
@@ -470,6 +590,60 @@ def run_quick_sweep_gate(baseline):
         return section, False
     print("  sweep gate passed")
     return section, True
+
+
+def run_quick_fusion_gate(baseline, duration_ns):
+    """Fused steady-state throughput and speedup vs the committed
+    fusion section.
+
+    Two floors: the fused-vs-per-quantum speedup must clear
+    ``FUSION_SPEEDUP_FLOOR`` (fusion pays for itself), and fused
+    quanta/sec must stay above ``FUSION_GATE_FRACTION`` of the
+    committed fusion section.  A missing or pre-fusion baseline skips
+    the throughput comparison; the speedup floor always applies.
+    Returns ``(section, ok)``.
+    """
+    committed = None
+    try:
+        committed = float(baseline["fusion"]["fused"]["quanta_per_sec"])
+    except (KeyError, ValueError, TypeError):
+        pass
+    print(
+        f"  fusion gate: {FUSION_POLICY}, pmbench x{FUSION_PROCS}, "
+        f"{duration_ns / SECOND:.0f}s simulated, best of 3"
+    )
+    # Best-of-3: the speedup is a ratio of two wall timings, so a
+    # single noisy pass on a loaded 1-core runner can flip the gate.
+    section = time_fusion(duration_ns, best_of=3)
+    print_fusion(section)
+    section["baseline_fused_quanta_per_sec"] = committed
+    section["gate_fraction"] = FUSION_GATE_FRACTION
+    section["speedup_floor"] = FUSION_SPEEDUP_FLOOR
+    ok = True
+    if section["speedup"] < FUSION_SPEEDUP_FLOOR:
+        print(
+            f"  FAIL: fused speedup {section['speedup']:.2f}x is below "
+            f"the {FUSION_SPEEDUP_FLOOR:.1f}x floor"
+        )
+        ok = False
+    if committed is None:
+        print("  no committed fusion section; throughput gate skipped")
+        return section, ok
+    floor = FUSION_GATE_FRACTION * committed
+    measured = section["fused"]["quanta_per_sec"]
+    print(
+        f"  baseline: {committed:8.1f} fused quanta/sec "
+        f"(floor {floor:.1f} = {FUSION_GATE_FRACTION:.0%})"
+    )
+    if measured < floor:
+        print(
+            f"  FAIL: {measured:.1f} fused quanta/sec is below the "
+            f"{FUSION_GATE_FRACTION:.0%} fusion regression floor"
+        )
+        ok = False
+    elif ok:
+        print("  fusion gate passed")
+    return section, ok
 
 
 def run_quick_gate(args, baseline_path: pathlib.Path) -> int:
@@ -513,6 +687,9 @@ def run_quick_gate(args, baseline_path: pathlib.Path) -> int:
             print("  gate passed")
 
     sweep_section, sweep_ok = run_quick_sweep_gate(baseline)
+    fusion_section, fusion_ok = run_quick_fusion_gate(
+        baseline, duration_ns
+    )
 
     payload = {
         "config": {
@@ -529,11 +706,12 @@ def run_quick_gate(args, baseline_path: pathlib.Path) -> int:
         "baseline_quanta_per_sec": committed,
         "gate_fraction": QUICK_GATE_FRACTION,
         "sweep_gate": sweep_section,
+        "fusion_gate": fusion_section,
     }
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"  wrote {out}")
-    return 0 if quanta_ok and sweep_ok else 1
+    return 0 if quanta_ok and sweep_ok and fusion_ok else 1
 
 
 def main(argv=None) -> int:
@@ -563,9 +741,13 @@ def main(argv=None) -> int:
         help=(
             "CI regression gate: time only the optimized path and fail "
             "when quanta/sec drops below "
-            f"{QUICK_GATE_FRACTION:.0%} of the committed baseline or "
+            f"{QUICK_GATE_FRACTION:.0%} of the committed baseline, "
             "cold sweep cells/sec at jobs=2 drops below "
-            f"{SWEEP_GATE_FRACTION:.0%} of the committed ladder rung"
+            f"{SWEEP_GATE_FRACTION:.0%} of the committed ladder rung, "
+            "fused quanta/sec drops below "
+            f"{FUSION_GATE_FRACTION:.0%} of the committed fusion "
+            "section, or the fused-vs-per-quantum speedup falls below "
+            f"{FUSION_SPEEDUP_FLOOR:.1f}x"
         ),
     )
     parser.add_argument(
@@ -630,7 +812,7 @@ def main(argv=None) -> int:
 
     print(
         f"  sweep ladder: {len(SWEEP_POLICIES) * len(SWEEP_SEEDS)} "
-        f"cells, jobs {SWEEP_JOBS_LADDER} x shm on/off "
+        f"cells, jobs {sweep_jobs_ladder()} x shm on/off "
         f"({host_cpus()} host cpus)"
     )
     sweep = time_sweep_ladder(
@@ -648,6 +830,8 @@ def main(argv=None) -> int:
         f"warm {warm_vs_cold['warm']['wall_sec']:.2f}s "
         f"({warm_vs_cold['speedup']:.2f}x)"
     )
+    fusion = time_fusion(duration_ns)
+    print_fusion(fusion)
 
     scaling = None
     scaling_ok = True
@@ -673,6 +857,7 @@ def main(argv=None) -> int:
         "speedup": speedup,
         "sweep": sweep,
         "warm_vs_cold": warm_vs_cold,
+        "fusion": fusion,
         "scaling": scaling,
         "profile": optimized["profile"],
     }

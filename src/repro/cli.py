@@ -197,6 +197,13 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                         help="real pages per simulated page (default: 64)")
     parser.add_argument("--seed", type=int, default=0,
                         help="root RNG seed (default: 0)")
+    parser.add_argument(
+        "--no-fusion", action="store_true",
+        help=(
+            "disable event-horizon quantum fusion (per-quantum "
+            "reference stepping; slower, for equivalence checking)"
+        ),
+    )
 
 
 def _jobs_arg(value: str) -> int:
@@ -250,6 +257,11 @@ def _setup_kwargs(args) -> dict:
     )
 
 
+def _config_overrides(args) -> dict:
+    """RunConfig overrides derived from engine-mode flags."""
+    return {"fusion": False} if args.no_fusion else {}
+
+
 def _workload_kwargs(args) -> dict:
     kwargs = dict(n_procs=args.procs, pages_per_proc=args.pages)
     if args.workload == "pmbench":
@@ -277,7 +289,7 @@ def cmd_run(args) -> int:
         hub = ObsHub.create(trace_sink=args.trace, metrics=args.metrics)
     try:
         result = run_experiment(
-            processes, policy, setup.run_config(),
+            processes, policy, setup.run_config(**_config_overrides(args)),
             profile=args.profile, obs=hub,
         )
     finally:
@@ -477,6 +489,7 @@ def cmd_compare(args) -> int:
         seed=args.seed,
         workload_kwargs=_workload_kwargs(args),
         setup_kwargs=_setup_kwargs(args),
+        config_overrides=_config_overrides(args),
         share_tables=not args.no_shm,
     )
     title = (
@@ -509,6 +522,7 @@ def cmd_sweep(args) -> int:
                 seed=seed,
                 workload_kwargs=_workload_kwargs(args),
                 setup_kwargs=_setup_kwargs(args),
+                config_overrides=_config_overrides(args),
             )
         )
     jobs = _resolve_jobs(args.jobs)

@@ -48,10 +48,30 @@ every quantum (used by ``scripts/bench_engine.py`` to measure the win
 and by the equivalence tests); the reference path also draws per-page
 fault indicators from its original RNG stream, so fast and reference
 trajectories agree statistically, not bit for bit.
+
+**Quantum fusion** (``docs/SIMULATION.md`` section 6) takes the
+steady-state stepping cost from O(quanta) to O(kernel events): before
+each step the engine peeks the kernel timer queue
+(:meth:`Kernel.next_event_ns`) and, when every process is provably in
+steady state -- distribution array unchanged (identity), placement
+epoch unchanged, protection epoch unchanged, workload stable through
+the window -- it fuses all quanta up to the event horizon into one
+macro-quantum of ``n·K`` nanoseconds.  One ledger run, one merged
+fault draw (exact by Poisson merging: the first-arrival law over the
+fused window equals the per-quantum composition), one latency fold,
+one contention evaluation carried from the converged previous demand.
+Policies bound fusion through ``needs_per_quantum`` /
+``max_fusion_quanta`` (see :class:`repro.policies.base.TieringPolicy`);
+``fusion=False`` (the ``fusion_reference`` mode, CLI ``--no-fusion``)
+preserves per-quantum stepping for equivalence gating.  When fusion
+never engages the trajectory is bit-identical to the reference mode:
+the horizon check consumes no RNG and a one-quantum step executes the
+exact per-quantum path.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, Optional
 
 import numpy as np
@@ -75,6 +95,7 @@ class _ProcessBuffers:
         "mass_resync", "fault_probs", "fault_prot", "prot_p",
         "active_pos", "active_p", "dormant_pos", "dormant_cdf",
         "dormant_mass", "touched_mask",
+        "fusion_probs", "fusion_epoch", "fusion_protect_epoch",
     )
 
     def __init__(self, n_pages: int) -> None:
@@ -105,6 +126,15 @@ class _ProcessBuffers:
         self.dormant_cdf: Optional[np.ndarray] = None
         self.dormant_mass: float = 0.0
         self.touched_mask: Optional[np.ndarray] = None
+        #: steady-state witness recorded at the end of each quantum: the
+        #: distribution array the quantum ran against plus the placement
+        #: and protection epochs it left behind.  The fusion horizon
+        #: check compares these against the live state -- any mismatch
+        #: (migration, scan, phase change) disables fusion for the next
+        #: step.
+        self.fusion_probs: Optional[np.ndarray] = None
+        self.fusion_epoch: int = -1
+        self.fusion_protect_epoch: int = -1
 
 
 class QuantumEngine:
@@ -115,12 +145,18 @@ class QuantumEngine:
         kernel: Kernel,
         quantum_ns: int = 50 * MILLISECOND,
         fast_path: bool = True,
+        fusion: bool = True,
     ) -> None:
         if quantum_ns <= 0:
             raise ValueError("quantum must be positive")
         self.kernel = kernel
         self.quantum_ns = int(quantum_ns)
         self.fast_path = bool(fast_path)
+        #: quantum fusion enabled?  ``False`` is the ``fusion_reference``
+        #: mode: per-quantum stepping, for equivalence gating.  Fusion
+        #: additionally requires the fast path (the reference path exists
+        #: precisely to replay the historical per-quantum trajectory).
+        self.fusion = bool(fusion) and self.fast_path
         self.latency = LatencyMixture()
         self.latency_by_pid: Dict[int, LatencyMixture] = {}
         #: per-process pending latency classes ``{pid: {key: count}}``,
@@ -152,7 +188,12 @@ class QuantumEngine:
         #: shared early-return value for finished processes; callers only
         #: accumulate it, so one zero vector serves every quantum
         self._zero_demand = np.zeros(n_tiers, dtype=np.float64)
+        #: simulated quanta covered (a fused step counts all its quanta)
         self.quanta_run = 0
+        #: engine loop iterations (fused or single)
+        self.steps_run = 0
+        #: quanta covered by fused (multi-quantum) steps
+        self.fused_quanta = 0
 
     # ------------------------------------------------------------------
     def run(
@@ -179,17 +220,46 @@ class QuantumEngine:
         try:
             end_ns = clock.now + duration_ns
             next_observe = clock.now
+            policy = self.kernel.policy
+            fusion_on = self.fusion and not getattr(
+                policy, "needs_per_quantum", False
+            )
+            max_fuse = getattr(policy, "max_fusion_quanta", None)
+            observe_bound = next_observe if observer is not None else None
+            prev_multipliers = self._multipliers
             while clock.now < end_ns:
                 start = clock.now
                 quantum = min(self.quantum_ns, end_ns - start)
                 # All processes price this quantum against the same
                 # previous-quantum demand: compute the contention vector
                 # once here instead of per process.
-                self._multipliers = (
+                self._multipliers = multipliers = (
                     self.kernel.machine.contention_multipliers(
                         self._prev_demand_bytes_per_sec
                     )
                 )
+                n_fused = 1
+                if fusion_on and quantum == self.quantum_ns:
+                    # A fused window holds one contention vector for its
+                    # whole span, so fusion additionally requires the
+                    # contention feedback loop to have converged: a
+                    # migration burst or phase change spikes the demand
+                    # for one quantum, and reference stepping decays the
+                    # spiked multiplier after a single quantum -- holding
+                    # it across a macro-quantum would systematically
+                    # overprice the window.
+                    if bool(
+                        (
+                            np.abs(multipliers - prev_multipliers)
+                            <= self.FUSION_CONTENTION_TOL
+                            * prev_multipliers
+                        ).all()
+                    ):
+                        n_fused = self._fusion_horizon(
+                            start, end_ns, observe_bound, max_fuse
+                        )
+                prev_multipliers = multipliers
+                macro_ns = quantum * n_fused
                 machine = self.kernel.machine
                 self._read_lat_list = read_lats = (
                     machine.read_latency_ns * self._multipliers
@@ -209,20 +279,21 @@ class QuantumEngine:
                 demand = self._demand_accum
                 demand.fill(0.0)
                 for process in self.kernel.processes:
-                    demand += self.run_quantum(process, start, quantum)
+                    demand += self.run_quantum(process, start, macro_ns)
                 # Fold migration traffic into the demand picture.
                 for tier in self.kernel.machine.tiers:
                     demand[tier.tier_id] += tier.consume_migration_bytes()
                 np.divide(
                     demand,
-                    quantum / 1e9,
+                    macro_ns / 1e9,
                     out=self._prev_demand_bytes_per_sec,
                 )
-                self.kernel.advance_to(start + quantum)
-                self.quanta_run += 1
+                self.kernel.advance_to(start + macro_ns)
+                self.quanta_run += n_fused
+                self.steps_run += 1
                 obs = self.kernel.obs
                 if obs is not None:
-                    obs.inc("engine.quanta")
+                    obs.inc("engine.quanta", n_fused)
                     gauges = self.kernel.machine.obs_gauges(
                         self._multipliers
                     )
@@ -231,15 +302,32 @@ class QuantumEngine:
                     obs.emit(
                         "engine.quantum",
                         clock.now,
-                        quantum_ns=quantum,
+                        quantum_ns=macro_ns,
                         fast_free_pages=gauges["machine.fast_free_pages"],
                         slow_free_pages=gauges["machine.slow_free_pages"],
                         fast_contention=gauges["machine.fast_contention"],
                         slow_contention=gauges["machine.slow_contention"],
                     )
+                if n_fused > 1:
+                    self.fused_quanta += n_fused
+                    if obs is not None:
+                        obs.inc("engine.fused_steps")
+                        obs.inc("engine.fused_quanta", n_fused)
+                        obs.observe("engine.fusion_horizon", n_fused)
+                        obs.set_gauge(
+                            "engine.fusion_ratio",
+                            self.fused_quanta / self.quanta_run,
+                        )
+                        obs.emit(
+                            "engine.fused",
+                            clock.now,
+                            n_quanta=n_fused,
+                            macro_ns=macro_ns,
+                        )
                 if observer is not None and clock.now >= next_observe:
                     observer(self, clock.now)
                     next_observe = clock.now + (observe_every_ns or 0)
+                    observe_bound = next_observe
                 if stop_when_finished and all(
                     p.finished for p in self.kernel.processes
                 ):
@@ -249,6 +337,135 @@ class QuantumEngine:
             self._flush_latency()
             if profiler is not None:
                 profiler.pop()
+
+    # ------------------------------------------------------------------
+    #: maximum per-tier relative change of the contention-multiplier
+    #: vector between consecutive steps for the feedback loop to count
+    #: as converged (a fusion precondition; see ``run``)
+    FUSION_CONTENTION_TOL: float = 0.01
+
+    def _fusion_horizon(
+        self,
+        start_ns: int,
+        end_ns: int,
+        next_observe_ns: Optional[int],
+        max_fuse: Optional[int],
+    ) -> int:
+        """Number of quanta safely fusable into one macro-quantum (>= 1).
+
+        Every bound below shares one formula: per-quantum stepping fires
+        anything scheduled at time ``X`` at the first quantum boundary at
+        or after ``X``, so fusing ``ceil((X - start) / quantum)`` quanta
+        reaches exactly that boundary.  Applied to the kernel's next hard
+        event, the observer's next firing, each workload's stability
+        horizon, and (via a fastest-possible-access bound) each process's
+        remaining access target, then clamped by the run end and the
+        policy's ``max_fusion_quanta``.  Any process not provably in
+        steady state -- distribution array changed, pages migrated,
+        protection changed since its last quantum -- returns 1 (no
+        fusion).  Consumes no RNG, so a 1-quantum step stays bit-identical
+        to reference stepping.
+        """
+        q = self.quantum_ns
+        # Whole quanta left in the run; a trailing partial quantum runs
+        # unfused.
+        n = (end_ns - start_ns) // q
+        if n <= 1:
+            return 1
+        horizon = self.kernel.next_event_ns()
+        if horizon is not None:
+            if horizon <= start_ns:
+                return 1
+            n = min(n, -(-(horizon - start_ns) // q))
+        if next_observe_ns is not None:
+            if next_observe_ns <= start_ns:
+                return 1
+            n = min(n, -(-(next_observe_ns - start_ns) // q))
+        if max_fuse is not None:
+            n = min(n, int(max_fuse))
+        if n <= 1:
+            return 1
+        for process in self.kernel.processes:
+            if process.finished:
+                continue
+            buffers = self._buffers.get(process.pid)
+            if buffers is None:
+                # First quantum for this process: no steady-state witness.
+                return 1
+            pages = process.pages
+            if (
+                buffers.fusion_epoch != pages.epoch
+                or buffers.fusion_protect_epoch != pages.protect_epoch
+            ):
+                return 1
+            # Pending kernel debt (e.g. a migration burst's cost) makes
+            # upcoming quanta heterogeneous: full-stall quanta execute
+            # zero accesses, then a mixed quantum drains the remainder.
+            # Policies whose per-quantum hooks are nonlinear in the
+            # access count (Memtis' budget cap ``min(n, rate*q*share)``
+            # is concave) would see a different input if a fused window
+            # spanned the stall->recovery transition.  Pure-stall
+            # windows are exact (zero accesses either way), so cap the
+            # horizon at the number of whole stalled quanta and let the
+            # mixed quantum run unfused.
+            debt = process.pending_kernel_ns
+            if debt > 0.0:
+                stall_quanta = int(debt // q)
+                if stall_quanta < 1:
+                    return 1
+                n = min(n, stall_quanta)
+                if n <= 1:
+                    return 1
+            workload = process.workload
+            # Duck-typed workloads predating the fusion contract get no
+            # stability guarantee: treat them like ``stable_until_ns``
+            # returning ``now`` (fusion disabled, stepping unchanged).
+            stable_fn = getattr(workload, "stable_until_ns", None)
+            stable = start_ns if stable_fn is None else stable_fn(start_ns)
+            if stable is not None:
+                if stable <= start_ns:
+                    return 1
+                n = min(n, -(-(stable - start_ns) // q))
+                if n <= 1:
+                    return 1
+            # ``advance`` is idempotent and consumes no RNG; run_quantum
+            # repeats it.  The distribution for the upcoming quantum must
+            # be the exact array the last quantum ran against.
+            workload.advance(start_ns)
+            if workload.access_distribution() is not buffers.fusion_probs:
+                return 1
+            if process.target_accesses is not None:
+                remaining = (
+                    process.target_accesses - process.stats.accesses
+                )
+                if remaining > 0:
+                    # A quantum cannot complete more accesses than budget
+                    # divided by the cheapest possible per-access cost
+                    # (fastest tier, no contention), so the finishing
+                    # quantum index is at least ceil(remaining / cap) --
+                    # fusing up to it cannot overshoot the target.
+                    cap = q / (
+                        self._min_access_cost_ns(workload.write_fraction)
+                        + workload.delay_ns_per_access
+                    )
+                    n = min(n, max(1, math.ceil(remaining / cap)))
+                    if n <= 1:
+                        return 1
+        return int(n)
+
+    def _min_access_cost_ns(self, write_fraction: float) -> float:
+        """Cheapest possible mean access latency: best tier, uncontended.
+
+        Contention multipliers are >= 1 and tier masses are a convex
+        combination, so every realized per-access cost is at least this.
+        Used to upper-bound per-quantum progress toward an access target.
+        """
+        machine = self.kernel.machine
+        mix = (
+            (1.0 - write_fraction) * machine.read_latency_ns
+            + write_fraction * machine.write_latency_ns
+        )
+        return float(mix.min())
 
     # ------------------------------------------------------------------
     #: incremental tier-mass updates applied before forcing a full
@@ -458,6 +675,14 @@ class QuantumEngine:
             and process.stats.accesses >= process.target_accesses
         ):
             process.finished = True
+
+        # Steady-state witness for quantum fusion: what this quantum ran
+        # against and the state it left behind (after faults and any
+        # policy reaction).  Kernel events firing between quanta bump the
+        # epochs and break the match, as does a distribution swap.
+        buffers.fusion_probs = probs
+        buffers.fusion_epoch = pages.epoch
+        buffers.fusion_protect_epoch = pages.protect_epoch
 
         # Bandwidth demand, write-weighted per tier (Optane writes eat a
         # multiple of their byte count from the bandwidth budget).  The

@@ -234,6 +234,15 @@ class Kernel:
         self.clock.advance_to(when_ns)
         self.scheduler.run_due(when_ns)
 
+    def next_event_ns(self) -> Optional[int]:
+        """Earliest pending *hard* kernel event (quantum-fusion horizon).
+
+        Facade over :meth:`EventScheduler.next_event_ns`: the engine may
+        fuse quanta up to -- but not across -- this instant.  Soft events
+        (kswapd watermark polls) do not constrain the horizon.
+        """
+        return self.scheduler.next_event_ns()
+
     def deliver_faults(self, process: SimProcess, fault_batch: Any) -> None:
         """Account a fault batch and hand it to the policy."""
         n = fault_batch.n_faults

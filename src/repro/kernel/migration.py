@@ -92,10 +92,7 @@ class MigrationEngine:
 
         # Release source frames, per source tier.
         src_tiers = pages.tier[moved]
-        tier_counts = np.bincount(src_tiers, minlength=len(machine.tiers))
-        for tier_id, count in enumerate(tier_counts.tolist()):
-            if count:
-                machine.tiers[tier_id].release(count)
+        _release_source_frames(machine.tiers, src_tiers)
 
         pages.move_to_tier(moved, dst_tier_id)
 
@@ -173,3 +170,26 @@ class MigrationEngine:
     ) -> np.ndarray:
         """Promote pages to the fast tier."""
         return self.migrate(process, vpns, FAST_TIER)
+
+
+def _release_source_frames(tiers, src_tiers: np.ndarray) -> None:
+    """Release one frame per moved page back to its source tier.
+
+    Vectorized replacement for the per-tier ``enumerate`` loop: batches
+    are single-source in practice (callers migrate one victim or
+    promotion batch at a time), so the common case is one comparison and
+    one ``release``.  Mixed-source batches fall back to a ``bincount``
+    over the batch with one ``release`` per *populated* source tier.
+    Semantics match the sequential reference exactly -- each tier gets
+    back precisely the number of frames the batch drew from it -- and no
+    RNG is consumed.
+    """
+    if src_tiers.size == 0:
+        return
+    first = int(src_tiers[0])
+    if (src_tiers == first).all():
+        tiers[first].release(int(src_tiers.size))
+        return
+    counts = np.bincount(src_tiers, minlength=len(tiers))
+    for tier_id in np.flatnonzero(counts):
+        tiers[tier_id].release(int(counts[tier_id]))

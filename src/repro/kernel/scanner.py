@@ -9,6 +9,11 @@ each marked page so the fault handler can compute CIT.
 Scan events for a process are spaced so that one full pass over its address
 space takes one *scan period* (default 60 s, as in the kernel), i.e. the
 inter-event gap is ``scan_period * scan_step / n_pages``.
+
+Scan events are *hard* scheduler events: they bound the quantum-fusion
+horizon (``EventScheduler.next_event_ns``), so under fusion each scan step
+fires at exactly the quantum boundary per-quantum stepping would have used
+-- the PROT_NONE marking sequence is unchanged.
 """
 
 from __future__ import annotations

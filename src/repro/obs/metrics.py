@@ -35,6 +35,11 @@ _WALL_EDGES_SEC: Tuple[float, ...] = tuple(
     float(2.0**k) for k in range(-6, 11)
 )
 
+#: power-of-two bucket edges for fused-window lengths: 2 .. 4096 quanta
+_FUSION_EDGES_QUANTA: Tuple[float, ...] = tuple(
+    float(2**k) for k in range(1, 13)
+)
+
 
 @dataclass(frozen=True)
 class MetricSpec:
@@ -183,7 +188,23 @@ METRIC_CATALOGUE: Dict[str, MetricSpec] = {
               "misses."),
         # -- machine / engine ------------------------------------------
         _spec("engine.quanta", "counter", "count", "repro.harness.engine",
-              "engine quanta executed."),
+              "simulated quanta covered (fused steps count all their "
+              "quanta)."),
+        _spec("engine.fused_steps", "counter", "count",
+              "repro.harness.engine",
+              "engine steps that fused multiple quanta into one "
+              "macro-quantum."),
+        _spec("engine.fused_quanta", "counter", "count",
+              "repro.harness.engine",
+              "quanta covered by fused steps."),
+        _spec("engine.fusion_ratio", "gauge", "ratio",
+              "repro.harness.engine",
+              "fraction of simulated quanta covered by fused steps so "
+              "far."),
+        _spec("engine.fusion_horizon", "histogram", "quanta",
+              "repro.harness.engine",
+              "fused-window length per fused step, in quanta.",
+              edges=_FUSION_EDGES_QUANTA),
         _spec("machine.fast_free_pages", "gauge", "pages",
               "repro.mem.machine", "fast-tier free frames."),
         _spec("machine.slow_free_pages", "gauge", "pages",

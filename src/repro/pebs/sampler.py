@@ -130,6 +130,57 @@ class PebsSampler:
                 )
         return counts
 
+    def draw_many(
+        self,
+        runs,
+        pid: Optional[int] = None,
+        now_ns: Optional[int] = None,
+    ) -> np.ndarray:
+        """Draw several pending sampling runs with one stacked RNG call.
+
+        ``runs`` is a sequence of ``(access_probs, n_samples)`` pairs
+        over the same page range.  Returns the per-run count matrix
+        (``len(live runs) x n_pages``), where *live* means a positive
+        sample budget -- non-positive runs are skipped without touching
+        the RNG stream, exactly as :meth:`draw` skips them.
+
+        Bit-identical to calling :meth:`draw` once per run, in the same
+        order: ``Generator.poisson`` over the stacked rate matrix
+        consumes the bit stream element by element in C order (row 0
+        first), which is the same consumption sequence as the per-run
+        calls; overhead accounting and ``pebs.window`` events are
+        replayed per run in order.
+        """
+        live = [
+            (np.asarray(probs, dtype=np.float64), float(n_samples))
+            for probs, n_samples in runs
+            if n_samples > 0
+        ]
+        if not live:
+            n_pages = len(runs[0][0]) if len(runs) else 0
+            return np.zeros((0, n_pages), dtype=np.float64)
+        lam = np.stack([probs for probs, _ in live])
+        lam *= np.asarray(
+            [n_samples for _, n_samples in live], dtype=np.float64
+        )[:, None]
+        counts = self._rng.poisson(lam).astype(np.float64)
+        for drawn in counts.sum(axis=1).tolist():
+            overhead = drawn * self.config.sample_drain_cost_ns
+            self.total_samples += drawn
+            self.total_overhead_ns += overhead
+            if self.obs is not None:
+                self.obs.inc("pebs.samples", drawn)
+                self.obs.inc("pebs.overhead_ns", overhead)
+                if pid is not None and now_ns is not None:
+                    self.obs.emit(
+                        "pebs.window",
+                        now_ns,
+                        pid=pid,
+                        n_samples=drawn,
+                        overhead_ns=overhead,
+                    )
+        return counts
+
     def drain_overhead_ns(self) -> float:
         """Read and reset the accumulated sampling overhead."""
         overhead = self.total_overhead_ns

@@ -69,9 +69,34 @@ class PromotionRateLimiter:
 
 
 class TieringPolicy(ABC):
-    """Base class wiring a policy into the kernel."""
+    """Base class wiring a policy into the kernel.
+
+    Quantum-fusion contract: the engine may merge consecutive
+    steady-state quanta into one macro-quantum, delivering a single
+    ``on_quantum(process, probs, n·K, start_ns, n·quantum_ns)`` call in
+    place of ``n`` identical per-quantum calls.  That is exact whenever
+    ``on_quantum`` is linear in ``(n_accesses, quantum_ns)`` jointly --
+    the in-tree sampling policies qualify (PEBS window budgets scale
+    linearly, pending-run ledgers accumulate additively).  Periodic
+    policy mechanisms (Memtis cooling/classification, Chrono CIT
+    adaptation, Telescope windows) are scheduler events, so they bound
+    the fusion horizon to their own periods automatically.
+
+    A policy whose ``on_quantum`` is *not* fusion-linear sets
+    ``needs_per_quantum = True`` (fusion disabled while it is attached);
+    one that tolerates fusion only up to some window sets
+    ``max_fusion_quanta`` instead of disabling it.
+    """
 
     name: str = "abstract"
+
+    #: True when ``on_quantum`` must observe every quantum individually;
+    #: the engine then never fuses.
+    needs_per_quantum: bool = False
+
+    #: Optional cap on quanta merged into one macro-quantum
+    #: (``None`` = bounded only by the event horizon).
+    max_fusion_quanta: Optional[int] = None
 
     def __init__(self) -> None:
         self.kernel: Optional["Kernel"] = None

@@ -58,6 +58,14 @@ class MemtisPolicy(TieringPolicy):
 
     name = "memtis"
 
+    # Fusion contract: ``on_quantum`` only accumulates a window budget,
+    # and ``min(k*n, rate * k*q * share) = k * min(n, rate * q * share)``
+    # makes one fused call exact.  Cooling and classification run from
+    # the ``memtis-classify`` scheduler event, which bounds the fusion
+    # horizon to the classification period on its own.
+    needs_per_quantum = False
+    max_fusion_quanta = None
+
     def __init__(
         self,
         page_granularity: str = "huge",
@@ -170,14 +178,22 @@ class MemtisPolicy(TieringPolicy):
     def _flush_samples(
         self, process, state: _ProcState, now_ns: int
     ) -> None:
-        """Draw and accumulate every pending sampling run."""
+        """Draw and accumulate every pending sampling run.
+
+        All pending runs go through one stacked
+        :meth:`PebsSampler.draw_many` RNG call; the per-run rows are
+        folded into the counters left-to-right, so the result is
+        bit-identical to the historical per-run ``draw`` loop (float
+        addition is not associative -- the fold order is part of the
+        contract).
+        """
         if not state.pending:
             return
         kernel = self._require_kernel()
-        for probs, n_samples in state.pending:
-            state.counts += self.sampler.draw(
-                probs, n_samples, pid=process.pid, now_ns=now_ns
-            )
+        for row in self.sampler.draw_many(
+            state.pending, pid=process.pid, now_ns=now_ns
+        ):
+            state.counts += row
         state.pending.clear()
         overhead = self.sampler.drain_overhead_ns()
         if overhead:

@@ -167,6 +167,24 @@ class Workload(ABC):
     def advance(self, now_ns: int) -> None:
         """Hook for phase changes; stationary workloads do nothing."""
 
+    def stable_until_ns(self, now_ns: int) -> Optional[int]:
+        """Earliest future instant at which the access profile may change.
+
+        The engine's quantum-fusion horizon must not cross this time: up
+        to (but excluding) the returned instant, ``advance`` is guaranteed
+        not to change the distribution returned by
+        ``access_distribution``.  ``None`` means the profile is stationary
+        (never changes).
+
+        The default is conservative: a workload that overrides ``advance``
+        without also overriding this method reports ``now_ns`` (no
+        stability guarantee, fusion disabled); a workload that keeps the
+        base no-op ``advance`` is stationary.
+        """
+        if type(self).advance is Workload.advance:
+            return None
+        return now_ns
+
     def hot_page_mask(self, hot_fraction: float = 0.25) -> np.ndarray:
         """Oracle hot mask: the top ``hot_fraction`` of pages by access
         probability."""
@@ -228,6 +246,18 @@ class TraceWorkload(Workload):
 
     def advance(self, now_ns: int) -> None:
         self._phase = self._phase_at(now_ns)
+
+    def stable_until_ns(self, now_ns: int) -> Optional[int]:
+        """Next phase boundary in the cycle (``None`` for a single phase)."""
+        if len(self._probs) == 1:
+            return None
+        offset = now_ns % self._cycle_ns
+        elapsed = 0
+        for duration in self._durations:
+            elapsed += duration
+            if offset < elapsed:
+                return now_ns - offset + elapsed
+        return now_ns + self._cycle_ns - offset  # pragma: no cover
 
     def access_distribution(self, now_ns: Optional[int] = None) -> np.ndarray:
         if now_ns is not None:

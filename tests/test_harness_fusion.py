@@ -1,0 +1,115 @@
+"""Quantum fusion: fused stepping matches per-quantum stepping.
+
+The engine may merge a run of steady-state quanta into one macro-quantum
+(see ``docs/SIMULATION.md``).  The equivalence contract has two levels:
+
+1. when fusion never engages (a ``needs_per_quantum`` policy, or hard
+   events every quantum), the fused engine executes the exact
+   per-quantum code path -- results are *bit-identical* to
+   ``fusion=False``;
+2. when fusion does engage, the Poisson-merged fault draw and folded
+   ledger runs are exact in distribution but consume the random stream
+   differently -- headline metrics must agree within the same tolerance
+   the fast/reference path comparison uses.
+"""
+
+import pytest
+
+from repro.harness.experiments import StandardSetup, build_fleet
+from repro.harness.runner import run_experiment
+from repro.obs import ObsHub
+from repro.sim.timeunits import SECOND
+
+ALL_POLICIES = [
+    "linux-nb",
+    "tpp",
+    "multiclock",
+    "memtis",
+    "telescope",
+    "chrono",
+]
+
+
+def run_policy(policy_name, fusion, obs=None, needs_per_quantum=False):
+    setup = StandardSetup(duration_ns=2 * SECOND)
+    policy = setup.build_policy(policy_name)
+    if needs_per_quantum:
+        policy.needs_per_quantum = True
+    processes = build_fleet(
+        setup, "pmbench", n_procs=2, pages_per_proc=1024
+    )
+    return run_experiment(
+        processes, policy, setup.run_config(fusion=fusion), obs=obs
+    )
+
+
+class TestFusedVsPerQuantum:
+    @pytest.mark.parametrize("policy_name", ALL_POLICIES)
+    def test_statistical_equivalence(self, policy_name):
+        """Fused and per-quantum runs agree on the headline metrics
+        within the engine-equivalence tolerance for every policy."""
+        fused = run_policy(policy_name, fusion=True)
+        stepped = run_policy(policy_name, fusion=False)
+        assert fused.throughput_per_sec == pytest.approx(
+            stepped.throughput_per_sec, rel=0.02
+        )
+        assert fused.fmar == pytest.approx(
+            stepped.fmar, rel=0.02, abs=1e-4
+        )
+
+
+class TestBitIdentityWhenDisengaged:
+    def test_needs_per_quantum_policy_is_bitwise_identical(self):
+        """A ``needs_per_quantum`` policy never fuses: the engine runs
+        the exact per-quantum path, so the trajectory is bit-identical
+        to an explicit ``fusion=False`` run."""
+        hub = ObsHub.create(metrics=True)
+        fused = run_policy(
+            "memtis", fusion=True, obs=hub, needs_per_quantum=True
+        )
+        stepped = run_policy("memtis", fusion=False)
+        assert (
+            fused.throughput_per_sec == stepped.throughput_per_sec
+        )
+        assert fused.fmar == stepped.fmar
+        counters = fused.metrics["counters"]
+        assert counters.get("engine.fused_quanta", 0) == 0
+
+    def test_telescope_window_never_fuses(self):
+        """The standard telescope config schedules a profiling event
+        every quantum, capping the horizon at 1 -- fusion stays
+        disengaged and the run is bit-identical."""
+        hub = ObsHub.create(metrics=True)
+        fused = run_policy("telescope", fusion=True, obs=hub)
+        stepped = run_policy("telescope", fusion=False)
+        assert (
+            fused.throughput_per_sec == stepped.throughput_per_sec
+        )
+        assert fused.fmar == stepped.fmar
+        assert (
+            fused.metrics["counters"].get("engine.fused_quanta", 0) == 0
+        )
+
+
+class TestFusionEngagement:
+    def test_memtis_steady_state_fuses(self):
+        """Memtis on stationary pmbench reaches steady state quickly;
+        the engine must actually merge quanta, and the obs counters
+        must reconcile (steps + extra fused quanta == total quanta)."""
+        hub = ObsHub.create(metrics=True)
+        result = run_policy("memtis", fusion=True, obs=hub)
+        counters = result.metrics["counters"]
+        fused_quanta = counters.get("engine.fused_quanta", 0)
+        fused_steps = counters.get("engine.fused_steps", 0)
+        assert fused_quanta > 0
+        assert 0 < fused_steps < fused_quanta
+        gauges = result.metrics["gauges"]
+        assert 0 < gauges["engine.fusion_ratio"] <= 1
+
+    def test_no_fusion_flag_disables_fusion(self):
+        hub = ObsHub.create(metrics=True)
+        result = run_policy("memtis", fusion=False, obs=hub)
+        assert (
+            result.metrics["counters"].get("engine.fused_quanta", 0)
+            == 0
+        )

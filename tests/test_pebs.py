@@ -91,6 +91,70 @@ class TestSampler:
             sampler.sample_window(np.full(4, 0.25), -1, SECOND)
 
 
+class TestDrawMany:
+    """``draw_many`` must be bit-identical to sequential ``draw`` calls."""
+
+    def _runs(self, rng, n_runs=6, n_pages=32, zero_every=3):
+        runs = []
+        for i in range(n_runs):
+            probs = rng.random(n_pages)
+            probs /= probs.sum()
+            n = 0.0 if zero_every and i % zero_every == 2 else float(
+                rng.integers(1, 500)
+            )
+            runs.append((probs, n))
+        return runs
+
+    def test_bit_identical_to_sequential_draws(self):
+        setup_rng = np.random.default_rng(77)
+        runs = self._runs(setup_rng)
+        batched = make_sampler(rng=RngStreams(11).get("pebs"))
+        sequential = make_sampler(rng=RngStreams(11).get("pebs"))
+
+        got = batched.draw_many(runs)
+        want = [
+            sequential.draw(probs, n) for probs, n in runs if n > 0
+        ]
+        assert got.shape == (len(want), 32)
+        for row, ref in zip(got, want):
+            np.testing.assert_array_equal(row, ref)
+        assert batched.total_samples == sequential.total_samples
+        assert batched.total_overhead_ns == sequential.total_overhead_ns
+
+    def test_rng_stream_position_matches(self):
+        """After the batch the generators are at the same stream offset."""
+        setup_rng = np.random.default_rng(78)
+        runs = self._runs(setup_rng)
+        batched_rng = RngStreams(13).get("pebs")
+        sequential_rng = RngStreams(13).get("pebs")
+        make_sampler(rng=batched_rng).draw_many(runs)
+        sampler = make_sampler(rng=sequential_rng)
+        for probs, n in runs:
+            sampler.draw(probs, n)
+        assert (
+            batched_rng.integers(0, 2**31) == sequential_rng.integers(0, 2**31)
+        )
+
+    def test_zero_budget_runs_skip_rng(self):
+        """Non-positive runs must not consume the bit stream (as draw)."""
+        probs = np.full(8, 0.125)
+        a = RngStreams(9).get("pebs")
+        b = RngStreams(9).get("pebs")
+        got = make_sampler(rng=a).draw_many(
+            [(probs, 0.0), (probs, 100.0), (probs, -1.0)]
+        )
+        want = make_sampler(rng=b).draw(probs, 100.0)
+        assert got.shape == (1, 8)
+        np.testing.assert_array_equal(got[0], want)
+
+    def test_all_empty(self):
+        sampler = make_sampler()
+        out = sampler.draw_many([(np.full(4, 0.25), 0.0)])
+        assert out.shape == (0, 4)
+        assert sampler.total_samples == 0.0
+        assert sampler.draw_many([]).shape == (0, 0)
+
+
 class TestBinOf:
     def test_binning(self):
         values = np.array([0.0, 0.5, 1.0, 1.9, 2.0, 3.9, 4.0, 8.0, 255.0])

@@ -240,6 +240,109 @@ class TestSchedulerProperties:
         assert fired == sorted(fired)
         assert len(fired) == len(times)
 
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.lists(
+            st.integers(min_value=1, max_value=97),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_periodic_reschedule_is_drift_free(self, period, deltas):
+        """A self-rescheduling daemon keeps an exact cadence no matter how
+        coarsely (or unevenly) the clock advances."""
+        scheduler = EventScheduler()
+        fired = []
+
+        def periodic(now):
+            fired.append(now)
+            scheduler.schedule(now + period, periodic)
+
+        scheduler.schedule(0, periodic)
+        now = 0
+        for delta in deltas:
+            now += delta
+            scheduler.run_due(now)
+        assert fired == list(range(0, now + 1, period))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=500),
+                st.booleans(),  # soft
+                st.booleans(),  # cancelled
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_next_event_ns_consistent_with_run_due(self, specs):
+        """``next_event_ns`` is exactly the first instant at which
+        ``run_due`` would fire a hard event; soft and cancelled events
+        never move it."""
+        scheduler = EventScheduler()
+        hard_fired = []
+        for when, soft, cancelled in specs:
+            if soft:
+                event = scheduler.schedule(when, lambda t: None, soft=True)
+            else:
+                event = scheduler.schedule(when, hard_fired.append)
+            if cancelled:
+                event.cancel()
+        live_hard = sorted(
+            when for when, soft, cancelled in specs
+            if not soft and not cancelled
+        )
+        horizon = scheduler.next_event_ns()
+        assert horizon == (live_hard[0] if live_hard else None)
+        if horizon is not None and horizon > 0:
+            scheduler.run_due(horizon - 1)
+            assert hard_fired == []
+        scheduler.run_due(1000)
+        assert hard_fired == live_hard
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("schedule"),
+                    st.integers(min_value=0, max_value=50),
+                ),
+                st.tuples(
+                    st.just("advance"),
+                    st.integers(min_value=0, max_value=60),
+                ),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(deadline=None)
+    def test_interleaved_schedule_advance_never_fires_early(self, ops):
+        """Arbitrary interleaving of scheduling (relative to *now*) and
+        clock advances never runs a callback before its scheduled time,
+        and never leaves a due event pending."""
+        scheduler = EventScheduler()
+        clock = {"now": 0}
+        fired = []
+        scheduled = 0
+
+        def record(when):
+            fired.append((when, clock["now"]))
+
+        for op, value in ops:
+            if op == "schedule":
+                scheduler.schedule(clock["now"] + value, record)
+                scheduled += 1
+            else:
+                clock["now"] += value
+                scheduler.run_due(clock["now"])
+        scheduler.run_due(clock["now"])
+        for when, at in fired:
+            assert when <= at  # never early
+        remaining = scheduler.next_due()
+        assert remaining is None or remaining > clock["now"]
+        assert len(fired) + len(scheduler) == scheduled
+
 
 class TestPageProtectionInvariants:
     """Random protect / protect_at / unprotect / move_to_tier sequences
