@@ -22,36 +22,56 @@ steady-state stretch; see ``docs/SIMULATION.md``) against per-quantum
 stepping (``fusion=False``) on a steady-state Memtis/pmbench config,
 reporting quanta/sec both ways, the fusion ratio, and the speedup.
 
-The full run also sweeps a page-count ladder (4 K -> 1 M pages per
-process, two processes) to chart ns/page/quantum: the steady-state
-engine cost must grow *sublinearly* in the footprint (deferred
-accounting, incremental tier masses, and sparse aging leave only
-amortized O(pages) work on aging/flush boundaries).  At every rung the
-optimized path is checked against the reference per-page path
-(``fast_path=False``) for statistical equivalence on throughput and
-FMAR.
+The arena section times cross-process arena stepping (one batched
+array program per quantum; see ``docs/SIMULATION.md``) against the
+per-process fast path (``arena=False``) on a stepping-bound fleet
+config: 96 small processes with the kernel daemons quiesced (very
+long scan period) and fusion off in both modes, so the gap is pure
+per-quantum stepping cost.  The speedup must clear
+``ARENA_SPEEDUP_FLOOR``.
+
+The full run also sweeps a page-count ladder (4 K -> 5.2 M pages per
+process, two processes, 10.5 M pages total at the top rung) to chart
+ns/page/quantum: the steady-state engine cost must grow *sublinearly*
+in the footprint (deferred accounting, incremental tier masses, and
+sparse aging leave only amortized O(pages) work on aging/flush
+boundaries).  At every rung the optimized path is checked against the
+reference per-page path (``fast_path=False``) for statistical
+equivalence on throughput and FMAR.
 
 Writes ``BENCH_engine.json`` (override with ``--out``) so CI can track
-the perf trajectory.  ``--quick`` is the CI regression gate: it times
-only the optimized path at the default scale and fails (exit 1) when
+the perf trajectory.  Every payload carries a ``provenance`` block
+(git SHA, python/numpy versions, host CPUs, timestamp) so committed
+numbers can be traced to the host that produced them; ``--quick``
+warns when the committed baseline came from a host with a different
+CPU count.  ``--quick`` is the CI regression gate: it times only the
+optimized path at the default scale and fails (exit 1) when
 quanta/sec drops below ``QUICK_GATE_FRACTION`` of the committed
 baseline's ``after.quanta_per_sec``, when cold sweep throughput at
 jobs=2 drops below ``SWEEP_GATE_FRACTION`` of the committed ladder's
 matching rung, when fused steady-state quanta/sec drops below
-``FUSION_GATE_FRACTION`` of the committed fusion section, or when the
-fused-vs-unfused speedup falls below ``FUSION_SPEEDUP_FLOOR``.
-CI-compatible: pure stdlib + the package itself, runs in well under a
+``FUSION_GATE_FRACTION`` of the committed fusion section, when the
+fused-vs-unfused speedup falls below ``FUSION_SPEEDUP_FLOOR``, or
+when the arena-vs-per-process speedup falls below
+``ARENA_SPEEDUP_FLOOR`` (or arena quanta/sec below
+``ARENA_GATE_FRACTION`` of the committed arena section).
+CI-compatible: pure stdlib + the package itself, runs in about a
 minute at the default scale.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import os
 import pathlib
+import platform
+import subprocess
 import sys
 import time
+
+import numpy as np
 
 sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
@@ -105,6 +125,28 @@ FUSION_POLICY = "memtis"
 FUSION_PROCS = 4
 FUSION_PAGES = 2_048
 
+#: stepping-bound fleet config for the arena section: many small
+#: processes, kernel daemons quiesced (the scan period far exceeds the
+#: run), fusion off in both modes -- so the arena-vs-per-process gap
+#: is pure per-quantum stepping cost, not shared daemon work.
+ARENA_POLICY = "linux-nb"
+ARENA_PROCS = 96
+ARENA_PAGES = 256
+ARENA_FAST_PAGES = 8_192
+ARENA_SLOW_PAGES = 32_768
+ARENA_SCAN_PERIOD_NS = 1_000 * SECOND
+ARENA_AGING_PERIOD_NS = 10 * SECOND
+ARENA_DURATION_NS = 10 * SECOND
+
+#: --quick floor on the arena-vs-per-process speedup: one batched
+#: array program per quantum must beat the per-process loop by at
+#: least this much at fleet scale.
+ARENA_SPEEDUP_FLOOR = 3.0
+
+#: --quick arena-throughput floor, as a fraction of the committed
+#: arena section's quanta/sec (host-speed jitter allowance).
+ARENA_GATE_FRACTION = 0.5
+
 #: worker-pool sizes for the sweep throughput ladder
 SWEEP_JOBS_LADDER = (1, 2, 4, 8)
 SWEEP_POLICIES = ("linux-nb", "tpp", "memtis", "chrono")
@@ -124,6 +166,30 @@ def host_cpus() -> int:
     return os.cpu_count() or 1
 
 
+def provenance() -> dict:
+    """Where the numbers came from: committed benchmark JSONs are only
+    comparable to runs from a similar host, so every payload records
+    the git SHA, interpreter and numpy versions, the usable CPU count,
+    and a timestamp."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    return {
+        "git_sha": sha,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "host_cpus": host_cpus(),
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds"),
+    }
+
+
 def sweep_jobs_ladder() -> tuple:
     """The worker-pool ladder, capped at the host's usable CPUs.
 
@@ -137,8 +203,11 @@ def sweep_jobs_ladder() -> tuple:
     ladder = tuple(jobs for jobs in SWEEP_JOBS_LADDER if jobs <= cpus)
     return ladder or SWEEP_JOBS_LADDER[:1]
 
-#: page-count ladder for the scaling sweep (pages per process)
-SCALING_SIZES = (4_096, 16_384, 65_536, 262_144, 1_048_576)
+#: page-count ladder for the scaling sweep (pages per process; the
+#: top rung is 10.5 M pages total across the two processes)
+SCALING_SIZES = (
+    4_096, 16_384, 65_536, 262_144, 1_048_576, 5_242_880
+)
 SCALING_PROCS = 2
 SCALING_DURATION_NS = 4 * SECOND
 #: max relative error between fast and reference paths, per size
@@ -362,6 +431,149 @@ def time_fusion(duration_ns, best_of=1):
             if per_quantum_qps else 0.0
         ),
     }
+
+
+def arena_setup(duration_ns) -> StandardSetup:
+    return StandardSetup(
+        duration_ns=duration_ns,
+        fast_pages=ARENA_FAST_PAGES,
+        slow_pages=ARENA_SLOW_PAGES,
+        scan_period_ns=ARENA_SCAN_PERIOD_NS,
+        aging_period_ns=ARENA_AGING_PERIOD_NS,
+    )
+
+
+def time_arena(duration_ns=ARENA_DURATION_NS, best_of=3):
+    """Arena vs per-process stepping on the stepping-bound fleet config.
+
+    Both runs share (policy, workload, seed) and run with fusion off;
+    they differ only in the engine's ``arena`` switch, so the
+    quanta/sec gap is the cost of looping the per-process fast path
+    over ``ARENA_PROCS`` processes versus one batched array program
+    over the concatenated arena.  Deterministic per mode, so
+    ``best_of`` keeps each mode's fastest pass (least-noise estimate
+    on a loaded runner).
+    """
+    runs = {}
+    for arena in (True, False):
+        best = None
+        for _ in range(max(1, best_of)):
+            setup = arena_setup(duration_ns)
+            policy = setup.build_policy(ARENA_POLICY)
+            processes = build_fleet(
+                setup, "pmbench",
+                n_procs=ARENA_PROCS, pages_per_proc=ARENA_PAGES,
+            )
+            start = time.perf_counter()
+            result = run_experiment(
+                processes, policy,
+                setup.run_config(arena=arena, fusion=False),
+            )
+            wall = time.perf_counter() - start
+            if best is None or wall < best[0]:
+                best = (wall, result)
+        wall, result = best
+        quanta = result.engine.quanta_run
+        runs["arena" if arena else "per_process"] = {
+            "wall_sec": wall,
+            "quanta": quanta,
+            "quanta_per_sec": quanta / wall if wall else 0.0,
+            "throughput_per_sec": result.throughput_per_sec,
+            "fmar": result.fmar,
+        }
+    reference_qps = runs["per_process"]["quanta_per_sec"]
+    return {
+        "config": {
+            "policy": ARENA_POLICY,
+            "workload": "pmbench",
+            "n_procs": ARENA_PROCS,
+            "pages_per_proc": ARENA_PAGES,
+            "fast_pages": ARENA_FAST_PAGES,
+            "slow_pages": ARENA_SLOW_PAGES,
+            "scan_period_sec": ARENA_SCAN_PERIOD_NS / SECOND,
+            "aging_period_sec": ARENA_AGING_PERIOD_NS / SECOND,
+            "duration_sec": duration_ns / SECOND,
+            "fusion": False,
+        },
+        "arena": runs["arena"],
+        "per_process": runs["per_process"],
+        "equivalence": {
+            "throughput_rel_err": rel_err(
+                runs["arena"]["throughput_per_sec"],
+                runs["per_process"]["throughput_per_sec"],
+            ),
+            "fmar_rel_err": rel_err(
+                runs["arena"]["fmar"], runs["per_process"]["fmar"]
+            ),
+        },
+        "speedup": (
+            runs["arena"]["quanta_per_sec"] / reference_qps
+            if reference_qps else 0.0
+        ),
+    }
+
+
+def print_arena(section):
+    arena = section["arena"]
+    per_process = section["per_process"]
+    print(
+        f"  arena ({ARENA_POLICY}, pmbench x{ARENA_PROCS}, quiesced): "
+        f"arena {arena['quanta_per_sec']:8.1f} q/s, "
+        f"per-process {per_process['quanta_per_sec']:8.1f} q/s, "
+        f"speedup {section['speedup']:.2f}x"
+    )
+
+
+def run_quick_arena_gate(baseline):
+    """Arena stepping speedup and throughput vs the committed arena
+    section.
+
+    Two floors: the arena-vs-per-process speedup must clear
+    ``ARENA_SPEEDUP_FLOOR`` (batched stepping pays for itself at fleet
+    scale), and arena quanta/sec must stay above
+    ``ARENA_GATE_FRACTION`` of the committed arena section.  A missing
+    or pre-arena baseline skips the throughput comparison; the speedup
+    floor always applies.  Returns ``(section, ok)``.
+    """
+    committed = None
+    try:
+        committed = float(baseline["arena"]["arena"]["quanta_per_sec"])
+    except (KeyError, ValueError, TypeError):
+        pass
+    print(
+        f"  arena gate: {ARENA_POLICY}, pmbench x{ARENA_PROCS}, "
+        f"{ARENA_DURATION_NS / SECOND:.0f}s simulated, best of 3"
+    )
+    section = time_arena(best_of=3)
+    print_arena(section)
+    section["baseline_arena_quanta_per_sec"] = committed
+    section["gate_fraction"] = ARENA_GATE_FRACTION
+    section["speedup_floor"] = ARENA_SPEEDUP_FLOOR
+    ok = True
+    if section["speedup"] < ARENA_SPEEDUP_FLOOR:
+        print(
+            f"  FAIL: arena speedup {section['speedup']:.2f}x is below "
+            f"the {ARENA_SPEEDUP_FLOOR:.1f}x floor"
+        )
+        ok = False
+    if committed is None:
+        print("  no committed arena section; throughput gate skipped")
+        return section, ok
+    floor = ARENA_GATE_FRACTION * committed
+    measured = section["arena"]["quanta_per_sec"]
+    print(
+        f"  baseline: {committed:8.1f} arena quanta/sec "
+        f"(floor {floor:.1f} = {ARENA_GATE_FRACTION:.0%})"
+    )
+    if measured < floor:
+        print(
+            f"  FAIL: {measured:.1f} arena quanta/sec is below the "
+            f"{ARENA_GATE_FRACTION:.0%} arena regression floor"
+        )
+        ok = False
+    elif ok:
+        print("  arena gate passed")
+    return section, ok
 
 
 def print_fusion(section):
@@ -690,6 +902,23 @@ def run_quick_gate(args, baseline_path: pathlib.Path) -> int:
     fusion_section, fusion_ok = run_quick_fusion_gate(
         baseline, duration_ns
     )
+    arena_section, arena_ok = run_quick_arena_gate(baseline)
+
+    this_host = provenance()
+    baseline_cpus = None
+    try:
+        baseline_cpus = int(baseline["provenance"]["host_cpus"])
+    except (KeyError, ValueError, TypeError):
+        pass
+    if (
+        baseline_cpus is not None
+        and baseline_cpus != this_host["host_cpus"]
+    ):
+        print(
+            f"  WARNING: baseline came from a {baseline_cpus}-CPU host "
+            f"but this host has {this_host['host_cpus']}; wall-clock "
+            "floors may be miscalibrated"
+        )
 
     payload = {
         "config": {
@@ -699,6 +928,7 @@ def run_quick_gate(args, baseline_path: pathlib.Path) -> int:
             "pages_per_proc": args.pages,
             "duration_sec": args.duration,
         },
+        "provenance": this_host,
         "after": {
             k: optimized[k]
             for k in ("wall_sec", "quanta", "quanta_per_sec")
@@ -707,11 +937,12 @@ def run_quick_gate(args, baseline_path: pathlib.Path) -> int:
         "gate_fraction": QUICK_GATE_FRACTION,
         "sweep_gate": sweep_section,
         "fusion_gate": fusion_section,
+        "arena_gate": arena_section,
     }
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"  wrote {out}")
-    return 0 if quanta_ok and sweep_ok and fusion_ok else 1
+    return 0 if quanta_ok and sweep_ok and fusion_ok and arena_ok else 1
 
 
 def main(argv=None) -> int:
@@ -746,8 +977,9 @@ def main(argv=None) -> int:
             f"{SWEEP_GATE_FRACTION:.0%} of the committed ladder rung, "
             "fused quanta/sec drops below "
             f"{FUSION_GATE_FRACTION:.0%} of the committed fusion "
-            "section, or the fused-vs-per-quantum speedup falls below "
-            f"{FUSION_SPEEDUP_FLOOR:.1f}x"
+            "section, the fused-vs-per-quantum speedup falls below "
+            f"{FUSION_SPEEDUP_FLOOR:.1f}x, or the arena-vs-per-process "
+            f"speedup falls below {ARENA_SPEEDUP_FLOOR:.1f}x"
         ),
     )
     parser.add_argument(
@@ -832,6 +1064,8 @@ def main(argv=None) -> int:
     )
     fusion = time_fusion(duration_ns)
     print_fusion(fusion)
+    arena = time_arena()
+    print_arena(arena)
 
     scaling = None
     scaling_ok = True
@@ -846,6 +1080,7 @@ def main(argv=None) -> int:
             "pages_per_proc": args.pages,
             "duration_sec": args.duration,
         },
+        "provenance": provenance(),
         "before": {
             k: naive[k]
             for k in ("wall_sec", "quanta", "quanta_per_sec")
@@ -858,16 +1093,24 @@ def main(argv=None) -> int:
         "sweep": sweep,
         "warm_vs_cold": warm_vs_cold,
         "fusion": fusion,
+        "arena": arena,
         "scaling": scaling,
         "profile": optimized["profile"],
     }
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"  wrote {out}")
+    ok = True
     if not scaling_ok:
         print("  FAIL: scaling ladder equivalence/sublinearity gate")
-        return 1
-    return 0
+        ok = False
+    if arena["speedup"] < ARENA_SPEEDUP_FLOOR:
+        print(
+            f"  FAIL: arena speedup {arena['speedup']:.2f}x is below "
+            f"the {ARENA_SPEEDUP_FLOOR:.1f}x floor"
+        )
+        ok = False
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

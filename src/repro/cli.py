@@ -204,6 +204,13 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
             "reference stepping; slower, for equivalence checking)"
         ),
     )
+    parser.add_argument(
+        "--no-arena", action="store_true",
+        help=(
+            "disable cross-process arena stepping (per-process "
+            "fast-path stepping; slower, for equivalence checking)"
+        ),
+    )
 
 
 def _jobs_arg(value: str) -> int:
@@ -259,7 +266,12 @@ def _setup_kwargs(args) -> dict:
 
 def _config_overrides(args) -> dict:
     """RunConfig overrides derived from engine-mode flags."""
-    return {"fusion": False} if args.no_fusion else {}
+    overrides = {}
+    if args.no_fusion:
+        overrides["fusion"] = False
+    if args.no_arena:
+        overrides["arena"] = False
+    return overrides
 
 
 def _workload_kwargs(args) -> dict:

@@ -1,0 +1,772 @@
+"""Cross-process arena stepping: one batched array program per quantum.
+
+The per-process fast path (PR 5) executes ``run_quantum`` once per
+process per (macro-)quantum -- at fleet sizes the numpy dispatch and
+Python bookkeeping of those per-process calls dominate the step.  The
+arena concatenates every process's page-level state into one global
+address space partitioned into *segments* (one per process, in
+``kernel.processes`` order) and executes each quantum as a single
+segment-wise array program:
+
+::
+
+    segment        0            1          2        3
+              +-----------+-----------+-------+------------+
+    probs     | p0 ...    | p1 ...    | p2 ...| p3 ...     |   float64
+    tier ids  | t0 ...    | t1 ...    | t2 ...| t3 ...     |   int8
+              +-----------+-----------+-------+------------+
+    offsets   ^0          ^s1         ^s2     ^s3          ^s4  seg_starts
+    per-seg   tier-mass rows   [n_segs x n_tiers]   (journal-repaired)
+    ledger    open run: probs refs per segment + accumulated n vector
+    witness   epoch / protect-epoch vectors + probs refs (fusion)
+
+One quantum is then:
+
+1. a Python *gather* pass (O(n_segs)): advance workloads, detect
+   distribution swaps by identity, drain queued kernel debt, repair
+   stale tier-mass rows from the page-state move journal (O(moved)),
+2. one vectorised *pricing* solve: ``mean_lat = sum_t mass[:, t] *
+   (rf * read_lat[t] + wf * write_lat[t])`` and
+   ``n = max(budget, 0) / (mean_lat + delay)`` over all segments at
+   once -- the identical scalar operations the per-process path
+   performs, evaluated element-wise (bit-identical per segment),
+3. one *aggregate fault draw*: active (hot) protected candidates from
+   all segments share one concatenated Bernoulli draw
+   (``np.add.reduceat`` recovers per-segment touch counts), and the
+   dormant tails merge into a single ``K ~ Poisson(sum_i n_i *
+   dormant_mass_i)`` draw partitioned back to segments by a two-level
+   inverse-CDF lookup -- exact by Poisson superposition / thinning.
+   When exactly one segment is fault-eligible the draw delegates to the
+   per-process sampler with the process's own stream, keeping
+   single-process arenas bit-identical to the reference mode,
+4. one *ledger account*: ``open_n += n_vec`` extends the concatenated
+   open run; each segment's share drains lazily into its
+   ``PageState``'s own pending ledger the first time a consumer reads
+   the counters (``PageState.set_ledger_source``),
+5. one *latency fold*: per-class counts accumulate into per-key
+   vectors over segments (keyed by the engine's per-quantum latency
+   keys) and scatter into per-process mixtures once per run,
+6. one *demand fold*: per-tier byte demand summed over segments.
+
+Equivalence contract (``docs/SIMULATION.md`` section 7): a
+single-process arena executes the same IEEE-754 operations in the same
+order as the per-process fast path, so its trajectory is bit-identical;
+multi-process arenas share one aggregate fault stream (the
+``engine.arena`` RNG) instead of per-process streams, so they match the
+per-process mode statistically (same laws), not bit for bit.
+``arena=False`` keeps the per-process path as the reference mode for
+equivalence gating.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.latency import LatencyMixture
+from repro.mem.machine import CACHE_LINE_BYTES
+from repro.mem.tier import FAST_TIER
+from repro.policies.base import TieringPolicy
+from repro.sim.jit import searchsorted_right
+from repro.vm.fault import take_hint_faults
+
+
+class ProcessArena:
+    """Concatenated per-process state stepped as one array program."""
+
+    def __init__(self, engine: Any) -> None:
+        self.engine = engine
+        kernel = engine.kernel
+        self.kernel = kernel
+        #: the fleet this arena was built for (identity-compared each
+        #: step; any change -- respawn, reorder -- triggers a rebuild)
+        self.processes: List[Any] = list(kernel.processes)
+        self.n_segs = n_segs = len(self.processes)
+        self.n_tiers = n_tiers = kernel.machine.n_tiers
+        #: aggregate stream for cross-segment fault draws; per-process
+        #: streams keep driving fault timestamps and single-segment draws
+        self.rng = kernel.rng.get("engine.arena")
+        sizes = np.array(
+            [p.pages.n_pages for p in self.processes], dtype=np.int64
+        )
+        #: segment boundaries into the concatenated arrays:
+        #: segment ``i`` owns ``[seg_starts[i], seg_starts[i + 1])``
+        self.seg_starts = np.zeros(n_segs + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self.seg_starts[1:])
+        total = int(self.seg_starts[-1])
+        #: concatenated access distributions (refreshed per segment on a
+        #: phase change) and tier ids (scattered O(moved) on repair);
+        #: both feed the fused full-recount path
+        self.concat_probs = np.zeros(total, dtype=np.float64)
+        self.concat_tier = np.zeros(total, dtype=np.int8)
+        #: the *original* immutable distribution array per segment --
+        #: ledger runs and witnesses hold these by reference (the
+        #: concatenated copy above can never serve identity checks)
+        self.probs_refs: List[Optional[np.ndarray]] = [None] * n_segs
+        # Per-segment tier-mass rows, the cache the per-process path
+        # keeps in ``_ProcessBuffers``: keyed by (probs identity,
+        # placement epoch), journal-repaired, drift-bounded by a resync
+        # countdown.
+        self.mass = np.zeros((n_segs, n_tiers), dtype=np.float64)
+        # Element-wise bookkeeping lives in plain Python lists: the hot
+        # gather loop reads one entry per process per quantum, and list
+        # indexing is several times cheaper than numpy scalar access.
+        self.mass_epoch: List[int] = [-1] * n_segs
+        self.mass_resync = [0] * n_segs
+        # The concatenated open ledger run: one ``n`` accumulator per
+        # segment against ``probs_refs``.  ``_drain_seg`` lazily moves a
+        # segment's share into its PageState pending ledger.
+        self.open_n = np.zeros(n_segs, dtype=np.float64)
+        # Steady-state witness vectors (the fusion contract): what the
+        # last quantum ran against and the state it left behind.
+        self.witness_epoch: List[int] = [-1] * n_segs
+        self.witness_protect_epoch: List[int] = [-1] * n_segs
+        self.witness_probs: List[Optional[np.ndarray]] = [None] * n_segs
+        self._index = {p.pid: i for i, p in enumerate(self.processes)}
+        # Per-step scratch vectors (all O(n_segs)).
+        self._wf = np.zeros(n_segs, dtype=np.float64)
+        self._rf = np.zeros(n_segs, dtype=np.float64)
+        self._delay = np.zeros(n_segs, dtype=np.float64)
+        self._budget = np.zeros(n_segs, dtype=np.float64)
+        self._mean_lat = np.zeros(n_segs, dtype=np.float64)
+        self._per_cost = np.zeros(n_segs, dtype=np.float64)
+        self._n = np.zeros(n_segs, dtype=np.float64)
+        self._faults = np.zeros(n_segs, dtype=np.float64)
+        self._coef = np.zeros(n_segs, dtype=np.float64)
+        self._tmp = np.zeros(n_segs, dtype=np.float64)
+        self._demand_rows = np.zeros((n_segs, n_tiers), dtype=np.float64)
+        self._weight_rows = np.zeros((n_segs, n_tiers), dtype=np.float64)
+        self._demand_out = np.zeros(n_tiers, dtype=np.float64)
+        self._tier_counts = np.zeros((n_segs, n_tiers), dtype=np.float64)
+        self._positive = np.zeros((n_segs, n_tiers), dtype=bool)
+        self._reads = np.zeros((n_segs, n_tiers), dtype=np.float64)
+        self._writes = np.zeros((n_segs, n_tiers), dtype=np.float64)
+        self._faulted = np.zeros(n_segs, dtype=np.float64)
+        #: per-latency-key segment count vectors, scattered into the
+        #: engine's per-process mixtures by ``QuantumEngine._flush_latency``
+        self._lat_store: Dict[int, np.ndarray] = {}
+        #: live-segment mask: zeroes finished segments out of the pricing
+        #: vectors in one multiply instead of per-segment branches
+        self._live_mask = np.ones(n_segs, dtype=bool)
+        #: prebound (index, process, workload, pages) rows for the hot
+        #: loops; rebuilt whenever a process finishes (segment retirement)
+        self._rows = [
+            (i, p, p.workload, p.pages)
+            for i, p in enumerate(self.processes)
+        ]
+        #: rows with a fixed-work target (the only finish condition the
+        #: engine checks per quantum)
+        self._target_rows = [
+            row for row in self._rows
+            if row[1].target_accesses is not None
+        ]
+        #: the policy whose ``on_quantum`` binding was last resolved, and
+        #: the bound hook (``None`` when the policy keeps the base-class
+        #: no-op -- the per-process call loop is skipped entirely)
+        self._policy_seen: Any = None
+        self._policy_hook = None
+        self._build_masses()
+        self._attach_ledger_sources()
+
+    # ------------------------------------------------------------------
+    # Construction / teardown
+    # ------------------------------------------------------------------
+    def _build_masses(self) -> None:
+        """Initial tier-mass rows via one fused segment-sum.
+
+        ``bincount`` over ``seg_id * n_tiers + tier`` accumulates every
+        segment's per-tier mass in one pass over the concatenated
+        arrays; within a segment the additions run in vpn order, the
+        same order a per-segment ``bincount`` uses, so the rows are
+        bit-identical to the per-process computation.
+        """
+        starts = self.seg_starts
+        for i, proc in enumerate(self.processes):
+            workload = proc.workload
+            probs = workload.access_distribution()
+            lo, hi = int(starts[i]), int(starts[i + 1])
+            self.probs_refs[i] = probs
+            self.concat_probs[lo:hi] = probs
+            self.concat_tier[lo:hi] = proc.pages.tier
+            self.mass_epoch[i] = proc.pages.epoch
+            self.mass_resync[i] = self.engine.MASS_RESYNC_MOVES
+            self._wf[i] = workload.write_fraction
+            self._delay[i] = workload.delay_ns_per_access
+            if proc.finished:
+                self._live_mask[i] = False
+        if not self._live_mask.all():
+            self._retire_rows()
+        if int(starts[-1]) > 0:
+            seg_ids = np.repeat(
+                np.arange(self.n_segs, dtype=np.int64),
+                np.diff(starts),
+            )
+            combined = self.concat_tier.astype(np.int64)
+            combined += seg_ids * self.n_tiers
+            self.mass[:, :] = np.bincount(
+                combined,
+                weights=self.concat_probs,
+                minlength=self.n_segs * self.n_tiers,
+            ).reshape(self.n_segs, self.n_tiers)
+
+    def _attach_ledger_sources(self) -> None:
+        for i, proc in enumerate(self.processes):
+            proc.pages.set_ledger_source(
+                self._make_drain(i), self._make_has_pending(i)
+            )
+
+    def _make_drain(self, i: int):
+        def drain() -> None:
+            self._drain_seg(i)
+
+        return drain
+
+    def _make_has_pending(self, i: int):
+        def has_pending() -> bool:
+            return self.open_n[i] != 0.0
+
+        return has_pending
+
+    def detach(self) -> None:
+        """Drain every segment and unhook the ledger sources.
+
+        Called at the end of each engine run so processes hold no
+        references into a stale arena (results may outlive the engine,
+        e.g. across sweep-worker pickling).
+        """
+        for i, proc in enumerate(self.processes):
+            self._drain_seg(i)
+            proc.pages.set_ledger_source(None, None)
+
+    # ------------------------------------------------------------------
+    # Ledger
+    # ------------------------------------------------------------------
+    def _drain_seg(self, i: int) -> None:
+        """Move segment ``i``'s share of the open run into its pages.
+
+        The accumulator restarts from zero afterwards, so the pending
+        entry the PageState ledger sees carries the exact partial-sum
+        sequence the per-process path would have produced.
+        """
+        amount = float(self.open_n[i])
+        if amount != 0.0:
+            # Clear before deferring: an eager consumer may flush (and
+            # so re-enter this drain) from inside ``defer_accesses``.
+            self.open_n[i] = 0.0
+            self.processes[i].pages.defer_accesses(
+                self.probs_refs[i], amount
+            )
+
+    # ------------------------------------------------------------------
+    # Tier-mass maintenance (the per-segment analogue of
+    # ``QuantumEngine._tier_mass``)
+    # ------------------------------------------------------------------
+    def _repair_mass(self, i: int, proc: Any, probs: np.ndarray) -> None:
+        pages = proc.pages
+        if self.probs_refs[i] is probs and self.mass_epoch[i] != -1:
+            if self.mass_epoch[i] == pages.epoch:
+                return
+            moves = (
+                pages.moves_since(int(self.mass_epoch[i]))
+                if self.mass_resync[i] > 0
+                else None
+            )
+            if moves is not None and len(moves) <= self.mass_resync[i]:
+                row = self.mass[i]
+                lo = int(self.seg_starts[i])
+                for _epoch, vpns, old_tiers, new_tier in moves:
+                    if vpns.size:
+                        moved = probs[vpns]
+                        row -= np.bincount(
+                            old_tiers, weights=moved, minlength=row.size
+                        )
+                        row[new_tier] += float(moved.sum())
+                        self.concat_tier[lo + vpns] = np.int8(new_tier)
+                self.mass_resync[i] -= len(moves)
+                self.mass_epoch[i] = pages.epoch
+                return
+        # Full recount for this segment (distribution swap, truncated
+        # journal, or drift-bounding resync).
+        lo, hi = int(self.seg_starts[i]), int(self.seg_starts[i + 1])
+        self.mass[i] = np.bincount(
+            pages.tier.astype(np.int64),
+            weights=probs,
+            minlength=self.n_tiers,
+        )
+        self.concat_tier[lo:hi] = pages.tier
+        self.mass_epoch[i] = pages.epoch
+        self.mass_resync[i] = self.engine.MASS_RESYNC_MOVES
+
+    # ------------------------------------------------------------------
+    # Fusion witness
+    # ------------------------------------------------------------------
+    def witness(self, process: Any):
+        """``(probs, epoch, protect_epoch)`` from the last quantum, or
+        ``None`` when this process has no arena witness yet."""
+        i = self._index.get(process.pid)
+        if i is None or self.witness_epoch[i] < 0:
+            return None
+        return (
+            self.witness_probs[i],
+            self.witness_epoch[i],
+            self.witness_protect_epoch[i],
+        )
+
+    # ------------------------------------------------------------------
+    # Hot-loop maintenance
+    # ------------------------------------------------------------------
+    def _retire_rows(self) -> None:
+        """Drop finished processes from the hot-loop rows (segment
+        retirement).  Their ledger share stays attached -- open runs
+        drain lazily on the next counter read -- and their mask entry
+        zeroes them out of every pricing vector."""
+        self._rows = [
+            row for row in self._rows if not row[1].finished
+        ]
+        self._target_rows = [
+            row for row in self._rows
+            if row[1].target_accesses is not None
+        ]
+
+    def _swap_probs(self, i: int, probs: np.ndarray, workload: Any) -> None:
+        """Phase change: close segment ``i``'s open ledger run against
+        the old distribution, then swap in the new slice.  The profile
+        scalars (write fraction, compute delay) refresh here too -- a
+        workload that changes them must swap its distribution object,
+        the same identity contract the fusion witness relies on."""
+        self._drain_seg(i)
+        lo, hi = int(self.seg_starts[i]), int(self.seg_starts[i + 1])
+        self.concat_probs[lo:hi] = probs
+        self.probs_refs[i] = probs
+        self._wf[i] = workload.write_fraction
+        self._delay[i] = workload.delay_ns_per_access
+        self.mass_epoch[i] = -1  # force recount
+
+    def _resolve_policy_hook(self, policy: Any):
+        """The policy's ``on_quantum`` binding, or ``None`` when it keeps
+        the base-class no-op (the per-process call loop is skipped)."""
+        if policy is not self._policy_seen:
+            self._policy_seen = policy
+            hook = getattr(type(policy), "on_quantum", None)
+            if hook is None or hook is TieringPolicy.on_quantum:
+                self._policy_hook = None
+            else:
+                self._policy_hook = policy.on_quantum
+        return self._policy_hook
+
+    # ------------------------------------------------------------------
+    # The batched step
+    # ------------------------------------------------------------------
+    def step(self, start_ns: int, quantum_ns: int) -> np.ndarray:
+        """Execute one (macro-)quantum for every process; returns the
+        fleet's per-tier byte demand."""
+        engine = self.engine
+        profiler = self.kernel.profiler
+        rows = self._rows
+        refs = self.probs_refs
+        m_epoch = self.mass_epoch
+        wf, rf, delay = self._wf, self._rf, self._delay
+        budget, n_vec = self._budget, self._n
+        live_mask = self._live_mask
+        retired = False
+
+        # ---- Phase 1: gather ------------------------------------------------
+        if profiler is not None:
+            profiler.push("arena_build")
+        budget.fill(float(quantum_ns))
+        for row in rows:
+            i, proc, workload, pages = row
+            if proc.finished:
+                live_mask[i] = False
+                retired = True
+                continue
+            workload.advance(start_ns)
+            probs = workload.access_distribution()
+            if probs is not refs[i]:
+                self._swap_probs(i, probs, workload)
+            if m_epoch[i] != pages.epoch:
+                self._repair_mass(i, proc, refs[i])
+            if proc.pending_kernel_ns:
+                budget[i] = quantum_ns - proc.drain_pending_kernel(
+                    quantum_ns
+                )
+        if profiler is not None:
+            profiler.pop()
+        if retired:
+            self._retire_rows()
+            rows = self._rows
+            retired = False
+        if not rows:
+            self._demand_out.fill(0.0)
+            return self._demand_out
+
+        # ---- Phase 2: pricing (one segment fold) ----------------------------
+        if profiler is not None:
+            profiler.push("segment_fold")
+        read_lats = engine._read_lat_list
+        write_lats = engine._write_lat_list
+        np.subtract(1.0, wf, out=rf)
+        mean_lat = self._mean_lat
+        mean_lat.fill(0.0)
+        coef, tmp = self._coef, self._tmp
+        for tier_id in range(self.n_tiers):
+            # Identical scalar sequence to the per-process pricing loop,
+            # element-wise: rf*read + wf*write, then mass * coef.
+            np.multiply(rf, read_lats[tier_id], out=coef)
+            np.multiply(wf, write_lats[tier_id], out=tmp)
+            coef += tmp
+            np.multiply(self.mass[:, tier_id], coef, out=tmp)
+            mean_lat += tmp
+        per_cost = self._per_cost
+        np.add(mean_lat, delay, out=per_cost)
+        np.maximum(budget, 0.0, out=budget)
+        n_vec.fill(0.0)
+        np.divide(budget, per_cost, out=n_vec, where=per_cost > 0.0)
+        # Finished segments price to zero in one multiply (True is an
+        # exact 1.0 factor, so live lanes are untouched bit for bit).
+        np.multiply(n_vec, live_mask, out=n_vec)
+        n_list = n_vec.tolist()
+        if profiler is not None:
+            profiler.pop()
+
+        # ---- Phase 3: aggregate fault draw ----------------------------------
+        faults = self._faults
+        have_faults = False
+        eligible = [
+            row[0]
+            for row in rows
+            if n_list[row[0]] > 0.0 and row[3].n_protected > 0
+        ]
+        if eligible:
+            faults.fill(0.0)
+            have_faults = True
+            procs = self.processes
+            if profiler is not None:
+                profiler.push("fault_partition")
+            try:
+                if len(eligible) == 1:
+                    # One eligible segment: the per-process sampler with
+                    # the process's own stream -- bit-identical to the
+                    # per-process fast path.
+                    i = eligible[0]
+                    proc = procs[i]
+                    faults[i] = engine._sample_hint_faults(
+                        proc,
+                        proc.pages,
+                        refs[i],
+                        engine._buffers_for(proc),
+                        n_list[i],
+                        start_ns,
+                        quantum_ns,
+                    )
+                else:
+                    self._batched_faults(
+                        eligible, n_vec, faults, start_ns, quantum_ns
+                    )
+            finally:
+                if profiler is not None:
+                    profiler.pop()
+            # Fault-path promotions moved pages: repair the affected
+            # rows so accounting prices the post-fault placement, the
+            # same re-lookup the per-process path performs.
+            for i in eligible:
+                proc = procs[i]
+                if m_epoch[i] != proc.pages.epoch:
+                    self._repair_mass(i, proc, refs[i])
+
+        # ---- Phases 4-6: ledger, stats, latency, demand ---------------------
+        if profiler is not None:
+            profiler.push("segment_fold")
+        # One concatenated ledger account: extends every segment's share
+        # of the open run (zero for finished/stalled segments).
+        self.open_n += n_vec
+        mass = self.mass
+        fast_list = np.multiply(mass[:, FAST_TIER], n_vec, out=tmp).tolist()
+        user_list = np.multiply(n_vec, mean_lat, out=tmp).tolist()
+        stall_list = np.multiply(n_vec, delay, out=tmp).tolist()
+        for row in rows:
+            i, proc, workload, pages = row
+            proc.record_accesses(
+                n_list[i], fast_list[i], user_list[i], stall_list[i]
+            )
+        self._fold_latency(n_vec, faults, have_faults)
+        # Demand fold: mass * ((n * CACHE_LINE) * ((1-wf) + wf * bwm)),
+        # the per-process operation order, then one segment sum.
+        weight = self._weight_rows
+        bwm = self.kernel.machine.write_bw_multiplier
+        np.multiply(wf[:, None], bwm[None, :], out=weight)
+        weight += rf[:, None]
+        np.multiply(n_vec, CACHE_LINE_BYTES, out=self._tmp)
+        weight *= self._tmp[:, None]
+        np.multiply(mass, weight, out=self._demand_rows)
+        np.sum(self._demand_rows, axis=0, out=self._demand_out)
+        if profiler is not None:
+            profiler.pop()
+
+        # ---- Phase 7: policy hooks, finish checks, witness ------------------
+        hook = self._resolve_policy_hook(self.kernel.policy)
+        if hook is not None:
+            if profiler is not None:
+                profiler.push("policy")
+            try:
+                for row in rows:
+                    i = row[0]
+                    hook(row[1], refs[i], n_list[i], start_ns, quantum_ns)
+            finally:
+                if profiler is not None:
+                    profiler.pop()
+        for row in self._target_rows:
+            i, proc, workload, pages = row
+            if proc.stats.accesses >= proc.target_accesses:
+                proc.finished = True
+                live_mask[i] = False
+                retired = True
+        w_probs = self.witness_probs
+        w_epoch = self.witness_epoch
+        w_protect = self.witness_protect_epoch
+        for row in rows:
+            i, proc, workload, pages = row
+            w_probs[i] = refs[i]
+            w_epoch[i] = pages.epoch
+            w_protect[i] = pages.protect_epoch
+        if retired:
+            self._retire_rows()
+        return self._demand_out
+
+    # ------------------------------------------------------------------
+    def _batched_faults(
+        self,
+        eligible: List[int],
+        n_vec: np.ndarray,
+        faults: np.ndarray,
+        start_ns: int,
+        quantum_ns: int,
+    ) -> None:
+        """One aggregate fault draw across all eligible segments.
+
+        Active candidates: concatenate per-segment Bernoulli rates and
+        draw one uniform vector (``np.add.reduceat`` recovers the
+        per-segment touch counts).  Dormant tails: one
+        ``Poisson(sum_i n_i * dormant_mass_i)`` count, placed first into
+        segments by inverse-CDF over the per-segment rates, then onto
+        pages by each segment's dormant CDF -- exact by Poisson
+        superposition and thinning.  Fault timestamps still come from
+        each process's own stream (``take_hint_faults``).
+        """
+        engine = self.engine
+        procs = self.processes
+        rng = self.rng
+        entries = []  # (seg, proc, protected, buffers)
+        for i in eligible:
+            proc = procs[i]
+            pages = proc.pages
+            protected = pages.protected_pages()
+            if not protected.size:
+                continue
+            probs = self.probs_refs[i]
+            buffers = engine._buffers_for(proc)
+            if (
+                buffers.fault_probs is not probs
+                or buffers.fault_prot is not protected
+            ):
+                engine._rebuild_fault_cache(
+                    buffers, probs, protected, float(n_vec[i])
+                )
+            entries.append((i, proc, protected, buffers))
+        if not entries:
+            return
+        masks: Dict[int, np.ndarray] = {}
+
+        def mask_for(entry) -> np.ndarray:
+            seg = entry[0]
+            mask = masks.get(seg)
+            if mask is None:
+                mask = entry[3].touched_mask
+                mask[:] = False
+                masks[seg] = mask
+            return mask
+
+        # Active head: one concatenated Bernoulli draw.
+        active_entries = [e for e in entries if e[3].active_p.size]
+        if active_entries:
+            lam_parts = [
+                n_vec[e[0]] * e[3].active_p for e in active_entries
+            ]
+            lam = (
+                np.concatenate(lam_parts)
+                if len(lam_parts) > 1
+                else lam_parts[0]
+            )
+            touched = rng.random(lam.size) < -np.expm1(-lam)
+            sizes = np.array(
+                [part.size for part in lam_parts], dtype=np.int64
+            )
+            starts = np.zeros(sizes.size, dtype=np.int64)
+            np.cumsum(sizes[:-1], out=starts[1:])
+            counts = np.add.reduceat(touched, starts)
+            offset = 0
+            for entry, size, count in zip(
+                active_entries, sizes, counts
+            ):
+                if count:
+                    hits = np.flatnonzero(
+                        touched[offset : offset + size]
+                    )
+                    mask_for(entry)[entry[3].active_pos[hits]] = True
+                offset += int(size)
+        # Dormant tail: one aggregate Poisson draw, two-level partition.
+        dormant_entries = [
+            e for e in entries if e[3].dormant_mass > 0.0
+        ]
+        if dormant_entries:
+            rates = np.array(
+                [
+                    n_vec[e[0]] * e[3].dormant_mass
+                    for e in dormant_entries
+                ],
+                dtype=np.float64,
+            )
+            total_rate = float(rates.sum())
+            if total_rate > 0.0:
+                k = int(rng.poisson(total_rate))
+                if k:
+                    cum = np.cumsum(rates)
+                    draws = rng.random(k) * total_rate
+                    seg_pick = searchsorted_right(cum, draws)
+                    np.minimum(
+                        seg_pick, rates.size - 1, out=seg_pick
+                    )
+                    counts = np.bincount(
+                        seg_pick, minlength=rates.size
+                    )
+                    order = np.argsort(seg_pick, kind="stable")
+                    sorted_draws = draws[order]
+                    bounds = np.cumsum(counts)
+                    for j, entry in enumerate(dormant_entries):
+                        count = int(counts[j])
+                        if not count:
+                            continue
+                        hi = int(bounds[j])
+                        sel = sorted_draws[hi - count : hi]
+                        base = float(cum[j] - rates[j])
+                        # Conditioned on its segment band, a draw is
+                        # uniform on [0, rate_j); rescaling by n_j
+                        # yields the per-process uniform-on-
+                        # [0, dormant_mass) placement law.
+                        values = (sel - base) / float(
+                            n_vec[entry[0]]
+                        )
+                        buffers = entry[3]
+                        hits = searchsorted_right(
+                            buffers.dormant_cdf, values
+                        )
+                        np.minimum(
+                            hits,
+                            buffers.dormant_cdf.size - 1,
+                            out=hits,
+                        )
+                        mask_for(entry)[
+                            buffers.dormant_pos[hits]
+                        ] = True
+        # Deliver per segment, ascending order (the per-process order).
+        for entry in entries:
+            i, proc, protected, buffers = entry
+            mask = masks.get(i)
+            if mask is None:
+                continue
+            touched_vpns = protected[mask]
+            rates_per_ns = (
+                float(n_vec[i]) * buffers.prot_p[mask] / quantum_ns
+            )
+            np.logical_not(mask, out=mask)
+            batch = take_hint_faults(
+                proc,
+                touched_vpns,
+                start_ns,
+                quantum_ns,
+                proc.rng,
+                rates_per_ns=rates_per_ns,
+                cache_remainder=protected[mask],
+            )
+            self.kernel.deliver_faults(proc, batch)
+            faults[i] = batch.n_faults
+
+    # ------------------------------------------------------------------
+    def _fold_latency(
+        self,
+        n_vec: np.ndarray,
+        faults: np.ndarray,
+        have_faults: bool,
+    ) -> None:
+        """Accumulate this quantum's latency classes into per-key
+        segment vectors (the per-process dict accumulations, evaluated
+        element-wise in the same order)."""
+        engine = self.engine
+        store = self._lat_store
+        read_keys = engine._read_keys
+        write_keys = engine._write_keys
+        tier_counts = self._tier_counts
+        positive = self._positive
+        reads, writes = self._reads, self._writes
+        np.multiply(self.mass, n_vec[:, None], out=tier_counts)
+        # The per-process path skips tiers without positive mass
+        # (repair drift can leave a ~-1e-20 residue in a row); masking
+        # by the boolean is exact (x * True == x, x * False == 0.0).
+        np.greater(tier_counts, 0.0, out=positive)
+        np.multiply(tier_counts, self._rf[:, None], out=reads)
+        reads *= positive
+        np.multiply(tier_counts, self._wf[:, None], out=writes)
+        writes *= positive
+        last_tier = self.n_tiers - 1
+        if have_faults:
+            # Faulted accesses pay the trap cost on top; attribute them
+            # to the slowest tier's reads first, but only for segments
+            # that actually have mass there (the per-process path skips
+            # empty tiers entirely).
+            faulted = self._faulted
+            np.minimum(reads[:, last_tier], faults, out=faulted)
+            faulted *= positive[:, last_tier]
+            if faulted.any():
+                fault_key = engine._fault_key
+                vec = store.get(fault_key)
+                if vec is None:
+                    vec = store[fault_key] = np.zeros(
+                        self.n_segs, dtype=np.float64
+                    )
+                vec += faulted
+                reads[:, last_tier] -= faulted
+        for tier_id in range(self.n_tiers):
+            for key, counts in (
+                (read_keys[tier_id], reads[:, tier_id]),
+                (write_keys[tier_id], writes[:, tier_id]),
+            ):
+                vec = store.get(key)
+                if vec is None:
+                    vec = store[key] = np.zeros(
+                        self.n_segs, dtype=np.float64
+                    )
+                vec += counts
+
+    def flush_latency_into(self, engine: Any) -> None:
+        """Scatter the per-key segment vectors into the engine's
+        mixtures (same pid-ascending order the per-process flush uses,
+        so global-mixture accumulation matches bit for bit)."""
+        store = self._lat_store
+        if not store:
+            return
+        global_mix = engine.latency
+        by_pid = engine.latency_by_pid
+        for key, vec in store.items():
+            for i, proc in enumerate(self.processes):
+                count = float(vec[i])
+                if count == 0.0:
+                    continue
+                global_mix.add_keyed(key, count)
+                pid_mix = by_pid.get(proc.pid)
+                if pid_mix is None:
+                    pid_mix = by_pid.setdefault(
+                        proc.pid, LatencyMixture()
+                    )
+                pid_mix.add_keyed(key, count)
+        store.clear()

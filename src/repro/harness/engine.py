@@ -67,6 +67,19 @@ preserves per-quantum stepping for equivalence gating.  When fusion
 never engages the trajectory is bit-identical to the reference mode:
 the horizon check consumes no RNG and a one-quantum step executes the
 exact per-quantum path.
+
+**Arena stepping** (``docs/SIMULATION.md`` section 7) removes the last
+O(n_procs) Python loop from the steady-state step: with ``arena=True``
+(the default; requires the fast path) every (macro-)quantum executes as
+one batched array program over a cross-process page arena
+(:mod:`repro.harness.arena`) -- one vectorised pricing solve, one
+aggregate fault draw partitioned back to processes, one concatenated
+ledger account, one latency fold, one demand fold.  ``arena=False``
+keeps the per-process fast path as the arena's reference mode; a
+single-process arena is bit-identical to it, multi-process arenas are
+statistically equivalent (the aggregate fault draw consumes a dedicated
+``engine.arena`` stream).  The steady-state fusion witness lives in the
+arena's per-segment epoch vectors instead of per-process buffers.
 """
 
 from __future__ import annotations
@@ -146,6 +159,7 @@ class QuantumEngine:
         quantum_ns: int = 50 * MILLISECOND,
         fast_path: bool = True,
         fusion: bool = True,
+        arena: bool = True,
     ) -> None:
         if quantum_ns <= 0:
             raise ValueError("quantum must be positive")
@@ -157,6 +171,15 @@ class QuantumEngine:
         #: additionally requires the fast path (the reference path exists
         #: precisely to replay the historical per-quantum trajectory).
         self.fusion = bool(fusion) and self.fast_path
+        #: arena stepping enabled?  ``False`` keeps the per-process fast
+        #: path (the arena's reference mode, CLI ``--no-arena``); like
+        #: fusion, the arena requires the fast path.
+        self.arena = bool(arena) and self.fast_path
+        #: lazily built :class:`repro.harness.arena.ProcessArena`;
+        #: rebuilt whenever the fleet changes, torn down at run end
+        self._arena = None
+        #: arena step() invocations (one per engine step in arena mode)
+        self.arena_steps = 0
         self.latency = LatencyMixture()
         self.latency_by_pid: Dict[int, LatencyMixture] = {}
         #: per-process pending latency classes ``{pid: {key: count}}``,
@@ -174,15 +197,10 @@ class QuantumEngine:
         #: multipliers change.  The latency mixture keys on ``round()``,
         #: which is an order of magnitude faster on ``float`` than on
         #: numpy scalars, and the products are bitwise identical.
-        self._read_lat_list = kernel.machine.read_latency_ns.tolist()
-        self._write_lat_list = kernel.machine.write_latency_ns.tolist()
-        self._read_keys = [int(round(v)) for v in self._read_lat_list]
-        self._write_keys = [int(round(v)) for v in self._write_lat_list]
-        self._fault_lat = (
-            self._read_lat_list[-1]
-            + kernel.machine.spec.effective_fault_cost_ns
+        self._refresh_latency_tables(
+            kernel.machine.read_latency_ns.tolist(),
+            kernel.machine.write_latency_ns.tolist(),
         )
-        self._fault_key = int(round(self._fault_lat))
         self._demand_accum = np.zeros(n_tiers, dtype=np.float64)
         self._demand_out = np.empty(n_tiers, dtype=np.float64)
         #: shared early-return value for finished processes; callers only
@@ -194,6 +212,36 @@ class QuantumEngine:
         self.steps_run = 0
         #: quanta covered by fused (multi-quantum) steps
         self.fused_quanta = 0
+
+    # ------------------------------------------------------------------
+    def _refresh_latency_tables(self, read_lats, write_lats) -> None:
+        """Install this quantum's effective tier latencies and derive
+        their latency-mixture keys.
+
+        The single place latency keys are rounded: both the per-process
+        path and the arena fold consume ``_read_keys`` / ``_write_keys``
+        / ``_fault_key`` from here, so the two modes cannot drift.
+        ``read_lats`` / ``write_lats`` are plain Python float lists
+        (``tolist()``-ed once per quantum).
+        """
+        self._read_lat_list = read_lats
+        self._write_lat_list = write_lats
+        self._read_keys = [int(round(v)) for v in read_lats]
+        self._write_keys = [int(round(v)) for v in write_lats]
+        self._fault_lat = (
+            read_lats[-1]
+            + self.kernel.machine.spec.effective_fault_cost_ns
+        )
+        self._fault_key = int(round(self._fault_lat))
+
+    def _buffers_for(self, process: SimProcess) -> _ProcessBuffers:
+        """Get-or-create the per-process scratch buffers."""
+        buffers = self._buffers.get(process.pid)
+        if buffers is None:
+            buffers = self._buffers[process.pid] = _ProcessBuffers(
+                process.pages.n_pages
+            )
+        return buffers
 
     # ------------------------------------------------------------------
     def run(
@@ -261,25 +309,24 @@ class QuantumEngine:
                 prev_multipliers = multipliers
                 macro_ns = quantum * n_fused
                 machine = self.kernel.machine
-                self._read_lat_list = read_lats = (
-                    machine.read_latency_ns * self._multipliers
-                ).tolist()
-                self._write_lat_list = write_lats = (
-                    machine.write_latency_ns * self._multipliers
-                ).tolist()
-                # The latency-mixture keys for this quantum's classes are
-                # fixed once the multipliers are known; round once here
-                # instead of per process per class.
-                self._read_keys = [int(round(v)) for v in read_lats]
-                self._write_keys = [int(round(v)) for v in write_lats]
-                self._fault_lat = (
-                    read_lats[-1] + machine.spec.effective_fault_cost_ns
+                # The per-quantum latency tables and their mixture keys
+                # are fixed once the multipliers are known; derive them
+                # once here instead of per process per class.
+                self._refresh_latency_tables(
+                    (machine.read_latency_ns * self._multipliers)
+                    .tolist(),
+                    (machine.write_latency_ns * self._multipliers)
+                    .tolist(),
                 )
-                self._fault_key = int(round(self._fault_lat))
                 demand = self._demand_accum
                 demand.fill(0.0)
-                for process in self.kernel.processes:
-                    demand += self.run_quantum(process, start, macro_ns)
+                if self.arena:
+                    demand += self._arena_step(start, macro_ns)
+                else:
+                    for process in self.kernel.processes:
+                        demand += self.run_quantum(
+                            process, start, macro_ns
+                        )
                 # Fold migration traffic into the demand picture.
                 for tier in self.kernel.machine.tiers:
                     demand[tier.tier_id] += tier.consume_migration_bytes()
@@ -335,8 +382,25 @@ class QuantumEngine:
             return clock.now
         finally:
             self._flush_latency()
+            if self._arena is not None:
+                # Drain every segment's ledger share and unhook the
+                # page-state sources: results may outlive this engine.
+                self._arena.detach()
+                self._arena = None
             if profiler is not None:
                 profiler.pop()
+
+    def _arena_step(self, start_ns: int, macro_ns: int) -> np.ndarray:
+        """One batched arena step (builds/rebuilds the arena lazily)."""
+        arena = self._arena
+        if arena is None or arena.processes != self.kernel.processes:
+            from repro.harness.arena import ProcessArena
+
+            if arena is not None:
+                arena.detach()
+            arena = self._arena = ProcessArena(self)
+        self.arena_steps += 1
+        return arena.step(start_ns, macro_ns)
 
     # ------------------------------------------------------------------
     #: maximum per-tier relative change of the contention-multiplier
@@ -388,14 +452,15 @@ class QuantumEngine:
         for process in self.kernel.processes:
             if process.finished:
                 continue
-            buffers = self._buffers.get(process.pid)
-            if buffers is None:
+            witness = self._steady_witness(process)
+            if witness is None:
                 # First quantum for this process: no steady-state witness.
                 return 1
+            w_probs, w_epoch, w_protect_epoch = witness
             pages = process.pages
             if (
-                buffers.fusion_epoch != pages.epoch
-                or buffers.fusion_protect_epoch != pages.protect_epoch
+                w_epoch != pages.epoch
+                or w_protect_epoch != pages.protect_epoch
             ):
                 return 1
             # Pending kernel debt (e.g. a migration burst's cost) makes
@@ -428,11 +493,11 @@ class QuantumEngine:
                 n = min(n, -(-(stable - start_ns) // q))
                 if n <= 1:
                     return 1
-            # ``advance`` is idempotent and consumes no RNG; run_quantum
+            # ``advance`` is idempotent and consumes no RNG; the step
             # repeats it.  The distribution for the upcoming quantum must
             # be the exact array the last quantum ran against.
             workload.advance(start_ns)
-            if workload.access_distribution() is not buffers.fusion_probs:
+            if workload.access_distribution() is not w_probs:
                 return 1
             if process.target_accesses is not None:
                 remaining = (
@@ -452,6 +517,28 @@ class QuantumEngine:
                     if n <= 1:
                         return 1
         return int(n)
+
+    def _steady_witness(self, process: SimProcess):
+        """The last quantum's steady-state witness for ``process``:
+        ``(probs, epoch, protect_epoch)``, or ``None`` when no quantum
+        has recorded one yet.
+
+        In arena mode the witness lives in the arena's per-segment
+        vectors; otherwise in the per-process buffers.
+        """
+        if self.arena:
+            arena = self._arena
+            if arena is None:
+                return None
+            return arena.witness(process)
+        buffers = self._buffers.get(process.pid)
+        if buffers is None or buffers.fusion_probs is None:
+            return None
+        return (
+            buffers.fusion_probs,
+            buffers.fusion_epoch,
+            buffers.fusion_protect_epoch,
+        )
 
     def _min_access_cost_ns(self, write_fraction: float) -> float:
         """Cheapest possible mean access latency: best tier, uncontended.
@@ -487,10 +574,7 @@ class QuantumEngine:
         to warrant a drift-bounding resync.
         """
         pages = process.pages
-        buffers = self._buffers.get(process.pid)
-        if buffers is None:
-            buffers = _ProcessBuffers(pages.n_pages)
-            self._buffers[process.pid] = buffers
+        buffers = self._buffers_for(process)
         if self.fast_path and buffers.mass_probs is probs:
             if buffers.mass_epoch == pages.epoch:
                 return buffers.tier_mass
@@ -537,10 +621,7 @@ class QuantumEngine:
         pages = process.pages
         write_fraction = workload.write_fraction
         multipliers = self._multipliers
-        buffers = self._buffers.get(process.pid)
-        if buffers is None:
-            buffers = _ProcessBuffers(pages.n_pages)
-            self._buffers[process.pid] = buffers
+        buffers = self._buffers_for(process)
 
         # Price the access mix against current placement + contention.
         # Every page on a tier shares the tier's latency, so the O(pages)
@@ -574,7 +655,12 @@ class QuantumEngine:
         kernel_used = process.drain_pending_kernel(quantum_ns)
         budget = quantum_ns - kernel_used
         per_access_cost = mean_latency + workload.delay_ns_per_access
-        n_accesses = max(budget, 0.0) / per_access_cost
+        # A zero-page process prices to zero cost (and may run with zero
+        # compute delay): it simply completes no accesses.
+        if per_access_cost > 0.0:
+            n_accesses = max(budget, 0.0) / per_access_cost
+        else:
+            n_accesses = 0.0
 
         # Hint faults on protected pages touched this quantum.  The
         # maintained protected-page counter makes the common no-scan case
@@ -858,7 +944,10 @@ class QuantumEngine:
         hot path only touches plain per-process dicts.  Callers driving
         ``run_quantum`` directly (tests, custom harnesses) can invoke
         this to materialise ``latency`` / ``latency_by_pid`` on demand.
+        In arena mode the per-key segment vectors scatter here too.
         """
+        if self._arena is not None:
+            self._arena.flush_latency_into(self)
         pending = self._lat_pending
         if not pending:
             return

@@ -3,20 +3,29 @@
 A :class:`Profiler` attached to a kernel (``kernel.profiler``) splits the
 real (host) wall time of a run across the simulator's subsystems:
 
-==============  ==================================================
-``engine``      the quantum loop itself (pricing, fault generation)
-``policy``      tiering-policy work (per-quantum hooks, fault
-                handlers, scan hooks, policy daemons)
-``fault``       hint-fault delivery and bookkeeping
-``migrate``     the migration engine (frame accounting, cost
-                charging)
-``scan``        Ticking/NUMA-balancing scan passes
-``aging``       LRU reference-bit aging passes
-``accounting``  deferred ground-truth ledger flushes (the O(pages)
-                materialisation of ``access_count`` /
-                ``last_window_count``, charged where the consuming
-                read happens)
-==============  ==================================================
+===================  ==================================================
+``engine``           the quantum loop itself (pricing, fault
+                     generation)
+``policy``           tiering-policy work (per-quantum hooks, fault
+                     handlers, scan hooks, policy daemons)
+``fault``            hint-fault delivery and bookkeeping
+``migrate``          the migration engine (frame accounting, cost
+                     charging)
+``scan``             Ticking/NUMA-balancing scan passes
+``aging``            LRU reference-bit aging passes
+``accounting``       deferred ground-truth ledger flushes (the
+                     O(pages) materialisation of ``access_count`` /
+                     ``last_window_count``, charged where the
+                     consuming read happens)
+``arena_build``      arena stepping only: the per-segment gather pass
+                     (workload advance, distribution-swap detection,
+                     tier-mass journal repair)
+``segment_fold``     arena stepping only: the vectorised
+                     pricing/ledger/latency/demand folds over the
+                     segment axis
+``fault_partition``  arena stepping only: the aggregate fault draw
+                     and its partition back to segments
+===================  ==================================================
 
 Sections nest (a policy fault handler may migrate pages); the profiler
 charges *exclusive* time to each section, so the shares sum to the

@@ -1,0 +1,160 @@
+"""Optional numba-accelerated kernels behind the ``CHRONO_JIT`` flag.
+
+This module lives in the dependency-free :mod:`repro.sim` substrate so
+both the vm layer and the harness can import it without cycles.  The
+arena stepping path (:mod:`repro.harness.arena`) and the deferred
+ground-truth ledger (:mod:`repro.vm.page_state`) spend their large-array
+time in two kernels:
+
+``ledger_fold``
+    Materialise one ledger run into the lifetime and window counters:
+    ``access[i] += probs[i] * n``, ``window[i] += probs[i] * n``.  At the
+    10M-page bench rung this is the single largest remaining O(pages)
+    pass.
+
+``searchsorted_right``
+    The fault-partition binary search: place aggregate Poisson draws
+    first into segments (processes) and then onto pages by inverse-CDF
+    lookup.
+
+Both have a pure-numpy implementation that is the default and the
+reference.  Setting ``CHRONO_JIT=1`` in the environment swaps in numba
+``@njit`` versions **when numba is importable**; the numba kernels
+perform the exact same floating-point operations in the same order, so
+they are bit-identical to the numpy path (``tests/test_jit_kernels.py``
+asserts this).  When numba is missing -- it is an optional dependency
+and never required -- the flag silently degrades to the numpy
+implementations; nothing in the simulator ever hard-depends on numba.
+
+The flag is resolved lazily on first use and cached; tests can force a
+re-resolution through :func:`reset`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+#: resolved lazily: ``None`` = not yet resolved, else a dict with the
+#: active kernel implementations and the ``enabled`` verdict
+_state: Optional[dict] = None
+
+
+def _numpy_ledger_fold(
+    probs: np.ndarray,
+    n_accesses: float,
+    access: np.ndarray,
+    window: np.ndarray,
+    buf: np.ndarray,
+) -> None:
+    """Reference ledger fold: one multiply into ``buf``, two axpys."""
+    np.multiply(probs, n_accesses, out=buf)
+    access += buf
+    window += buf
+
+
+def _numpy_searchsorted_right(
+    cdf: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """Reference right-bisect placement of ``values`` into ``cdf``."""
+    return np.searchsorted(cdf, values, side="right")
+
+
+def _build_numba_kernels() -> Optional[dict]:
+    """Compile the numba kernels; ``None`` when numba is unavailable."""
+    try:
+        from numba import njit  # type: ignore
+    except ImportError:
+        return None
+
+    @njit(cache=True)
+    def _nb_ledger_fold(probs, n_accesses, access, window):  # pragma: no cover - compiled
+        for i in range(probs.shape[0]):
+            # Same two roundings as the numpy path: round the product,
+            # then round each accumulation -- bit-identical by IEEE-754.
+            value = probs[i] * n_accesses
+            access[i] += value
+            window[i] += value
+
+    @njit(cache=True)
+    def _nb_searchsorted_right(cdf, values):  # pragma: no cover - compiled
+        out = np.empty(values.shape[0], dtype=np.int64)
+        n = cdf.shape[0]
+        for i in range(values.shape[0]):
+            # Right-bisect, the exact np.searchsorted(..., 'right')
+            # contract: first index where cdf[index] > value.
+            lo = 0
+            hi = n
+            value = values[i]
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if value < cdf[mid]:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            out[i] = lo
+        return out
+
+    def ledger_fold(probs, n_accesses, access, window, buf):
+        _nb_ledger_fold(probs, float(n_accesses), access, window)
+
+    def searchsorted_right(cdf, values):
+        return _nb_searchsorted_right(
+            np.ascontiguousarray(cdf, dtype=np.float64),
+            np.ascontiguousarray(values, dtype=np.float64),
+        )
+
+    return {
+        "enabled": True,
+        "ledger_fold": ledger_fold,
+        "searchsorted_right": searchsorted_right,
+    }
+
+
+def _resolve() -> dict:
+    """Resolve the active kernel set from ``CHRONO_JIT`` (cached)."""
+    global _state
+    if _state is not None:
+        return _state
+    flag = os.environ.get("CHRONO_JIT", "").strip().lower()
+    wanted = flag not in ("", "0", "false", "off", "no")
+    kernels = _build_numba_kernels() if wanted else None
+    if kernels is None:
+        kernels = {
+            "enabled": False,
+            "ledger_fold": _numpy_ledger_fold,
+            "searchsorted_right": _numpy_searchsorted_right,
+        }
+    _state = kernels
+    return _state
+
+
+def reset() -> None:
+    """Drop the cached resolution (tests re-read ``CHRONO_JIT``)."""
+    global _state
+    _state = None
+
+
+def jit_enabled() -> bool:
+    """True when the numba kernels are active (flag set + importable)."""
+    return bool(_resolve()["enabled"])
+
+
+def ledger_fold(
+    probs: np.ndarray,
+    n_accesses: float,
+    access: np.ndarray,
+    window: np.ndarray,
+    buf: np.ndarray,
+) -> None:
+    """Fold one ``(probs, n)`` ledger run into both counters in place."""
+    _resolve()["ledger_fold"](probs, n_accesses, access, window, buf)
+
+
+def searchsorted_right(
+    cdf: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """``np.searchsorted(cdf, values, side='right')`` (JIT-swappable)."""
+    return _resolve()["searchsorted_right"](cdf, values)

@@ -39,8 +39,9 @@ class AddressSpace:
     """An ordered set of non-overlapping VMAs with a scan cursor."""
 
     def __init__(self, vmas: List[VMArea]) -> None:
-        if not vmas:
-            raise ValueError("address space needs at least one VMA")
+        # An empty VMA list is a zero-page address space (legal: a
+        # process may exist without resident memory); scans over it see
+        # empty windows that always report a completed pass.
         ordered = sorted(vmas, key=lambda v: v.start_vpn)
         for prev, cur in zip(ordered, ordered[1:]):
             if cur.start_vpn < prev.end_vpn:
@@ -49,15 +50,18 @@ class AddressSpace:
                 )
         self.vmas = ordered
         self._scan_cursor = 0  # index into the flattened page sequence
-        self._flat_cache: np.ndarray = np.concatenate(
-            [np.arange(v.start_vpn, v.end_vpn) for v in self.vmas]
-        )
+        if ordered:
+            self._flat_cache: np.ndarray = np.concatenate(
+                [np.arange(v.start_vpn, v.end_vpn) for v in self.vmas]
+            )
+        else:
+            self._flat_cache = np.empty(0, dtype=np.int64)
 
     @classmethod
     def linear(cls, n_pages: int) -> "AddressSpace":
         """A single VMA covering ``[0, n_pages)`` -- the common case for the
         synthetic workloads."""
-        return cls([VMArea(0, n_pages)])
+        return cls([VMArea(0, n_pages)] if n_pages > 0 else [])
 
     @property
     def total_pages(self) -> int:

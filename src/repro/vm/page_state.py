@@ -40,11 +40,12 @@ full O(pages) recount.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 import numpy as np
 
 from repro.mem.tier import FAST_TIER, SLOW_TIER
+from repro.sim.jit import ledger_fold
 
 NO_TIMESTAMP: int = -1
 
@@ -75,8 +76,11 @@ class PageState:
     MOVE_LOG_CAP_ENTRIES: int = 4_096
 
     def __init__(self, n_pages: int) -> None:
-        if n_pages <= 0:
-            raise ValueError("a process needs at least one page")
+        # Zero pages is legal (an empty arena segment: the process exists
+        # but generates no memory traffic); only negative sizes are
+        # nonsense.
+        if n_pages < 0:
+            raise ValueError("page count cannot be negative")
         self.n_pages = int(n_pages)
         self.tier = np.full(n_pages, SLOW_TIER, dtype=np.int8)
         self.prot_none = np.zeros(n_pages, dtype=bool)
@@ -99,6 +103,14 @@ class PageState:
         #: distribution array merge into one run
         self._pending: List[List[Any]] = []
         self._flush_buf: Optional[np.ndarray] = None
+        #: optional external ledger feeder (the cross-process arena keeps
+        #: one concatenated run list for the whole fleet): invoked at the
+        #: top of every flush to drain this process's share of any arena
+        #: runs into ``_pending`` first, so consumers stay exact without
+        #: knowing the arena exists.  The second callable reports whether
+        #: the source still holds undrained accesses for this process.
+        self._ledger_source: Optional[Callable[[], None]] = None
+        self._ledger_source_pending: Optional[Callable[[], bool]] = None
         #: optional :class:`repro.harness.profiling.Profiler`; when set,
         #: ledger flushes charge their wall time to the ``accounting``
         #: section (wired by ``Kernel.register_process``)
@@ -150,10 +162,27 @@ class PageState:
         else:
             pending.append([probs, float(n_accesses)])
 
+    def set_ledger_source(
+        self,
+        drain: Optional[Callable[[], None]],
+        has_pending: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Attach (or detach, with ``None``) an external ledger feeder.
+
+        Used by the cross-process arena: its concatenated run list is
+        drained into this process's ``_pending`` ledger lazily, the first
+        time a consumer reads the counters.
+        """
+        self._ledger_source = drain
+        self._ledger_source_pending = has_pending
+
     @property
     def has_pending_accesses(self) -> bool:
         """True when ledger entries await materialisation."""
-        return bool(self._pending)
+        if self._pending:
+            return True
+        pending = self._ledger_source_pending
+        return pending is not None and pending()
 
     def flush_accounting(self) -> None:
         """Materialise the pending ledger into both counters.
@@ -163,6 +192,9 @@ class PageState:
         quantum -- so a flush after ``k`` same-distribution quanta does
         the work once instead of ``k`` times.
         """
+        source = self._ledger_source
+        if source is not None:
+            source()
         if not self._pending:
             return
         profiler = self.profiler
@@ -175,9 +207,13 @@ class PageState:
                     self.n_pages, dtype=np.float64
                 )
             for probs, n_accesses in self._pending:
-                np.multiply(probs, n_accesses, out=buf)
-                self._access_count += buf
-                self._last_window_count += buf
+                ledger_fold(
+                    probs,
+                    n_accesses,
+                    self._access_count,
+                    self._last_window_count,
+                    buf,
+                )
             self._pending.clear()
         finally:
             if profiler is not None:
@@ -186,7 +222,7 @@ class PageState:
     @property
     def access_count(self) -> np.ndarray:
         """Lifetime ground-truth access counts (flushes the ledger)."""
-        if self._pending:
+        if self._pending or self._ledger_source is not None:
             self.flush_accounting()
         return self._access_count
 
@@ -197,7 +233,7 @@ class PageState:
     @property
     def last_window_count(self) -> np.ndarray:
         """Per-window ground-truth access counts (flushes the ledger)."""
-        if self._pending:
+        if self._pending or self._ledger_source is not None:
             self.flush_accounting()
         return self._last_window_count
 
@@ -235,6 +271,8 @@ class PageState:
 
     def fast_page_fraction(self) -> float:
         """The paper's "DRAM page percentage" for this process."""
+        if self.n_pages == 0:
+            return 0.0
         return self.count_in_tier(FAST_TIER) / self.n_pages
 
     # ------------------------------------------------------------------

@@ -1,0 +1,122 @@
+"""The optional ``CHRONO_JIT`` kernels and their numpy fallbacks.
+
+``repro.sim.jit`` resolves its kernel set lazily from the environment:
+numpy is always the default and the reference; ``CHRONO_JIT=1`` swaps
+in numba versions only when numba is importable, and degrades silently
+to numpy when it is not (numba is never a required dependency).  When
+the numba kernels are active they must be bit-identical to the numpy
+path -- the ledger fold and the fault-partition bisect sit on the
+engine's equivalence-gated trajectory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import jit
+
+try:
+    import numba  # noqa: F401
+
+    HAVE_NUMBA = True
+except ImportError:
+    HAVE_NUMBA = False
+
+
+@pytest.fixture(autouse=True)
+def _clean_resolution(monkeypatch):
+    """Each test resolves the flag from its own environment."""
+    jit.reset()
+    yield
+    jit.reset()
+
+
+def sample_run(rng, n_pages=257):
+    probs = rng.random(n_pages)
+    probs /= probs.sum()
+    access = rng.random(n_pages) * 100.0
+    window = rng.random(n_pages) * 10.0
+    return probs, access, window
+
+
+class TestNumpyDefault:
+    def test_flag_unset_uses_numpy(self, monkeypatch):
+        monkeypatch.delenv("CHRONO_JIT", raising=False)
+        assert not jit.jit_enabled()
+
+    def test_flag_zero_uses_numpy(self, monkeypatch):
+        monkeypatch.setenv("CHRONO_JIT", "0")
+        assert not jit.jit_enabled()
+
+    def test_ledger_fold_accumulates_both_counters(self, monkeypatch):
+        monkeypatch.delenv("CHRONO_JIT", raising=False)
+        rng = np.random.default_rng(0)
+        probs, access, window = sample_run(rng)
+        base_access, base_window = access.copy(), window.copy()
+        buf = np.empty_like(probs)
+        jit.ledger_fold(probs, 50.0, access, window, buf)
+        np.testing.assert_array_equal(access, base_access + probs * 50.0)
+        np.testing.assert_array_equal(window, base_window + probs * 50.0)
+
+    def test_searchsorted_right_matches_numpy_contract(self, monkeypatch):
+        monkeypatch.delenv("CHRONO_JIT", raising=False)
+        cdf = np.array([0.1, 0.4, 0.4, 0.9, 1.0])
+        values = np.array([0.0, 0.1, 0.4, 0.95, 1.0])
+        np.testing.assert_array_equal(
+            jit.searchsorted_right(cdf, values),
+            np.searchsorted(cdf, values, side="right"),
+        )
+
+
+class TestGracefulDegradation:
+    @pytest.mark.skipif(
+        HAVE_NUMBA, reason="degradation path needs numba absent"
+    )
+    def test_flag_without_numba_falls_back_to_numpy(self, monkeypatch):
+        """CHRONO_JIT=1 on a machine without numba must not raise and
+        must leave the numpy kernels active."""
+        monkeypatch.setenv("CHRONO_JIT", "1")
+        assert not jit.jit_enabled()
+        rng = np.random.default_rng(1)
+        probs, access, window = sample_run(rng)
+        jit.ledger_fold(probs, 10.0, access, window, np.empty_like(probs))
+
+    def test_reset_rereads_environment(self, monkeypatch):
+        monkeypatch.setenv("CHRONO_JIT", "0")
+        assert not jit.jit_enabled()
+        monkeypatch.setenv("CHRONO_JIT", "1")
+        # Cached resolution: the flag change is invisible until reset.
+        assert not jit.jit_enabled()
+        jit.reset()
+        assert jit.jit_enabled() == HAVE_NUMBA
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+class TestNumbaBitIdentity:
+    """Active only when numba is importable (CI runs the suite once
+    with CHRONO_JIT=1 when it is); the compiled kernels must reproduce
+    the numpy results bit for bit."""
+
+    def test_ledger_fold_bit_identical(self, monkeypatch):
+        rng = np.random.default_rng(2)
+        probs, access, window = sample_run(rng, n_pages=4_099)
+        buf = np.empty_like(probs)
+        ref_access, ref_window = access.copy(), window.copy()
+        monkeypatch.setenv("CHRONO_JIT", "0")
+        jit.ledger_fold(probs, 123.456, ref_access, ref_window, buf)
+        jit.reset()
+        monkeypatch.setenv("CHRONO_JIT", "1")
+        assert jit.jit_enabled()
+        jit.ledger_fold(probs, 123.456, access, window, buf)
+        np.testing.assert_array_equal(access, ref_access)
+        np.testing.assert_array_equal(window, ref_window)
+
+    def test_searchsorted_right_bit_identical(self, monkeypatch):
+        rng = np.random.default_rng(3)
+        cdf = np.cumsum(rng.random(1_000))
+        values = rng.random(10_000) * float(cdf[-1]) * 1.05
+        monkeypatch.setenv("CHRONO_JIT", "1")
+        assert jit.jit_enabled()
+        np.testing.assert_array_equal(
+            jit.searchsorted_right(cdf, values),
+            np.searchsorted(cdf, values, side="right"),
+        )

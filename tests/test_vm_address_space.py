@@ -32,9 +32,15 @@ class TestAddressSpace:
         with pytest.raises(ValueError):
             AddressSpace([VMArea(0, 10), VMArea(5, 15)])
 
-    def test_rejects_empty(self):
-        with pytest.raises(ValueError):
-            AddressSpace([])
+    def test_empty_space_is_legal(self):
+        """A zero-page process has an empty address space: scans see
+        empty windows that always complete a pass."""
+        aspace = AddressSpace([])
+        assert aspace.total_pages == 0
+        assert aspace.all_vpns().size == 0
+        window, wrapped = aspace.next_scan_window(16)
+        assert window.size == 0
+        assert wrapped
 
     def test_sorts_vmas(self):
         aspace = AddressSpace([VMArea(10, 20), VMArea(0, 5)])

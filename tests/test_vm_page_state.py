@@ -16,9 +16,15 @@ class TestConstruction:
         assert (pages.scan_ts_ns == NO_TIMESTAMP).all()
         assert (pages.tier == SLOW_TIER).all()
 
-    def test_rejects_empty(self):
+    def test_zero_pages_is_legal(self):
+        """A zero-page process (an empty arena segment) is valid; only
+        negative sizes are rejected."""
+        pages = PageState(0)
+        assert pages.n_pages == 0
+        assert pages.fast_page_fraction() == 0.0
+        assert pages.protected_pages().size == 0
         with pytest.raises(ValueError):
-            PageState(0)
+            PageState(-1)
 
 
 class TestProtection:
