@@ -1,6 +1,6 @@
 """Command-line interface: ``chrono-sim``.
 
-Six subcommands:
+Seven subcommands:
 
 * ``chrono-sim run`` -- one experiment (policy x workload), printing the
   headline metrics (optionally as JSON).  ``--profile`` adds
@@ -16,6 +16,10 @@ Six subcommands:
 * ``chrono-sim sweep`` -- a (policy x seed) grid through the parallel
   sweep layer with result caching; ``--progress`` streams per-cell
   timing and an ETA as cells complete.
+* ``chrono-sim tournament`` -- every registered tiering system across
+  several workload families, scored against per-workload all-DRAM
+  reference runs and ranked by geomean slowdown; prints the
+  leaderboard and writes a JSON artifact.
 * ``chrono-sim policies`` -- the available tiering systems and the
   Table 1 characteristics.
 * ``chrono-sim defaults`` -- Chrono's Table 2 parameter defaults.
@@ -33,6 +37,7 @@ from typing import List, Optional
 
 from repro.harness.experiments import (
     EVALUATED_POLICIES,
+    TOURNAMENT_POLICIES,
     StandardSetup,
     build_fleet,
     policy_comparison_cells,
@@ -170,6 +175,57 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_sweep_args(sweep_p)
+
+    tour_p = sub.add_parser(
+        "tournament",
+        help="rank every tiering system across workload families "
+        "against all-DRAM references",
+    )
+    tour_p.add_argument(
+        "--policies", nargs="+", default=list(TOURNAMENT_POLICIES),
+        choices=policy_names(), metavar="POLICY",
+        help="policies to rank (default: all 12 distinct systems)",
+    )
+    tour_p.add_argument(
+        "--workloads", nargs="+", metavar="WORKLOAD",
+        default=["pmbench", "graph500", "memcached"],
+        choices=WORKLOADS,
+        help="workload families (default: pmbench graph500 memcached)",
+    )
+    tour_p.add_argument(
+        "--seeds", type=int, nargs="+", default=[0], metavar="SEED",
+        help="seeds per (policy, workload) cell (default: 0)",
+    )
+    tour_p.add_argument("--duration", type=float, default=60.0,
+                        help="simulated seconds per cell (default: 60)")
+    tour_p.add_argument("--fast-pages", type=int, default=4_096,
+                        help="fast-tier capacity (default: 4096)")
+    tour_p.add_argument("--slow-pages", type=int, default=32_768,
+                        help="slow-tier capacity (default: 32768)")
+    tour_p.add_argument("--page-scale", type=int, default=64,
+                        help="real pages per simulated page (default: 64)")
+    tour_p.add_argument(
+        "--no-fusion", action="store_true",
+        help="disable event-horizon quantum fusion in every cell",
+    )
+    tour_p.add_argument(
+        "--no-arena", action="store_true",
+        help="disable cross-process arena stepping in every cell",
+    )
+    tour_p.add_argument(
+        "--out", metavar="FILE", default="tournament.json",
+        help="leaderboard JSON artifact path (default: "
+        "tournament.json)",
+    )
+    tour_p.add_argument(
+        "--json", action="store_true",
+        help="print the JSON artifact to stdout instead of the table",
+    )
+    tour_p.add_argument(
+        "--progress", action="store_true",
+        help="stream one line per completed cell to stderr",
+    )
+    _add_sweep_args(tour_p)
 
     sub.add_parser("policies", help="list policies and Table 1")
     sub.add_parser("defaults", help="print Chrono's Table 2 defaults")
@@ -607,6 +663,49 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_tournament(args) -> int:
+    """Run the cross-policy tournament and print the leaderboard."""
+    from repro.harness.tournament import run_tournament
+
+    jobs = _resolve_jobs(args.jobs)
+    setup_kwargs = dict(
+        fast_pages=args.fast_pages,
+        slow_pages=args.slow_pages,
+        page_scale=args.page_scale,
+        duration_ns=int(args.duration * SECOND),
+    )
+
+    def progress(result, done, total) -> None:
+        cell = result.cell
+        label = cell.label or cell.policy
+        print(
+            f"[{done:>{len(str(total))}}/{total}] "
+            f"{label:<12} {cell.workload:<10} seed={cell.seed:<3} "
+            f"{result.wall_sec:7.2f}s {result.source}",
+            file=sys.stderr,
+        )
+
+    result = run_tournament(
+        policies=args.policies,
+        workloads=args.workloads,
+        seeds=args.seeds,
+        jobs=jobs,
+        use_cache=not args.no_cache,
+        share_tables=not args.no_shm,
+        setup_kwargs=setup_kwargs,
+        config_overrides=_config_overrides(args),
+        progress=progress if args.progress else None,
+    )
+    result.write_json(args.out)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.render())
+        print()
+        print(f"leaderboard JSON written to {args.out}")
+    return 0
+
+
 def cmd_policies(_args) -> int:
     """List the available policies and the Table 1 characteristics."""
     print("Available policies:", ", ".join(policy_names()))
@@ -633,6 +732,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": cmd_trace,
         "compare": cmd_compare,
         "sweep": cmd_sweep,
+        "tournament": cmd_tournament,
         "policies": cmd_policies,
         "defaults": cmd_defaults,
     }

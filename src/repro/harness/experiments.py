@@ -53,6 +53,24 @@ EVALUATED_POLICIES = (
     "chrono",
 )
 
+#: every distinct tiering system the tournament ranks (the Chrono
+#: ablation variants are deliberately excluded -- they answer a
+#: different question than the cross-system leaderboard)
+TOURNAMENT_POLICIES = (
+    "linux-nb",
+    "autotiering",
+    "multiclock",
+    "tpp",
+    "memtis",
+    "telescope",
+    "flexmem",
+    "nomad",
+    "tierbpf",
+    "arms",
+    "jenga",
+    "chrono",
+)
+
 
 @dataclass
 class StandardSetup:
@@ -147,6 +165,32 @@ class StandardSetup:
             # The paper's fixed 200 ms window, scaled with the 12x scan
             # period compression.
             kwargs = dict(window_ns=50 * MILLISECOND, region_fanout=8)
+        elif name == "nomad":
+            kwargs = dict(
+                **scan,
+                # Reconcile a few times per tune period so shadow state
+                # tracks the compressed migration cadence.
+                reconcile_period_ns=self.tune_period_ns // 4,
+            )
+        elif name == "tierbpf":
+            kwargs = dict(
+                **scan,
+                # Candidates must pay back within one scan round at the
+                # compressed time scale.
+                payback_horizon_ns=self.scan_period_ns,
+            )
+        elif name == "arms":
+            kwargs = dict(
+                **scan,
+                initial_threshold_ns=self.tpp_hint_latency_ns,
+                tune_period_ns=self.tune_period_ns,
+            )
+        elif name == "jenga":
+            kwargs = dict(
+                **scan,
+                refractory_ns=2 * self.aging_period_ns,
+                demote_period_ns=self.aging_period_ns,
+            )
         else:
             kwargs = {}
         kwargs.update(overrides)

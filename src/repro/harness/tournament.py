@@ -1,0 +1,409 @@
+"""Cross-policy x cross-workload tiering tournament.
+
+The tournament answers the question the policy layer exists for: *which
+tiering system wins where, and by how much?*  It drives the declarative
+sweep layer (:mod:`repro.harness.sweep`) over every registered tiering
+system x a set of workload families x seeds, plus one **all-DRAM
+reference** run per (workload, seed) -- the same fleet with a fast tier
+large enough to hold the entire working set, so no tiering decision can
+help or hurt.  Each policy cell is then scored as
+
+    slowdown = reference_throughput / policy_throughput
+
+(1.0 = as fast as all-DRAM; bigger is worse), and policies are ranked by
+the **geometric mean** slowdown across every cell -- the standard
+cross-benchmark aggregate, insensitive to which workload runs more
+operations in absolute terms.
+
+The leaderboard also carries the migration traffic (promoted/demoted
+pages) and hint-fault counts behind each score, because two policies
+with the same slowdown are not equivalent if one moves 10x the pages to
+get there.
+
+Everything runs through :func:`repro.harness.sweep.iter_cells`, so
+tournament cells are parallel, cached, deduplicated, and shared-memory
+fed exactly like any other sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.experiments import (
+    TOURNAMENT_POLICIES,
+    StandardSetup,
+    build_fleet,
+)
+from repro.harness.reporting import format_table
+from repro.harness.sweep import CellResult, SweepCell, iter_cells
+
+#: policy label used for the all-DRAM reference cells
+REFERENCE_LABEL = "all-dram"
+
+#: default workload families (three distinct access-pattern shapes)
+DEFAULT_WORKLOADS = ("pmbench", "graph500", "memcached")
+
+#: free fast-tier headroom the reference machine keeps above the
+#: working set, so watermark logic never triggers on the reference
+_REFERENCE_HEADROOM_PAGES = 1_024
+
+
+@dataclass
+class TournamentRow:
+    """One leaderboard entry (a policy aggregated over all its cells)."""
+
+    policy: str
+    geomean_slowdown: float
+    #: workload family -> mean slowdown over that family's seeds
+    slowdowns: Dict[str, float]
+    promoted_pages: float
+    demoted_pages: float
+    hint_faults: float
+    fmar: float
+    kernel_time_fraction: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible copy of the row."""
+        return {
+            "policy": self.policy,
+            "geomean_slowdown": self.geomean_slowdown,
+            "slowdowns": dict(self.slowdowns),
+            "promoted_pages": self.promoted_pages,
+            "demoted_pages": self.demoted_pages,
+            "hint_faults": self.hint_faults,
+            "fmar": self.fmar,
+            "kernel_time_fraction": self.kernel_time_fraction,
+        }
+
+
+@dataclass
+class TournamentResult:
+    """The finished tournament: leaderboard plus per-cell detail."""
+
+    policies: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    #: best (lowest geomean slowdown) first
+    leaderboard: List[TournamentRow]
+    #: "workload:seed" -> reference throughput (ops/sec)
+    references: Dict[str, float]
+    #: per-cell detail rows (policy cells only)
+    cells: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def winner(self) -> str:
+        """The policy with the best geomean slowdown."""
+        return self.leaderboard[0].policy
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible copy of the whole result."""
+        return {
+            "policies": list(self.policies),
+            "workloads": list(self.workloads),
+            "seeds": list(self.seeds),
+            "references": dict(self.references),
+            "leaderboard": [row.to_dict() for row in self.leaderboard],
+            "cells": [dict(cell) for cell in self.cells],
+        }
+
+    def write_json(self, path: str) -> None:
+        """Write the JSON artifact."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    def render(self) -> str:
+        """The terminal leaderboard table."""
+        headers = ["rank", "policy", "geomean"]
+        headers += list(self.workloads)
+        headers += ["promoted", "demoted", "faults", "FMAR %"]
+        rows = []
+        for rank, row in enumerate(self.leaderboard, start=1):
+            rows.append(
+                [
+                    rank,
+                    row.policy,
+                    row.geomean_slowdown,
+                    *(
+                        row.slowdowns.get(workload, float("nan"))
+                        for workload in self.workloads
+                    ),
+                    row.promoted_pages,
+                    row.demoted_pages,
+                    row.hint_faults,
+                    100.0 * row.fmar,
+                ]
+            )
+        title = (
+            f"tiering tournament: {len(self.policies)} policies x "
+            f"{len(self.workloads)} workloads x {len(self.seeds)} "
+            "seed(s); slowdown vs all-DRAM (1.0 = DRAM-speed, lower "
+            "is better)"
+        )
+        return format_table(headers, rows, title=title)
+
+
+def _reference_key(workload: str, seed: int) -> str:
+    return f"{workload}:{seed}"
+
+
+def reference_cell(
+    workload: str,
+    seed: int,
+    setup_kwargs: Optional[Dict[str, Any]] = None,
+    workload_kwargs: Optional[Dict[str, Any]] = None,
+    config_overrides: Optional[Dict[str, Any]] = None,
+) -> SweepCell:
+    """The all-DRAM reference cell for one (workload, seed).
+
+    The reference machine's fast tier is sized to the whole working set
+    plus headroom, so the fleet starts and stays DRAM-resident; the
+    policy is ``linux-nb``, which never migrates a page that is already
+    fast.  Everything else matches the policy cells exactly.
+    """
+    setup_kwargs = dict(setup_kwargs or {})
+    workload_kwargs = dict(workload_kwargs or {})
+    probe = StandardSetup(seed=seed, **setup_kwargs)
+    fleet = build_fleet(probe, workload, **workload_kwargs)
+    total_pages = sum(process.n_pages for process in fleet)
+    setup_kwargs["fast_pages"] = total_pages + _REFERENCE_HEADROOM_PAGES
+    return SweepCell(
+        policy="linux-nb",
+        workload=workload,
+        seed=seed,
+        workload_kwargs=workload_kwargs,
+        setup_kwargs=setup_kwargs,
+        config_overrides=dict(config_overrides or {}),
+        label=REFERENCE_LABEL,
+    )
+
+
+def tournament_cells(
+    policies: Sequence[str] = TOURNAMENT_POLICIES,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    seeds: Sequence[int] = (0,),
+    setup_kwargs: Optional[Dict[str, Any]] = None,
+    workload_kwargs: Optional[Dict[str, Dict[str, Any]]] = None,
+    config_overrides: Optional[Dict[str, Any]] = None,
+) -> List[SweepCell]:
+    """The full tournament grid: references first, then policy cells.
+
+    ``workload_kwargs`` maps a workload family to its fleet-builder
+    kwargs (families have different knobs, so one flat dict would not
+    do).
+    """
+    per_workload = workload_kwargs or {}
+    cells: List[SweepCell] = []
+    for workload in workloads:
+        for seed in seeds:
+            cells.append(
+                reference_cell(
+                    workload,
+                    seed,
+                    setup_kwargs=setup_kwargs,
+                    workload_kwargs=per_workload.get(workload),
+                    config_overrides=config_overrides,
+                )
+            )
+    for workload in workloads:
+        for seed in seeds:
+            for policy in policies:
+                cells.append(
+                    SweepCell(
+                        policy=policy,
+                        workload=workload,
+                        seed=seed,
+                        workload_kwargs=dict(
+                            per_workload.get(workload) or {}
+                        ),
+                        setup_kwargs=dict(setup_kwargs or {}),
+                        config_overrides=dict(config_overrides or {}),
+                        label=policy,
+                    )
+                )
+    return cells
+
+
+def _geomean(values: Sequence[float]) -> float:
+    """Geometric mean (empty input -> nan, to rank last)."""
+    finite = [v for v in values if v > 0 and math.isfinite(v)]
+    if not finite:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in finite) / len(finite))
+
+
+def run_tournament(
+    policies: Sequence[str] = TOURNAMENT_POLICIES,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    seeds: Sequence[int] = (0,),
+    jobs: int = 1,
+    use_cache: bool = True,
+    share_tables: Optional[bool] = None,
+    setup_kwargs: Optional[Dict[str, Any]] = None,
+    workload_kwargs: Optional[Dict[str, Dict[str, Any]]] = None,
+    config_overrides: Optional[Dict[str, Any]] = None,
+    obs=None,
+    progress: Optional[Callable[[CellResult, int, int], None]] = None,
+) -> TournamentResult:
+    """Run the tournament and assemble the leaderboard.
+
+    Args:
+        policies / workloads / seeds: the grid axes.
+        jobs / use_cache / share_tables: forwarded to
+            :func:`repro.harness.sweep.iter_cells`.
+        setup_kwargs: :class:`StandardSetup` overrides for every cell
+            (the reference cells override ``fast_pages`` on top).
+        workload_kwargs: per-family fleet-builder kwargs.
+        config_overrides: :class:`~repro.harness.runner.RunConfig`
+            overrides for every cell.
+        obs: optional :class:`~repro.obs.hub.ObsHub` receiving
+            ``tournament.*`` events/metrics (and the sweep layer's own
+            ``sweep.*`` instrumentation).
+        progress: optional callback ``(cell_result, done, total)``
+            invoked as each cell completes.
+    """
+    if not policies:
+        raise ValueError("tournament needs at least one policy")
+    if not workloads or not seeds:
+        raise ValueError("tournament needs workloads and seeds")
+    cells = tournament_cells(
+        policies=policies,
+        workloads=workloads,
+        seeds=seeds,
+        setup_kwargs=setup_kwargs,
+        workload_kwargs=workload_kwargs,
+        config_overrides=config_overrides,
+    )
+    start_ns = time.perf_counter_ns()
+    results: List[Optional[CellResult]] = [None] * len(cells)
+    done = 0
+    for result in iter_cells(
+        cells,
+        jobs=jobs,
+        use_cache=use_cache,
+        share_tables=share_tables,
+        obs=obs,
+    ):
+        results[result.index] = result
+        done += 1
+        if progress is not None:
+            progress(result, done, len(cells))
+
+    # References first in the grid, so the scoring pass below can
+    # resolve every policy cell against its (workload, seed) reference.
+    references: Dict[str, float] = {}
+    n_refs = len(workloads) * len(seeds)
+    for result in results[:n_refs]:
+        cell = result.cell
+        references[_reference_key(cell.workload, cell.seed)] = (
+            result.summary.throughput_per_sec
+        )
+        if obs is not None:
+            obs.inc("tournament.cells_run")
+            obs.emit(
+                "tournament.cell",
+                time.perf_counter_ns() - start_ns,
+                policy=REFERENCE_LABEL,
+                workload=cell.workload,
+                seed=cell.seed,
+                slowdown=0.0,
+            )
+
+    per_policy: Dict[str, List[Dict[str, Any]]] = {
+        policy: [] for policy in policies
+    }
+    cell_rows: List[Dict[str, Any]] = []
+    for result in results[n_refs:]:
+        cell = result.cell
+        summary = result.summary
+        reference = references[_reference_key(cell.workload, cell.seed)]
+        slowdown = (
+            reference / summary.throughput_per_sec
+            if summary.throughput_per_sec
+            else float("inf")
+        )
+        row = {
+            "policy": cell.policy,
+            "workload": cell.workload,
+            "seed": cell.seed,
+            "slowdown": slowdown,
+            "throughput_per_sec": summary.throughput_per_sec,
+            "fmar": summary.fmar,
+            "kernel_time_fraction": summary.kernel_time_fraction,
+            "promoted_pages": summary.stats["pgpromote"],
+            "demoted_pages": summary.stats["pgdemote"],
+            "hint_faults": summary.stats["hint_faults"],
+        }
+        per_policy[cell.policy].append(row)
+        cell_rows.append(row)
+        if obs is not None:
+            obs.inc("tournament.cells_run")
+            obs.emit(
+                "tournament.cell",
+                time.perf_counter_ns() - start_ns,
+                policy=cell.policy,
+                workload=cell.workload,
+                seed=cell.seed,
+                slowdown=slowdown,
+            )
+
+    leaderboard: List[TournamentRow] = []
+    for policy in policies:
+        rows = per_policy[policy]
+        slowdowns: Dict[str, float] = {}
+        for workload in workloads:
+            family = [
+                r["slowdown"] for r in rows if r["workload"] == workload
+            ]
+            slowdowns[workload] = (
+                sum(family) / len(family) if family else float("nan")
+            )
+        n = max(len(rows), 1)
+        leaderboard.append(
+            TournamentRow(
+                policy=policy,
+                geomean_slowdown=_geomean(
+                    [r["slowdown"] for r in rows]
+                ),
+                slowdowns=slowdowns,
+                promoted_pages=sum(
+                    r["promoted_pages"] for r in rows
+                ) / n,
+                demoted_pages=sum(r["demoted_pages"] for r in rows) / n,
+                hint_faults=sum(r["hint_faults"] for r in rows) / n,
+                fmar=sum(r["fmar"] for r in rows) / n,
+                kernel_time_fraction=sum(
+                    r["kernel_time_fraction"] for r in rows
+                ) / n,
+            )
+        )
+    leaderboard.sort(
+        key=lambda row: (
+            math.isnan(row.geomean_slowdown),
+            row.geomean_slowdown,
+        )
+    )
+
+    tournament = TournamentResult(
+        policies=tuple(policies),
+        workloads=tuple(workloads),
+        seeds=tuple(seeds),
+        leaderboard=leaderboard,
+        references=references,
+        cells=cell_rows,
+    )
+    if obs is not None:
+        obs.inc("tournament.policies_ranked", len(leaderboard))
+        obs.emit(
+            "tournament.complete",
+            time.perf_counter_ns() - start_ns,
+            n_policies=len(policies),
+            n_workloads=len(workloads),
+            n_cells=len(cells),
+            winner=tournament.winner,
+        )
+    return tournament

@@ -315,6 +315,41 @@ EVENT_SCHEMA: Dict[str, EventSpec] = {
             ),
         ),
         EventSpec(
+            name="tournament.cell",
+            module="repro.harness.tournament",
+            description=(
+                "One tournament cell (policy x workload x seed, or an "
+                "all-DRAM reference run) produced its summary.  Harness "
+                "scope: 't' is host nanoseconds since the tournament "
+                "started."
+            ),
+            fields=_fields(
+                policy=("id", "cell policy name ('all-dram' for refs)"),
+                workload=("id", "cell workload family"),
+                seed=("id", "cell seed"),
+                slowdown=(
+                    "ratio",
+                    "runtime relative to the matching all-DRAM "
+                    "reference (0 for reference cells)",
+                ),
+            ),
+        ),
+        EventSpec(
+            name="tournament.complete",
+            module="repro.harness.tournament",
+            description=(
+                "The tournament finished and the leaderboard was "
+                "assembled.  Harness scope: 't' is host nanoseconds "
+                "since the tournament started."
+            ),
+            fields=_fields(
+                n_policies=("count", "policies ranked"),
+                n_workloads=("count", "workload families covered"),
+                n_cells=("count", "cells contributing (refs included)"),
+                winner=("id", "policy with the best geomean slowdown"),
+            ),
+        ),
+        EventSpec(
             name="engine.quantum",
             module="repro.harness.engine",
             description=(

@@ -149,6 +149,47 @@ METRIC_CATALOGUE: Dict[str, MetricSpec] = {
         _spec("chrono.rate_limit_pages_per_sec", "gauge", "pages/s",
               "repro.core.policy",
               "current effective promotion rate limit."),
+        # -- rival policies ---------------------------------------------
+        _spec("nomad.aborted_pages", "counter", "pages",
+              "repro.policies.nomad",
+              "transactional promotions aborted by a write during the "
+              "copy window (the copy cost is wasted)."),
+        _spec("nomad.shadow_released", "counter", "pages",
+              "repro.policies.nomad",
+              "shadow frames released by reconciliation (write "
+              "invalidation, zero-copy demotion, pressure reclaim)."),
+        _spec("nomad.shadow_pages", "gauge", "pages",
+              "repro.policies.nomad",
+              "slow-tier frames currently held by live shadow copies."),
+        _spec("tierbpf.admitted_pages", "counter", "pages",
+              "repro.policies.tierbpf",
+              "promotion candidates that passed the payback admission "
+              "test and were migrated."),
+        _spec("tierbpf.rejected_pages", "counter", "pages",
+              "repro.policies.tierbpf",
+              "promotion candidates rejected and requeued by the "
+              "admission test."),
+        _spec("arms.drift_resets", "counter", "count",
+              "repro.policies.arms",
+              "drift-detector firings that reset the tuned threshold."),
+        _spec("arms.threshold_ns", "gauge", "ns",
+              "repro.policies.arms",
+              "current feedback-tuned promotion threshold."),
+        _spec("jenga.damped_pages", "counter", "pages",
+              "repro.policies.jenga",
+              "promotion candidates blocked by the refractory window "
+              "or history damping."),
+        _spec("jenga.damping_factor", "gauge", "ratio",
+              "repro.policies.jenga",
+              "current promotion-budget multiplier (1 = no recent "
+              "demotion pressure)."),
+        # -- tournament -------------------------------------------------
+        _spec("tournament.cells_run", "counter", "count",
+              "repro.harness.tournament",
+              "tournament cells executed or served from cache."),
+        _spec("tournament.policies_ranked", "counter", "count",
+              "repro.harness.tournament",
+              "policies that produced a complete leaderboard row."),
         # -- LRU aging --------------------------------------------------
         _spec("aging.passes", "counter", "count", "repro.kernel.kernel",
               "per-process LRU reference-bit aging passes."),

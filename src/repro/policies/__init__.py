@@ -15,31 +15,47 @@ migrations, and adjust watermarks -- nothing else.  The baselines:
   watermark-driven proactive demotion.
 * :class:`MemtisPolicy` -- PEBS sampling into a cooling histogram with
   capacity-ratio classification, huge-page granularity by default.
+* :class:`NomadPolicy` -- transactional migration with abort-on-write
+  and non-exclusive shadow-copy residency.
+* :class:`TierBPFPolicy` -- payback-predicting migration admission
+  control with reject-and-requeue.
+* :class:`ARMSPolicy` -- feedback-tuned thresholds with drift-triggered
+  resets.
+* :class:`JengaPolicy` -- thrash-free promotion damped by recent
+  demotion history and refractory windows.
 """
 
+from repro.policies.arms import ARMSPolicy
 from repro.policies.autotiering import AutoTieringPolicy
 from repro.policies.base import TieringPolicy
 from repro.policies.flexmem import FlexMemPolicy
+from repro.policies.jenga import JengaPolicy
 from repro.policies.linux_nb import LinuxNUMABalancing
 from repro.policies.memtis import MemtisPolicy
 from repro.policies.multiclock import MultiClockPolicy
+from repro.policies.nomad import NomadPolicy
 from repro.policies.registry import (
     POLICY_CHARACTERISTICS,
     make_policy,
     policy_names,
 )
 from repro.policies.telescope import TelescopePolicy
+from repro.policies.tierbpf import TierBPFPolicy
 from repro.policies.tpp import TPPPolicy
 
 __all__ = [
+    "ARMSPolicy",
     "AutoTieringPolicy",
     "FlexMemPolicy",
+    "JengaPolicy",
     "TelescopePolicy",
     "LinuxNUMABalancing",
     "MemtisPolicy",
     "MultiClockPolicy",
+    "NomadPolicy",
     "POLICY_CHARACTERISTICS",
     "TPPPolicy",
+    "TierBPFPolicy",
     "TieringPolicy",
     "make_policy",
     "policy_names",

@@ -75,6 +75,7 @@ class AutoTieringPolicy(TieringPolicy):
         self.rate_limiter.bind(kernel)
 
     def start(self) -> None:
+        """Schedule the background-demotion (BD) thread."""
         kernel = self._require_kernel()
         kernel.scheduler.schedule(
             kernel.clock.now + self.demote_period_ns,
@@ -104,6 +105,7 @@ class AutoTieringPolicy(TieringPolicy):
         self._require_kernel().stats.kernel_time_ns += cost
 
     def on_fault(self, process, batch) -> None:
+        """Record LAP bits and run opportunistic promotion (OPM)."""
         kernel = self._require_kernel()
         lap = self.lap_vector(process)
         lap[batch.vpns] |= 1

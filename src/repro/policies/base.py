@@ -35,6 +35,7 @@ class PromotionRateLimiter:
     """
 
     def __init__(self, rate_mbps: float) -> None:
+        """Create an unbound limiter with a real-MB/s budget."""
         if rate_mbps <= 0:
             raise ValueError("rate limit must be positive")
         self.rate_mbps = float(rate_mbps)
@@ -99,6 +100,7 @@ class TieringPolicy(ABC):
     max_fusion_quanta: Optional[int] = None
 
     def __init__(self) -> None:
+        """Create the policy unattached (see :meth:`attach`)."""
         self.kernel: Optional["Kernel"] = None
 
     def attach(self, kernel: "Kernel") -> None:
@@ -142,4 +144,5 @@ class TieringPolicy(ABC):
         return self.kernel
 
     def __repr__(self) -> str:
+        """Class name plus the canonical policy name."""
         return f"{type(self).__name__}(name={self.name!r})"

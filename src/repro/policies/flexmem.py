@@ -44,6 +44,7 @@ class FlexMemPolicy(MemtisPolicy):
         promote_rate_limit_mbps: float = 256.0,
         **memtis_kwargs,
     ) -> None:
+        """Create the policy; extra kwargs configure the Memtis base."""
         super().__init__(**memtis_kwargs)
         if hint_fault_latency_ns <= 0:
             raise ValueError("hint fault latency must be positive")
@@ -62,8 +63,11 @@ class FlexMemPolicy(MemtisPolicy):
         self.rate_limiter.bind(kernel)
 
     def on_fault(self, process, batch) -> None:
-        """The timely path: promote fast-faulting, already-sampled pages
-        at huge-region granularity."""
+        """Run the timely path.
+
+        Promotes fast-faulting, already-sampled pages at huge-region
+        granularity.
+        """
         kernel = self._require_kernel()
         pages = process.pages
         slow_sel = pages.tier[batch.vpns] == SLOW_TIER

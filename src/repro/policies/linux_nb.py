@@ -41,6 +41,7 @@ class LinuxNUMABalancing(TieringPolicy):
         scan_step_pages: int = 65_536,
         promote_rate_limit_mbps: float = 256.0,
     ) -> None:
+        """Create the policy with tiering-mode scan and rate knobs."""
         super().__init__()
         # Tiering mode scans only the slow tier: hint faults exist to
         # find promotion candidates, and CPU-less nodes need no locality
@@ -58,6 +59,7 @@ class LinuxNUMABalancing(TieringPolicy):
         self.rate_limiter.bind(kernel)
 
     def on_fault(self, process, batch) -> None:
+        """Promote every rate-limited slow-tier fault (MRU order)."""
         kernel = self._require_kernel()
         vpns = batch.vpns
         slow = vpns[process.pages.tier[vpns] == SLOW_TIER]

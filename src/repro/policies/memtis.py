@@ -133,6 +133,7 @@ class MemtisPolicy(TieringPolicy):
         self.sampler.obs = kernel.obs
 
     def start(self) -> None:
+        """Schedule the classification (ksampled) tick."""
         kernel = self._require_kernel()
         kernel.scheduler.schedule(
             kernel.clock.now + self.classify_period_ns,
@@ -141,6 +142,7 @@ class MemtisPolicy(TieringPolicy):
         )
 
     def state(self, process) -> _ProcState:
+        """This process's sampling state (create on first use)."""
         if process.pid not in self._state:
             groups = n_huge_pages(process.n_pages, self.hp_pages)
             split_all = self.page_granularity == "base"
@@ -339,8 +341,10 @@ class MemtisPolicy(TieringPolicy):
                 budget -= 1
 
     def bloat_ratio(self, process) -> float:
-        """Fast-tier residency over the truly hot footprint (the paper's
-        memory-bloat metric)."""
+        """Fast-tier residency over the truly hot footprint.
+
+        This is the paper's memory-bloat metric.
+        """
         from repro.vm.hugepage import bloat_ratio as _bloat
 
         resident = process.pages.count_in_tier(FAST_TIER)

@@ -71,8 +71,11 @@ class MultiClockPolicy(TieringPolicy):
         return self._levels[process.pid]
 
     def on_lru_age(self, process, touched: np.ndarray, now_ns: int) -> None:
-        """One clock-hand sweep: bump referenced pages, decay the rest,
-        then migrate from the list extremes."""
+        """Run one clock-hand sweep.
+
+        Bumps referenced pages, decays the rest, then migrates from the
+        list extremes.
+        """
         kernel = self._require_kernel()
         levels = self.levels(process)
         levels[touched] = np.minimum(levels[touched] + 1, self.n_levels - 1)

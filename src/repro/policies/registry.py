@@ -10,13 +10,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
+from repro.policies.arms import ARMSPolicy
 from repro.policies.autotiering import AutoTieringPolicy
 from repro.policies.base import TieringPolicy
 from repro.policies.flexmem import FlexMemPolicy
+from repro.policies.jenga import JengaPolicy
 from repro.policies.linux_nb import LinuxNUMABalancing
 from repro.policies.memtis import MemtisPolicy
 from repro.policies.multiclock import MultiClockPolicy
+from repro.policies.nomad import NomadPolicy
 from repro.policies.telescope import TelescopePolicy
+from repro.policies.tierbpf import TierBPFPolicy
 from repro.policies.tpp import TPPPolicy
 
 
@@ -32,6 +36,10 @@ class PolicyTraits:
 
 
 POLICY_CHARACTERISTICS: List[PolicyTraits] = [
+    PolicyTraits(
+        "Linux-NB", "System-wide", "Page fault (MRU)",
+        "0~1 access/min", "Base page",
+    ),
     PolicyTraits(
         "Auto-Tiering", "System-wide", "Page-fault counters",
         "0~1 access/min", "Base page",
@@ -57,6 +65,22 @@ POLICY_CHARACTERISTICS: List[PolicyTraits] = [
         "0~10 access/sec", "Huge page",
     ),
     PolicyTraits(
+        "Nomad", "System-wide", "Transactional migration",
+        "0~2 access/min", "Base page",
+    ),
+    PolicyTraits(
+        "TierBPF", "System-wide", "Payback admission control",
+        "0~2 access/min", "Base page",
+    ),
+    PolicyTraits(
+        "ARMS", "System-wide", "Drift-tuned thresholds",
+        "0~2 access/min", "Base page",
+    ),
+    PolicyTraits(
+        "Jenga", "System-wide", "Demotion-damped faults",
+        "0~2 access/min", "Base page",
+    ),
+    PolicyTraits(
         "Chrono [Ours]", "System-wide", "Dynamic CIT stats",
         "0~1000 access/sec", "Base page",
     ),
@@ -64,14 +88,17 @@ POLICY_CHARACTERISTICS: List[PolicyTraits] = [
 
 
 def _chrono_factory(**kwargs) -> TieringPolicy:
-    # Imported lazily: repro.core imports repro.policies.base.
+    """Build the full Chrono policy (lazy import: core imports base)."""
     from repro.core.policy import ChronoPolicy
 
     return ChronoPolicy(**kwargs)
 
 
 def _chrono_variant_factory(variant: str) -> Callable[..., TieringPolicy]:
+    """Return a factory building the named Chrono ablation variant."""
+
     def factory(**kwargs) -> TieringPolicy:
+        """Build the captured Chrono variant."""
         from repro.core.policy import make_chrono_variant
 
         return make_chrono_variant(variant, **kwargs)
@@ -87,6 +114,10 @@ _FACTORIES: Dict[str, Callable[..., TieringPolicy]] = {
     "memtis": MemtisPolicy,
     "telescope": TelescopePolicy,
     "flexmem": FlexMemPolicy,
+    "nomad": NomadPolicy,
+    "tierbpf": TierBPFPolicy,
+    "arms": ARMSPolicy,
+    "jenga": JengaPolicy,
     "chrono": _chrono_factory,
     "chrono-basic": _chrono_variant_factory("basic"),
     "chrono-twice": _chrono_variant_factory("twice"),

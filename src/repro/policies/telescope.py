@@ -92,6 +92,7 @@ class TelescopePolicy(TieringPolicy):
         self.rate_limiter.bind(kernel)
 
     def start(self) -> None:
+        """Schedule the profiling-window tick."""
         kernel = self._require_kernel()
         kernel.scheduler.schedule(
             kernel.clock.now + self.window_ns,

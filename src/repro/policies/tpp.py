@@ -73,6 +73,7 @@ class TPPPolicy(TieringPolicy):
         self.rate_limiter.bind(kernel)
 
     def on_fault(self, process, batch) -> None:
+        """Promote slow-tier faults whose CIT beats the static cutoff."""
         kernel = self._require_kernel()
         pages = process.pages
         slow_sel = pages.tier[batch.vpns] == SLOW_TIER

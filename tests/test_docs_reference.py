@@ -21,6 +21,7 @@ from repro.obs.metrics import METRIC_CATALOGUE, metric_names
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_PATH = REPO_ROOT / "docs" / "OBSERVABILITY.md"
 OBS_SRC = REPO_ROOT / "src" / "repro" / "obs"
+POLICY_SRC = REPO_ROOT / "src" / "repro" / "policies"
 
 #: backticked names in the doc that look like catalogue entries
 _DOTTED_NAME = re.compile(r"`([a-z_]+\.[a-z_]+)`")
@@ -116,6 +117,45 @@ class TestMetricCoverage:
         )
 
 
+class TestPolicyDocCoverage:
+    """``docs/POLICIES.md`` documents exactly the registered policies."""
+
+    @pytest.fixture(scope="class")
+    def policies_doc(self):
+        """The policy reference document."""
+        path = REPO_ROOT / "docs" / "POLICIES.md"
+        assert path.exists(), "docs/POLICIES.md is missing"
+        return path.read_text(encoding="utf-8")
+
+    @pytest.fixture(scope="class")
+    def doc_sections(self, policies_doc):
+        """Names carrying a ``### `name``` section in the document."""
+        return re.findall(r"^### `([a-z0-9-]+)`$", policies_doc, re.M)
+
+    def test_every_policy_has_a_section(self, doc_sections):
+        from repro.policies.registry import policy_names
+
+        missing = sorted(set(policy_names()) - set(doc_sections))
+        assert not missing, (
+            f"policies missing from docs/POLICIES.md: {missing}"
+        )
+
+    def test_every_section_names_a_policy(self, doc_sections):
+        from repro.policies.registry import policy_names
+
+        stale = sorted(set(doc_sections) - set(policy_names()))
+        assert not stale, (
+            f"docs/POLICIES.md documents unregistered policies: {stale}"
+        )
+
+    def test_sections_are_unique(self, doc_sections):
+        assert len(doc_sections) == len(set(doc_sections))
+
+    def test_linked_from_readme(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "docs/POLICIES.md" in readme
+
+
 class TestObsDocstrings:
     """Every public definition in repro.obs carries a docstring."""
 
@@ -149,3 +189,10 @@ class TestObsDocstrings:
         for path in sorted(OBS_SRC.glob("*.py")):
             missing.extend(self._undocumented(path))
         assert not missing, f"undocumented public APIs: {missing}"
+
+    def test_all_public_policy_defs_documented(self):
+        """The pydocstyle gate also covers ``src/repro/policies/``."""
+        missing = []
+        for path in sorted(POLICY_SRC.glob("*.py")):
+            missing.extend(self._undocumented(path))
+        assert not missing, f"undocumented policy APIs: {missing}"

@@ -32,6 +32,10 @@ ALL_POLICIES = [
     "memtis",
     "telescope",
     "chrono",
+    "nomad",
+    "tierbpf",
+    "arms",
+    "jenga",
 ]
 
 

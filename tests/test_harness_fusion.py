@@ -27,6 +27,10 @@ ALL_POLICIES = [
     "memtis",
     "telescope",
     "chrono",
+    "nomad",
+    "tierbpf",
+    "arms",
+    "jenga",
 ]
 
 

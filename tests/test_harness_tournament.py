@@ -1,0 +1,149 @@
+"""Tests for the cross-policy tournament harness."""
+
+import json
+import math
+
+import pytest
+
+from repro.harness.tournament import (
+    REFERENCE_LABEL,
+    _geomean,
+    reference_cell,
+    run_tournament,
+    tournament_cells,
+)
+from repro.obs import ObsHub
+from repro.sim.timeunits import SECOND
+
+#: small-but-real cell parameters shared by the end-to-end tests
+SETUP = {"duration_ns": 2 * SECOND, "fast_pages": 256}
+WORKLOAD_KWARGS = {
+    "pmbench": {"n_procs": 1, "pages_per_proc": 512},
+}
+
+
+class TestGeomean:
+    def test_known_values(self):
+        assert _geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert _geomean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(_geomean([]))
+
+    def test_non_finite_dropped(self):
+        assert _geomean([4.0, float("inf"), -1.0]) == pytest.approx(4.0)
+        assert math.isnan(_geomean([float("nan"), 0.0]))
+
+
+class TestGrid:
+    def test_references_come_first(self):
+        cells = tournament_cells(
+            policies=("linux-nb", "tpp"),
+            workloads=("pmbench",),
+            seeds=(0, 1),
+            setup_kwargs=SETUP,
+            workload_kwargs=WORKLOAD_KWARGS,
+        )
+        assert len(cells) == 2 + 2 * 2  # refs + policies x seeds
+        refs, rest = cells[:2], cells[2:]
+        assert all(c.label == REFERENCE_LABEL for c in refs)
+        assert all(c.label == c.policy for c in rest)
+        assert {c.seed for c in refs} == {0, 1}
+
+    def test_reference_machine_holds_working_set(self):
+        cell = reference_cell(
+            "pmbench",
+            seed=0,
+            setup_kwargs=SETUP,
+            workload_kwargs=WORKLOAD_KWARGS["pmbench"],
+        )
+        assert cell.policy == "linux-nb"
+        assert cell.label == REFERENCE_LABEL
+        # 512 working-set pages + the reference headroom
+        assert cell.setup_kwargs["fast_pages"] == 512 + 1024
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            run_tournament(policies=())
+        with pytest.raises(ValueError):
+            run_tournament(workloads=())
+        with pytest.raises(ValueError):
+            run_tournament(seeds=())
+
+
+class TestRunTournament:
+    @pytest.fixture(scope="class")
+    def result(self):
+        self.progress_calls = []
+        return run_tournament(
+            policies=("linux-nb", "jenga"),
+            workloads=("pmbench",),
+            seeds=(0,),
+            use_cache=False,
+            setup_kwargs=SETUP,
+            workload_kwargs=WORKLOAD_KWARGS,
+        )
+
+    def test_leaderboard_shape(self, result):
+        assert len(result.leaderboard) == 2
+        assert {row.policy for row in result.leaderboard} == {
+            "linux-nb",
+            "jenga",
+        }
+        geomeans = [r.geomean_slowdown for r in result.leaderboard]
+        assert geomeans == sorted(geomeans)
+        assert result.winner == result.leaderboard[0].policy
+
+    def test_slowdowns_are_sane(self, result):
+        """Tiered runs cannot meaningfully beat the all-DRAM machine."""
+        assert result.references["pmbench:0"] > 0
+        for row in result.leaderboard:
+            assert row.geomean_slowdown > 0.9
+            assert math.isfinite(row.geomean_slowdown)
+            assert row.slowdowns["pmbench"] == pytest.approx(
+                row.geomean_slowdown
+            )
+
+    def test_cells_carry_traffic_detail(self, result):
+        assert len(result.cells) == 2
+        for cell in result.cells:
+            assert cell["workload"] == "pmbench"
+            assert cell["promoted_pages"] >= 0
+            assert cell["hint_faults"] >= 0
+
+    def test_render_mentions_every_policy(self, result):
+        table = result.render()
+        assert "jenga" in table
+        assert "linux-nb" in table
+        assert "pmbench" in table
+
+    def test_json_roundtrip(self, result, tmp_path):
+        path = tmp_path / "tournament.json"
+        result.write_json(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["policies"] == ["linux-nb", "jenga"]
+        assert loaded["leaderboard"][0]["policy"] == result.winner
+        assert len(loaded["cells"]) == 2
+
+
+class TestObservability:
+    def test_counters_and_progress(self):
+        hub = ObsHub.create(metrics=True)
+        calls = []
+        result = run_tournament(
+            policies=("linux-nb",),
+            workloads=("pmbench",),
+            seeds=(0,),
+            use_cache=False,
+            setup_kwargs=SETUP,
+            workload_kwargs=WORKLOAD_KWARGS,
+            obs=hub,
+            progress=lambda cell, done, total: calls.append(
+                (done, total)
+            ),
+        )
+        counters = hub.snapshot()["counters"]
+        assert counters["tournament.cells_run"] == 2  # ref + 1 policy
+        assert counters["tournament.policies_ranked"] == 1
+        assert calls == [(1, 2), (2, 2)]
+        assert result.winner == "linux-nb"

@@ -1,0 +1,324 @@
+"""Tests for the rival policies: Nomad, TierBPF, ARMS, and Jenga.
+
+Also pins the 12-row characteristics table (the extended Table 1) with
+an exact snapshot, so a row edit or reorder is a deliberate act.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mem.tier import FAST_TIER, SLOW_TIER
+from repro.policies import (
+    ARMSPolicy,
+    JengaPolicy,
+    NomadPolicy,
+    TierBPFPolicy,
+)
+from repro.policies.registry import (
+    POLICY_CHARACTERISTICS,
+    characteristics_table,
+)
+from repro.sim.timeunits import SECOND
+from repro.vm.fault import FaultBatch
+from tests.conftest import make_kernel, make_process
+
+
+def attach(policy, fast_pages=256, slow_pages=768, n_pages=128,
+           **workload_kwargs):
+    kernel = make_kernel(fast_pages=fast_pages, slow_pages=slow_pages)
+    process = make_process(n_pages=n_pages, **workload_kwargs)
+    kernel.register_process(process)
+    kernel.allocate_initial_placement()
+    kernel.set_policy(policy)
+    # Fill the promotion token bucket (bound empty at attach time).
+    kernel.clock.advance(SECOND)
+    return kernel, process
+
+
+def make_slow(kernel, process, n):
+    """Demote the first ``n`` fast pages; return their vpns."""
+    fast = np.flatnonzero(process.pages.tier == FAST_TIER)
+    vpns = fast[:n]
+    moved = kernel.migration.migrate(process, vpns, SLOW_TIER)
+    assert moved.size == n
+    return vpns
+
+
+def fault_batch(process, vpns, cits=None, now=SECOND):
+    vpns = np.asarray(vpns, dtype=np.int64)
+    if cits is None:
+        cits = np.full(vpns.size, 100, dtype=np.int64)
+    return FaultBatch(
+        pid=process.pid,
+        vpns=vpns,
+        fault_ts_ns=np.full(vpns.size, now, dtype=np.int64),
+        cit_ns=np.asarray(cits, dtype=np.int64),
+    )
+
+
+class TestCharacteristicsTable:
+    EXPECTED = [
+        "Solution       Type           Migration Criterion        "
+        "Effective Frequency Scale  Default Page Size",
+        "-------------  -------------  -------------------------  "
+        "-------------------------  -----------------",
+        "Linux-NB       System-wide    Page fault (MRU)           "
+        "0~1 access/min             Base page",
+        "Auto-Tiering   System-wide    Page-fault counters        "
+        "0~1 access/min             Base page",
+        "Multi-Clock    System-wide    Multi-level LRU lists      "
+        "0~1 access/min             Base page",
+        "Telescope      System-wide    Tree-structured PTE bits   "
+        "0~5 access/sec             Base page",
+        "TPP            System-wide    Page-fault + LRU lists     "
+        "0~2 access/min             Base page",
+        "Memtis         Process level  PEBS stats + Ratio config  "
+        "0~10 access/sec            Huge page",
+        "FlexMem        Process level  PEBS stats + Page fault    "
+        "0~10 access/sec            Huge page",
+        "Nomad          System-wide    Transactional migration    "
+        "0~2 access/min             Base page",
+        "TierBPF        System-wide    Payback admission control  "
+        "0~2 access/min             Base page",
+        "ARMS           System-wide    Drift-tuned thresholds     "
+        "0~2 access/min             Base page",
+        "Jenga          System-wide    Demotion-damped faults     "
+        "0~2 access/min             Base page",
+        "Chrono [Ours]  System-wide    Dynamic CIT stats          "
+        "0~1000 access/sec          Base page",
+    ]
+
+    def test_twelve_rows(self):
+        assert len(POLICY_CHARACTERISTICS) == 12
+
+    def test_snapshot(self):
+        """The rendered table matches line for line (padding aside)."""
+        lines = [
+            line.rstrip()
+            for line in characteristics_table().splitlines()
+        ]
+        assert lines == self.EXPECTED
+
+    def test_chrono_is_last(self):
+        assert POLICY_CHARACTERISTICS[-1].solution == "Chrono [Ours]"
+
+
+class TestNomad:
+    def test_all_writes_abort_everything(self):
+        """write_fraction=1 with a wide copy window aborts every
+        transaction: full cost charged, nothing promoted."""
+        policy = NomadPolicy(abort_window_ns=SECOND)
+        kernel, process = attach(policy, write_fraction=1.0)
+        vpns = make_slow(kernel, process, 8)
+        policy.on_fault(process, fault_batch(process, vpns, cits=[100] * 8))
+        assert policy.aborted_pages == 8
+        assert policy.committed_pages == 0
+        assert np.all(process.pages.tier[vpns] == SLOW_TIER)
+        assert kernel.stats.migration_time_ns > 0
+
+    def test_commit_takes_shadow_frames(self):
+        """A read-only workload commits every transaction; the released
+        source frames are re-taken as shadows (non-exclusive residency),
+        so slow-tier occupancy does not drop."""
+        policy = NomadPolicy()
+        kernel, process = attach(policy, write_fraction=0.0)
+        vpns = make_slow(kernel, process, 8)
+        free_before = kernel.machine.slow.free_pages
+        policy.on_fault(process, fault_batch(process, vpns))
+        assert policy.committed_pages == 8
+        assert policy.aborted_pages == 0
+        assert np.all(process.pages.tier[vpns] == FAST_TIER)
+        assert policy.shadow_mask(process).sum() == 8
+        # promote released 8 slow frames, shadows re-took all 8
+        assert kernel.machine.slow.free_pages == free_before
+
+    def test_reconcile_credits_zero_copy_demotions(self):
+        """A shadowed page demoted back to the slow tier frees its
+        shadow frame at the next reconcile pass (the zero-copy path)."""
+        policy = NomadPolicy()
+        kernel, process = attach(policy, write_fraction=0.0)
+        vpns = make_slow(kernel, process, 8)
+        policy.on_fault(process, fault_batch(process, vpns))
+        kernel.migration.migrate(process, vpns, SLOW_TIER)
+        free_before = kernel.machine.slow.free_pages
+        policy._reconcile(kernel.clock.now)
+        assert policy.shadow_free_demotions == 8
+        assert policy.shadow_mask(process).sum() == 0
+        assert kernel.machine.slow.free_pages == free_before + 8
+
+    def test_reconcile_reclaims_under_pressure(self):
+        """When slow-tier free pages dip below the reserve, shadows are
+        reclaimed first."""
+        policy = NomadPolicy()
+        kernel, process = attach(policy, write_fraction=0.0)
+        vpns = make_slow(kernel, process, 8)
+        policy.on_fault(process, fault_batch(process, vpns))
+        assert policy.shadow_mask(process).sum() == 8
+        policy.shadow_reserve_pages = (
+            kernel.machine.slow.free_pages + 4
+        )
+        policy._reconcile(kernel.clock.now)
+        assert policy.shadow_mask(process).sum() == 4
+
+    def test_abort_probability_increases_with_heat(self):
+        policy = NomadPolicy(abort_window_ns=1000)
+        attach(policy, write_fraction=0.5)
+        window = float(policy.abort_window_ns)
+        hot = 0.5 * -np.expm1(-window / 100.0)
+        cold = 0.5 * -np.expm1(-window / 1e9)
+        assert hot > cold
+
+
+class TestTierBPF:
+    def test_hot_pages_admitted(self):
+        """A tiny CIT predicts enough re-accesses to amortize the copy:
+        the page is admitted and its requeue debt cleared."""
+        policy = TierBPFPolicy()
+        kernel, process = attach(policy)
+        vpns = make_slow(kernel, process, 4)
+        policy.rejection_counts(process)[vpns] = 3
+        policy.on_fault(process, fault_batch(process, vpns, cits=[1] * 4))
+        assert policy.admitted_pages == 4
+        assert np.all(process.pages.tier[vpns] == FAST_TIER)
+        assert np.all(policy.rejection_counts(process)[vpns] == 0)
+
+    def test_cold_pages_rejected_and_requeued(self):
+        """A CIT as long as the payback horizon prices the benefit at
+        one access's latency gain -- far below the migration cost."""
+        policy = TierBPFPolicy(requeue_boost=0.0)
+        kernel, process = attach(policy)
+        assert policy._gain_per_access_ns < policy._cost_per_page_ns
+        vpns = make_slow(kernel, process, 4)
+        cold = [policy.payback_horizon_ns] * 4
+        policy.on_fault(process, fault_batch(process, vpns, cits=cold))
+        assert policy.rejected_pages == 4
+        assert np.all(process.pages.tier[vpns] == SLOW_TIER)
+        assert np.all(policy.rejection_counts(process)[vpns] == 1)
+
+    def test_requeue_boost_eventually_admits(self):
+        """Each rejection is fresh evidence: with a large boost the
+        second fault of the same page passes the admission test."""
+        policy = TierBPFPolicy(requeue_boost=1e9)
+        kernel, process = attach(policy)
+        vpns = make_slow(kernel, process, 2)
+        cold = [policy.payback_horizon_ns] * 2
+        policy.on_fault(process, fault_batch(process, vpns, cits=cold))
+        assert policy.rejected_pages == 2
+        policy.on_fault(process, fault_batch(process, vpns, cits=cold))
+        assert policy.admitted_pages == 2
+        assert np.all(process.pages.tier[vpns] == FAST_TIER)
+
+    def test_rejection_counter_capped(self):
+        policy = TierBPFPolicy(requeue_boost=0.0, max_requeues=2)
+        kernel, process = attach(policy)
+        vpns = make_slow(kernel, process, 2)
+        cold = [policy.payback_horizon_ns] * 2
+        for _ in range(5):
+            policy.on_fault(
+                process, fault_batch(process, vpns, cits=cold)
+            )
+        assert np.all(policy.rejection_counts(process)[vpns] == 2)
+
+
+class TestARMS:
+    def test_threshold_gates_promotion(self):
+        policy = ARMSPolicy(initial_threshold_ns=1000)
+        kernel, process = attach(policy)
+        vpns = make_slow(kernel, process, 2)
+        policy.on_fault(
+            process, fault_batch(process, vpns, cits=[100, 5000])
+        )
+        assert process.pages.tier[vpns[0]] == FAST_TIER
+        assert process.pages.tier[vpns[1]] == SLOW_TIER
+
+    def test_drift_resets_threshold(self):
+        """A fault-rate step larger than drift_ratio x the long-horizon
+        EWMA restores the initial threshold instead of walking there."""
+        policy = ARMSPolicy(initial_threshold_ns=1000)
+        kernel, _ = attach(policy)
+        policy._faults_since_tune = 100
+        policy._tune(kernel.clock.now)  # seeds both EWMAs
+        policy.tuner.threshold_ns = 123.0  # drifted operating point
+        policy._faults_since_tune = 100_000
+        policy._tune(kernel.clock.now)
+        assert policy.drift_resets == 1
+        assert policy.threshold_ns == 1000.0
+
+    def test_steady_rate_tunes_instead(self):
+        """Without drift the multiplicative controller walks the
+        threshold -- no reset, threshold moves off its initial value."""
+        policy = ARMSPolicy(initial_threshold_ns=1000)
+        kernel, _ = attach(policy)
+        policy._faults_since_tune = 100
+        policy._tune(kernel.clock.now)
+        policy._faults_since_tune = 100
+        policy._tune(kernel.clock.now)
+        assert policy.drift_resets == 0
+        assert policy.threshold_ns != 1000.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            ARMSPolicy(short_alpha=0.1, long_alpha=0.5)
+
+
+class TestJenga:
+    def test_refractory_window_blocks_repromotion(self):
+        policy = JengaPolicy(refractory_ns=10 * SECOND)
+        kernel, process = attach(policy)
+        vpns = make_slow(kernel, process, 4)
+        policy.last_demote_ns(process)[vpns] = kernel.clock.now
+        policy.on_fault(process, fault_batch(process, vpns))
+        assert policy.damped_pages == 4
+        assert np.all(process.pages.tier[vpns] == SLOW_TIER)
+
+    def test_demotion_pressure_damps_promotion(self):
+        """Heavy recent demotion traffic shrinks the admissible share
+        of a fault batch toward (but never to) zero."""
+        policy = JengaPolicy()
+        kernel, process = attach(policy)
+        policy.recent_demotions = 1e12
+        assert policy.damping_factor() < 1e-6
+        vpns = make_slow(kernel, process, 8)
+        policy.on_fault(process, fault_batch(process, vpns))
+        # ceil keeps one page admissible even under extreme pressure
+        assert policy.damped_pages == 7
+        assert np.count_nonzero(
+            process.pages.tier[vpns] == FAST_TIER
+        ) == 1
+
+    def test_quiet_history_promotes_eagerly(self):
+        policy = JengaPolicy()
+        kernel, process = attach(policy)
+        assert policy.damping_factor() == 1.0
+        vpns = make_slow(kernel, process, 8)
+        policy.on_fault(process, fault_batch(process, vpns))
+        assert policy.damped_pages == 0
+        assert np.all(process.pages.tier[vpns] == FAST_TIER)
+
+    def test_background_pass_demotes_toward_headroom(self):
+        policy = JengaPolicy(demote_batch_pages=8)
+        kernel, process = attach(policy)
+        policy.headroom_pages = kernel.machine.fast.free_pages + 8
+        fast_before = np.count_nonzero(
+            process.pages.tier == FAST_TIER
+        )
+        policy._background_pass(kernel.clock.now)
+        fast_after = np.count_nonzero(process.pages.tier == FAST_TIER)
+        assert fast_after == fast_before - 8
+        assert policy.recent_demotions == 8.0
+        demoted = np.flatnonzero(
+            np.isfinite(policy.last_demote_ns(process))
+        )
+        assert demoted.size == 8
+
+    def test_background_pass_demotes_coldest_first(self):
+        policy = JengaPolicy(demote_batch_pages=4)
+        kernel, process = attach(policy)
+        policy.headroom_pages = kernel.machine.fast.free_pages + 4
+        heat = policy.heat(process)
+        fast = np.flatnonzero(process.pages.tier == FAST_TIER)
+        heat[fast] = 10.0
+        cold = fast[:4]
+        heat[cold] = 0.0
+        policy._background_pass(kernel.clock.now)
+        assert np.all(process.pages.tier[cold] == SLOW_TIER)
