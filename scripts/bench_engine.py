@@ -25,10 +25,27 @@ reporting quanta/sec both ways, the fusion ratio, and the speedup.
 The arena section times cross-process arena stepping (one batched
 array program per quantum; see ``docs/SIMULATION.md``) against the
 per-process fast path (``arena=False``) on a stepping-bound fleet
-config: 96 small processes with the kernel daemons quiesced (very
-long scan period) and fusion off in both modes, so the gap is pure
-per-quantum stepping cost.  The speedup must clear
-``ARENA_SPEEDUP_FLOOR``.
+config: 96 small processes at a fine 5 ms quantum (a 250 Hz kernel
+tick) with the kernel daemons *live* at the testbed's realistic
+periods (5 s Ticking scan, 1 s aging), fusion off in both modes.
+The arena is never quiesced: scan, aging, migration, and reclaim
+windows all run through the batched fleet passes, so the measured
+gap is per-quantum stepping cost under real transient load.  The
+speedup must clear ``ARENA_SPEEDUP_FLOOR``.
+
+The tournament section times the full registered-policy roster (all
+12 Table 1 policies) on one phase-changing ``shifting-hotspot``
+workload, reporting per-policy wall seconds plus aggregate
+cells/sec -- the end-to-end cost of a cross-policy comparison run.
+
+Sections that cannot be measured honestly on the current host are
+skipped with a warning: a 1-CPU host skips the worker-pool ladder
+and the warm-vs-cold comparison (pool rungs there only time
+scheduler churn).  Skipped sections are carried forward from the
+committed baseline -- but only when the baseline's provenance sha
+matches HEAD.  A stale baseline (different sha) is refused unless
+``--allow-stale`` is passed, in which case the carried section is
+annotated with the sha it came from.
 
 The full run also sweeps a page-count ladder (4 K -> 5.2 M pages per
 process, two processes, 10.5 M pages total at the top rung) to chart
@@ -94,7 +111,7 @@ from repro.harness.sweep import (  # noqa: E402
 )
 from repro.kernel.kernel import Kernel  # noqa: E402
 from repro.sim.rng import RngStreams  # noqa: E402
-from repro.sim.timeunits import SECOND  # noqa: E402
+from repro.sim.timeunits import MILLISECOND, SECOND  # noqa: E402
 from repro.workloads import reset_table_cache  # noqa: E402
 
 #: --quick fails when quanta/sec falls below this fraction of the
@@ -126,22 +143,26 @@ FUSION_PROCS = 4
 FUSION_PAGES = 2_048
 
 #: stepping-bound fleet config for the arena section: many small
-#: processes, kernel daemons quiesced (the scan period far exceeds the
-#: run), fusion off in both modes -- so the arena-vs-per-process gap
-#: is pure per-quantum stepping cost, not shared daemon work.
+#: processes at a fine 5 ms quantum (a 250 Hz kernel tick), kernel
+#: daemons *live* at the testbed's realistic periods (5 s Ticking
+#: scan, 1 s aging), fusion off in both modes.  The arena is never
+#: quiesced -- scan, aging, migration, and reclaim windows all run
+#: through the batched fleet passes -- so the arena-vs-per-process
+#: gap is per-quantum stepping cost under real transient load.
 ARENA_POLICY = "linux-nb"
 ARENA_PROCS = 96
 ARENA_PAGES = 256
 ARENA_FAST_PAGES = 8_192
 ARENA_SLOW_PAGES = 32_768
-ARENA_SCAN_PERIOD_NS = 1_000 * SECOND
-ARENA_AGING_PERIOD_NS = 10 * SECOND
+ARENA_SCAN_PERIOD_NS = 5 * SECOND
+ARENA_AGING_PERIOD_NS = SECOND
+ARENA_QUANTUM_NS = 5 * MILLISECOND
 ARENA_DURATION_NS = 10 * SECOND
 
 #: --quick floor on the arena-vs-per-process speedup: one batched
 #: array program per quantum must beat the per-process loop by at
-#: least this much at fleet scale.
-ARENA_SPEEDUP_FLOOR = 3.0
+#: least this much at fleet scale, with the daemons live.
+ARENA_SPEEDUP_FLOOR = 2.0
 
 #: --quick arena-throughput floor, as a fraction of the committed
 #: arena section's quanta/sec (host-speed jitter allowance).
@@ -151,6 +172,16 @@ ARENA_GATE_FRACTION = 0.5
 SWEEP_JOBS_LADDER = (1, 2, 4, 8)
 SWEEP_POLICIES = ("linux-nb", "tpp", "memtis", "chrono")
 SWEEP_SEEDS = (0, 1, 2, 3)
+
+#: the full registered roster (Table 1 order) for the tournament
+#: section: every policy on one phase-changing workload, timed
+TOURNAMENT_POLICIES = (
+    "linux-nb", "autotiering", "multiclock", "telescope", "tpp",
+    "memtis", "flexmem", "nomad", "tierbpf", "arms", "jenga", "chrono",
+)
+TOURNAMENT_WORKLOAD = "shifting-hotspot"
+TOURNAMENT_PROCS = 4
+TOURNAMENT_PAGES = 2_048
 
 
 def host_cpus() -> int:
@@ -166,21 +197,26 @@ def host_cpus() -> int:
     return os.cpu_count() or 1
 
 
-def provenance() -> dict:
-    """Where the numbers came from: committed benchmark JSONs are only
-    comparable to runs from a similar host, so every payload records
-    the git SHA, interpreter and numpy versions, the usable CPU count,
-    and a timestamp."""
+def git_head_sha():
+    """HEAD's sha, or ``None`` outside a repo -- the key that decides
+    whether a committed section is comparable to this checkout."""
     try:
-        sha = subprocess.run(
+        return subprocess.run(
             ["git", "rev-parse", "HEAD"],
             cwd=pathlib.Path(__file__).resolve().parent,
             capture_output=True, text=True, timeout=10,
         ).stdout.strip() or None
     except (OSError, subprocess.SubprocessError):
-        sha = None
+        return None
+
+
+def provenance() -> dict:
+    """Where the numbers came from: committed benchmark JSONs are only
+    comparable to runs from a similar host, so every payload records
+    the git SHA, interpreter and numpy versions, the usable CPU count,
+    and a timestamp."""
     return {
-        "git_sha": sha,
+        "git_sha": git_head_sha(),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "host_cpus": host_cpus(),
@@ -370,6 +406,118 @@ def time_warm_vs_cold(duration_ns, n_procs, pages_per_proc):
     }
 
 
+def time_tournament(duration_ns):
+    """Time the full registered-policy roster on one dynamic workload.
+
+    One cold cell per Table 1 policy, all on the same phase-changing
+    ``shifting-hotspot`` fleet and seed, run sequentially at jobs=1 so
+    the per-policy walls are comparable.  This is the end-to-end cost
+    of a cross-policy comparison run: per-policy wall seconds expose
+    which policies dominate it, and aggregate cells/sec tracks the
+    whole roster's throughput over time.
+    """
+    cells = [
+        SweepCell(
+            policy=name,
+            workload=TOURNAMENT_WORKLOAD,
+            seed=0,
+            workload_kwargs={
+                "n_procs": TOURNAMENT_PROCS,
+                "pages_per_proc": TOURNAMENT_PAGES,
+            },
+            setup_kwargs={"duration_ns": duration_ns},
+        )
+        for name in TOURNAMENT_POLICIES
+    ]
+    _reset_sweep_state()
+    rows = []
+    start_all = time.perf_counter()
+    for cell in cells:
+        start = time.perf_counter()
+        run_cell(cell, use_cache=False)
+        rows.append({
+            "policy": cell.policy,
+            "wall_sec": time.perf_counter() - start,
+        })
+    wall = time.perf_counter() - start_all
+    return {
+        "workload": TOURNAMENT_WORKLOAD,
+        "n_cells": len(cells),
+        "n_procs": TOURNAMENT_PROCS,
+        "pages_per_proc": TOURNAMENT_PAGES,
+        "duration_sec": duration_ns / SECOND,
+        "policies": rows,
+        "wall_sec": wall,
+        "cells_per_sec": len(cells) / wall if wall else 0.0,
+    }
+
+
+def print_tournament(section):
+    slowest = max(section["policies"], key=lambda row: row["wall_sec"])
+    print(
+        f"  tournament ({section['n_cells']} policies x "
+        f"{section['workload']}): {section['wall_sec']:.2f}s wall, "
+        f"{section['cells_per_sec']:.2f} cells/sec "
+        f"(slowest: {slowest['policy']} {slowest['wall_sec']:.2f}s)"
+    )
+
+
+def merge_stale_sections(payload, skipped, baseline_path, allow_stale):
+    """Carry committed sections forward for the ones this run skipped.
+
+    A committed section is only comparable to this run when it was
+    produced by the code being benchmarked, so a baseline whose
+    provenance sha differs from HEAD is *stale*: merging it silently
+    would re-stamp old numbers under a new sha.  Stale merges are
+    refused unless ``allow_stale`` is set, in which case the carried
+    section is annotated with the sha and timestamp it came from.
+
+    Returns ``False`` on refusal (the caller should not write the
+    payload); missing baselines or missing sections just leave the
+    skipped sections null.
+    """
+    if not skipped:
+        return True
+    try:
+        baseline = json.loads(pathlib.Path(baseline_path).read_text())
+    except (OSError, ValueError):
+        print(
+            f"  no committed baseline at {baseline_path}; skipped "
+            f"sections stay null: {', '.join(skipped)}"
+        )
+        return True
+    base_prov = baseline.get("provenance") or {}
+    base_sha = base_prov.get("git_sha")
+    head = git_head_sha()
+    stale = base_sha is None or base_sha != head
+    if stale and not allow_stale:
+        print(
+            f"  REFUSED: committed baseline was produced at "
+            f"{(base_sha or 'unknown')[:12]} but HEAD is "
+            f"{(head or 'unknown')[:12]}; skipped sections "
+            f"({', '.join(skipped)}) cannot be merged.  Re-run them on "
+            "a capable host, or pass --allow-stale to carry them "
+            "forward with a staleness annotation"
+        )
+        return False
+    for name in skipped:
+        section = baseline.get(name)
+        if section is None:
+            print(f"  baseline has no '{name}' section; stays null")
+            continue
+        if stale:
+            section = dict(section)
+            section["merged_from"] = {
+                "git_sha": base_sha,
+                "timestamp": base_prov.get("timestamp"),
+                "stale": True,
+            }
+        payload[name] = section
+        origin = "stale baseline" if stale else "baseline at HEAD"
+        print(f"  merged '{name}' section from {origin}")
+    return True
+
+
 def time_fusion(duration_ns, best_of=1):
     """Fused vs per-quantum stepping on the steady-state fusion config.
 
@@ -440,6 +588,7 @@ def arena_setup(duration_ns) -> StandardSetup:
         slow_pages=ARENA_SLOW_PAGES,
         scan_period_ns=ARENA_SCAN_PERIOD_NS,
         aging_period_ns=ARENA_AGING_PERIOD_NS,
+        quantum_ns=ARENA_QUANTUM_NS,
     )
 
 
@@ -492,6 +641,7 @@ def time_arena(duration_ns=ARENA_DURATION_NS, best_of=3):
             "slow_pages": ARENA_SLOW_PAGES,
             "scan_period_sec": ARENA_SCAN_PERIOD_NS / SECOND,
             "aging_period_sec": ARENA_AGING_PERIOD_NS / SECOND,
+            "quantum_ms": ARENA_QUANTUM_NS / MILLISECOND,
             "duration_sec": duration_ns / SECOND,
             "fusion": False,
         },
@@ -517,7 +667,8 @@ def print_arena(section):
     arena = section["arena"]
     per_process = section["per_process"]
     print(
-        f"  arena ({ARENA_POLICY}, pmbench x{ARENA_PROCS}, quiesced): "
+        f"  arena ({ARENA_POLICY}, pmbench x{ARENA_PROCS}, "
+        "daemons live): "
         f"arena {arena['quanta_per_sec']:8.1f} q/s, "
         f"per-process {per_process['quanta_per_sec']:8.1f} q/s, "
         f"speedup {section['speedup']:.2f}x"
@@ -985,7 +1136,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--baseline", default=None,
         help=(
-            "baseline JSON for the --quick gate "
+            "baseline JSON for the --quick gate and for merging "
+            "skipped full-run sections "
             "(default: the repo's committed BENCH_engine.json)"
         ),
     )
@@ -993,18 +1145,26 @@ def main(argv=None) -> int:
         "--skip-scaling", action="store_true",
         help="skip the page-count scaling ladder",
     )
+    parser.add_argument(
+        "--allow-stale", action="store_true",
+        help=(
+            "allow skipped sections to be carried forward from a "
+            "committed baseline whose provenance sha differs from "
+            "HEAD (the carried section is annotated as stale)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.duration is None:
         args.duration = 5.0 if args.quick else 20.0
+    if args.baseline is None:
+        args.baseline = str(
+            pathlib.Path(__file__).resolve().parent.parent
+            / "BENCH_engine.json"
+        )
     if args.quick:
         if args.out is None:
             args.out = "BENCH_engine_quick.json"
-        if args.baseline is None:
-            args.baseline = str(
-                pathlib.Path(__file__).resolve().parent.parent
-                / "BENCH_engine.json"
-            )
         return run_quick_gate(args, pathlib.Path(args.baseline))
     if args.out is None:
         args.out = "BENCH_engine.json"
@@ -1042,26 +1202,40 @@ def main(argv=None) -> int:
     )
     print(f"  speedup: {speedup:.2f}x")
 
-    print(
-        f"  sweep ladder: {len(SWEEP_POLICIES) * len(SWEEP_SEEDS)} "
-        f"cells, jobs {sweep_jobs_ladder()} x shm on/off "
-        f"({host_cpus()} host cpus)"
-    )
-    sweep = time_sweep_ladder(
-        duration_ns // 4,
-        workload_kwargs,
-        SWEEP_POLICIES,
-        SWEEP_SEEDS,
-    )
-    warm_vs_cold = time_warm_vs_cold(
-        duration_ns // 4, n_procs=2, pages_per_proc=args.pages
-    )
-    print(
-        f"  warm vs cold tables (graph500 x{warm_vs_cold['n_cells']}): "
-        f"cold {warm_vs_cold['cold']['wall_sec']:.2f}s, "
-        f"warm {warm_vs_cold['warm']['wall_sec']:.2f}s "
-        f"({warm_vs_cold['speedup']:.2f}x)"
-    )
+    skipped = []
+    sweep = None
+    warm_vs_cold = None
+    if host_cpus() == 1:
+        print(
+            "  WARNING: 1-CPU host; skipping the sweep ladder and "
+            "warm-vs-cold sections (worker-pool rungs here would only "
+            "time scheduler churn, not parallel speedup)"
+        )
+        skipped += ["sweep", "warm_vs_cold"]
+    else:
+        print(
+            f"  sweep ladder: {len(SWEEP_POLICIES) * len(SWEEP_SEEDS)} "
+            f"cells, jobs {sweep_jobs_ladder()} x shm on/off "
+            f"({host_cpus()} host cpus)"
+        )
+        sweep = time_sweep_ladder(
+            duration_ns // 4,
+            workload_kwargs,
+            SWEEP_POLICIES,
+            SWEEP_SEEDS,
+        )
+        warm_vs_cold = time_warm_vs_cold(
+            duration_ns // 4, n_procs=2, pages_per_proc=args.pages
+        )
+        print(
+            "  warm vs cold tables "
+            f"(graph500 x{warm_vs_cold['n_cells']}): "
+            f"cold {warm_vs_cold['cold']['wall_sec']:.2f}s, "
+            f"warm {warm_vs_cold['warm']['wall_sec']:.2f}s "
+            f"({warm_vs_cold['speedup']:.2f}x)"
+        )
+    tournament = time_tournament(duration_ns // 4)
+    print_tournament(tournament)
     fusion = time_fusion(duration_ns)
     print_fusion(fusion)
     arena = time_arena()
@@ -1069,7 +1243,9 @@ def main(argv=None) -> int:
 
     scaling = None
     scaling_ok = True
-    if not args.skip_scaling:
+    if args.skip_scaling:
+        skipped.append("scaling")
+    else:
         scaling, scaling_ok = run_scaling(args.policy)
 
     payload = {
@@ -1092,11 +1268,16 @@ def main(argv=None) -> int:
         "speedup": speedup,
         "sweep": sweep,
         "warm_vs_cold": warm_vs_cold,
+        "tournament": tournament,
         "fusion": fusion,
         "arena": arena,
         "scaling": scaling,
         "profile": optimized["profile"],
     }
+    if not merge_stale_sections(
+        payload, skipped, pathlib.Path(args.baseline), args.allow_stale
+    ):
+        return 1
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"  wrote {out}")

@@ -166,6 +166,23 @@ class ProcessArena:
         #: no-op -- the per-process call loop is skipped entirely)
         self._policy_seen: Any = None
         self._policy_hook = None
+        #: per-segment quantum-stat accumulators (accesses, fast
+        #: accesses, user ns, stall ns).  Multi-segment arenas fold these
+        #: with four vector adds per quantum and flush them into each
+        #: ``SimProcess.stats`` lazily (:meth:`flush_stats`) -- nothing
+        #: reads the per-process copies mid-run.  Single-segment arenas
+        #: keep the per-quantum ``record_accesses`` call so their stat
+        #: rounding stays bit-identical to the per-process path.
+        self._lazy_stats = n_segs > 1
+        self._acc_n = np.zeros(n_segs, dtype=np.float64)
+        self._acc_fast = np.zeros(n_segs, dtype=np.float64)
+        self._acc_user = np.zeros(n_segs, dtype=np.float64)
+        self._acc_stall = np.zeros(n_segs, dtype=np.float64)
+        #: per-segment engine fault buffers, resolved once -- the
+        #: engine's per-pid dict lookup is measurable at fleet size
+        self._seg_buffers = [
+            engine._buffers_for(p) for p in self.processes
+        ]
         self._build_masses()
         self._attach_ledger_sources()
 
@@ -235,9 +252,36 @@ class ProcessArena:
         references into a stale arena (results may outlive the engine,
         e.g. across sweep-worker pickling).
         """
+        self.flush_stats()
         for i, proc in enumerate(self.processes):
             self._drain_seg(i)
             proc.pages.set_ledger_source(None, None)
+
+    def flush_stats(self) -> None:
+        """Fold the lazily accumulated quantum stats into each process.
+
+        Multi-segment arenas defer ``record_accesses`` (see step phases
+        4-6); this folds the running totals in and rearms the
+        accumulators.  Called at teardown, segment retirement, and
+        before an engine observer fires -- every point where per-process
+        stats become externally visible.
+        """
+        if not self._lazy_stats:
+            return
+        acc_n, acc_fast = self._acc_n, self._acc_fast
+        acc_user, acc_stall = self._acc_user, self._acc_stall
+        for i, proc in enumerate(self.processes):
+            if acc_n[i] != 0.0 or acc_user[i] != 0.0:
+                proc.record_accesses(
+                    float(acc_n[i]),
+                    float(acc_fast[i]),
+                    float(acc_user[i]),
+                    float(acc_stall[i]),
+                )
+        acc_n.fill(0.0)
+        acc_fast.fill(0.0)
+        acc_user.fill(0.0)
+        acc_stall.fill(0.0)
 
     # ------------------------------------------------------------------
     # Ledger
@@ -283,11 +327,21 @@ class ProcessArena:
                         )
                         row[new_tier] += float(moved.sum())
                         self.concat_tier[lo + vpns] = np.int8(new_tier)
+                # Replay accumulates rounding error; a tier whose true
+                # mass reached zero can land a few ulps below it, and a
+                # negative mass poisons the demand fold (contention
+                # pricing rejects negative demand).  True mass is
+                # non-negative by construction, so clamping only ever
+                # removes drift.
+                np.maximum(row, 0.0, out=row)
                 self.mass_resync[i] -= len(moves)
                 self.mass_epoch[i] = pages.epoch
                 return
-        # Full recount for this segment (distribution swap, truncated
-        # journal, or drift-bounding resync).
+        self._recount_mass(i, pages, probs)
+
+    def _recount_mass(self, i: int, pages: Any, probs: np.ndarray) -> None:
+        """Full recount for segment ``i`` (distribution swap, truncated
+        journal, or drift-bounding resync)."""
         lo, hi = int(self.seg_starts[i]), int(self.seg_starts[i + 1])
         self.mass[i] = np.bincount(
             pages.tier.astype(np.int64),
@@ -297,6 +351,72 @@ class ProcessArena:
         self.concat_tier[lo:hi] = pages.tier
         self.mass_epoch[i] = pages.epoch
         self.mass_resync[i] = self.engine.MASS_RESYNC_MOVES
+
+    def _repair_mass_many(self, stale: List[Any]) -> None:
+        """Repair several stale segments in one fused journal replay.
+
+        ``stale`` holds ``(i, proc)`` pairs whose ``mass_epoch`` lags
+        their pages' epoch.  A single stale segment delegates to
+        :meth:`_repair_mass` (the bit-identical sequential path -- the
+        only shape single-process arenas can produce).  Otherwise each
+        replayable segment's journal entries fold through the
+        single-source fast path: a migration batch moves pages from one
+        tier, so the replay is two scalar mass updates per entry (probs
+        gathered once from the concatenated copy) instead of a weighted
+        ``bincount`` plus a gather per entry.  Mixed-source entries keep
+        the bincount.  The single-source subtraction rounds as
+        sum-then-subtract where the sequential replay subtracts
+        per-element -- inside the multi-process statistical contract.
+        Segments that cannot replay (distribution swap, truncated
+        journal, resync countdown) full-recount exactly as before.
+        """
+        if len(stale) == 1:
+            i, proc = stale[0]
+            self._repair_mass(i, proc, self.probs_refs[i])
+            return
+        concat_probs = self.concat_probs
+        concat_tier = self.concat_tier
+        seg_starts = self.seg_starts
+        replayed = False
+        for i, proc in stale:
+            pages = proc.pages
+            moves = (
+                pages.moves_since(int(self.mass_epoch[i]))
+                if self.mass_epoch[i] != -1 and self.mass_resync[i] > 0
+                else None
+            )
+            if moves is None or len(moves) > self.mass_resync[i]:
+                self._recount_mass(i, pages, self.probs_refs[i])
+                continue
+            lo = int(seg_starts[i])
+            row = self.mass[i]
+            for _epoch, vpns, old_tiers, new_tier in moves:
+                if vpns.size:
+                    gvpns = lo + vpns
+                    moved = float(concat_probs[gvpns].sum())
+                    first = int(old_tiers[0])
+                    if (old_tiers == first).all():
+                        # Single-source entry (every migration batch in
+                        # practice): two scalar updates replace the
+                        # per-tier bincount.
+                        row[first] -= moved
+                    else:
+                        row -= np.bincount(
+                            old_tiers,
+                            weights=concat_probs[gvpns],
+                            minlength=row.size,
+                        )
+                    row[new_tier] += moved
+                    concat_tier[gvpns] = np.int8(new_tier)
+            self.mass_resync[i] -= len(moves)
+            self.mass_epoch[i] = pages.epoch
+            replayed = True
+        if replayed:
+            # Same drift clamp as the sequential replay (see
+            # _repair_mass); the mass matrix is n_segs x n_tiers, so
+            # clamping it whole is cheaper than tracking replayed rows.
+            mass_flat = self.mass.reshape(-1)
+            np.maximum(mass_flat, 0.0, out=mass_flat)
 
     # ------------------------------------------------------------------
     # Fusion witness
@@ -321,6 +441,7 @@ class ProcessArena:
         retirement).  Their ledger share stays attached -- open runs
         drain lazily on the next counter read -- and their mask entry
         zeroes them out of every pricing vector."""
+        self.flush_stats()
         self._rows = [
             row for row in self._rows if not row[1].finished
         ]
@@ -375,6 +496,7 @@ class ProcessArena:
         if profiler is not None:
             profiler.push("arena_build")
         budget.fill(float(quantum_ns))
+        stale: List[Any] = []
         for row in rows:
             i, proc, workload, pages = row
             if proc.finished:
@@ -386,11 +508,13 @@ class ProcessArena:
             if probs is not refs[i]:
                 self._swap_probs(i, probs, workload)
             if m_epoch[i] != pages.epoch:
-                self._repair_mass(i, proc, refs[i])
+                stale.append((i, proc))
             if proc.pending_kernel_ns:
                 budget[i] = quantum_ns - proc.drain_pending_kernel(
                     quantum_ns
                 )
+        if stale:
+            self._repair_mass_many(stale)
         if profiler is not None:
             profiler.pop()
         if retired:
@@ -455,7 +579,7 @@ class ProcessArena:
                         proc,
                         proc.pages,
                         refs[i],
-                        engine._buffers_for(proc),
+                        self._seg_buffers[i],
                         n_list[i],
                         start_ns,
                         quantum_ns,
@@ -470,10 +594,13 @@ class ProcessArena:
             # Fault-path promotions moved pages: repair the affected
             # rows so accounting prices the post-fault placement, the
             # same re-lookup the per-process path performs.
-            for i in eligible:
-                proc = procs[i]
-                if m_epoch[i] != proc.pages.epoch:
-                    self._repair_mass(i, proc, refs[i])
+            stale = [
+                (i, procs[i])
+                for i in eligible
+                if m_epoch[i] != procs[i].pages.epoch
+            ]
+            if stale:
+                self._repair_mass_many(stale)
 
         # ---- Phases 4-6: ledger, stats, latency, demand ---------------------
         if profiler is not None:
@@ -482,14 +609,27 @@ class ProcessArena:
         # of the open run (zero for finished/stalled segments).
         self.open_n += n_vec
         mass = self.mass
-        fast_list = np.multiply(mass[:, FAST_TIER], n_vec, out=tmp).tolist()
-        user_list = np.multiply(n_vec, mean_lat, out=tmp).tolist()
-        stall_list = np.multiply(n_vec, delay, out=tmp).tolist()
-        for row in rows:
-            i, proc, workload, pages = row
-            proc.record_accesses(
-                n_list[i], fast_list[i], user_list[i], stall_list[i]
+        if self._lazy_stats:
+            # Four vector adds instead of one record_accesses call per
+            # process; flush_stats folds the totals into each process's
+            # stats at retirement/observation/teardown.
+            self._acc_n += n_vec
+            self._acc_fast += np.multiply(
+                mass[:, FAST_TIER], n_vec, out=tmp
             )
+            self._acc_user += np.multiply(n_vec, mean_lat, out=tmp)
+            self._acc_stall += np.multiply(n_vec, delay, out=tmp)
+        else:
+            fast_list = np.multiply(
+                mass[:, FAST_TIER], n_vec, out=tmp
+            ).tolist()
+            user_list = np.multiply(n_vec, mean_lat, out=tmp).tolist()
+            stall_list = np.multiply(n_vec, delay, out=tmp).tolist()
+            for row in rows:
+                i, proc, workload, pages = row
+                proc.record_accesses(
+                    n_list[i], fast_list[i], user_list[i], stall_list[i]
+                )
         self._fold_latency(n_vec, faults, have_faults)
         # Demand fold: mass * ((n * CACHE_LINE) * ((1-wf) + wf * bwm)),
         # the per-process operation order, then one segment sum.
@@ -516,20 +656,24 @@ class ProcessArena:
             finally:
                 if profiler is not None:
                     profiler.pop()
+        acc_n = self._acc_n
         for row in self._target_rows:
             i, proc, workload, pages = row
-            if proc.stats.accesses >= proc.target_accesses:
+            if proc.stats.accesses + acc_n[i] >= proc.target_accesses:
                 proc.finished = True
                 live_mask[i] = False
                 retired = True
-        w_probs = self.witness_probs
-        w_epoch = self.witness_epoch
-        w_protect = self.witness_protect_epoch
-        for row in rows:
-            i, proc, workload, pages = row
-            w_probs[i] = refs[i]
-            w_epoch[i] = pages.epoch
-            w_protect[i] = pages.protect_epoch
+        if engine.fusion:
+            # The witness only feeds the fusion-horizon check; without
+            # fusion nothing reads it, so skip the per-row update loop.
+            w_probs = self.witness_probs
+            w_epoch = self.witness_epoch
+            w_protect = self.witness_protect_epoch
+            for row in rows:
+                i, proc, workload, pages = row
+                w_probs[i] = refs[i]
+                w_epoch[i] = pages.epoch
+                w_protect[i] = pages.protect_epoch
         if retired:
             self._retire_rows()
         return self._demand_out
@@ -558,6 +702,7 @@ class ProcessArena:
         procs = self.processes
         rng = self.rng
         entries = []  # (seg, proc, protected, buffers)
+        seg_buffers = self._seg_buffers
         for i in eligible:
             proc = procs[i]
             pages = proc.pages
@@ -565,7 +710,7 @@ class ProcessArena:
             if not protected.size:
                 continue
             probs = self.probs_refs[i]
-            buffers = engine._buffers_for(proc)
+            buffers = seg_buffers[i]
             if (
                 buffers.fault_probs is not probs
                 or buffers.fault_prot is not protected

@@ -372,6 +372,10 @@ class QuantumEngine:
                             macro_ns=macro_ns,
                         )
                 if observer is not None and clock.now >= next_observe:
+                    if self._arena is not None:
+                        # Observers read per-process stats; fold in the
+                        # arena's lazily accumulated quantum stats first.
+                        self._arena.flush_stats()
                     observer(self, clock.now)
                     next_observe = clock.now + (observe_every_ns or 0)
                     observe_bound = next_observe
@@ -592,6 +596,11 @@ class QuantumEngine:
                             old_tiers, weights=moved, minlength=mass.size
                         )
                         mass[new_tier] += float(moved.sum())
+                # Replay rounding can drift a zero-mass tier a few ulps
+                # negative, which the demand fold then feeds to the
+                # contention model as negative demand.  True mass is
+                # non-negative, so the clamp only removes drift.
+                np.maximum(mass, 0.0, out=mass)
                 buffers.mass_resync -= len(moves)
                 buffers.mass_epoch = pages.epoch
                 return mass

@@ -169,6 +169,96 @@ class LruLists:
         touched[touched_idx] = True
         return touched
 
+    def age_fleet(
+        self, processes: Sequence[SimProcess], now_ns: int
+    ) -> List[np.ndarray]:
+        """One aging pass over several processes in the given order.
+
+        Per process this is bit-identical to calling :meth:`age_process`
+        in sequence: the dense path draws exactly ``n_pages`` uniforms
+        only when *every* page is a candidate, so the concatenated
+        candidate layout reproduces each process's draw count, and one
+        ``random(total)`` call split in visiting order yields the same
+        values the sequential calls would (the generator's stream does
+        not depend on the call granularity).  Candidate computation
+        consumes no RNG, so hoisting it before the single draw is
+        stream-preserving.
+
+        The batched pass touches every per-process array once for
+        gather and once for scatter; the O(processes) Python loop of
+        small numpy calls collapses to one concatenated mask +
+        ``flatnonzero`` + ``expm1`` + compare.
+
+        ``fine_grained`` mode interleaves exponential draws with the
+        uniforms per process and falls back to the sequential loop.
+        Returns the per-process touched masks, in order.
+        """
+        processes = list(processes)
+        if self.fine_grained or len(processes) <= 1:
+            return [self.age_process(p, now_ns) for p in processes]
+
+        n = len(processes)
+        sizes = np.empty(n, dtype=np.int64)
+        lams = []
+        accessed = []
+        active = []
+        for i, process in enumerate(processes):
+            pages = process.pages
+            self._last_age_ns[process.pid] = now_ns
+            sizes[i] = pages.n_pages
+            lams.append(pages.last_window_count)
+            accessed.append(pages.accessed)
+            active.append(pages.lru_active)
+        starts = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(sizes, out=starts[1:])
+
+        lam_cat = np.concatenate(lams)
+        acc_cat = np.concatenate(accessed)
+        cand = lam_cat > 0.0
+        cand |= acc_cat
+        cand |= np.concatenate(active)
+
+        global_idx = np.flatnonzero(cand)
+        owner = np.searchsorted(starts, global_idx, side="right") - 1
+        bounds = np.searchsorted(owner, np.arange(n + 1, dtype=np.int64))
+
+        # One draw for the whole fleet; per-process slices match the
+        # sequential streams (dense processes are all-candidates, so
+        # their slice length is n_pages exactly as the dense path draws).
+        draws = self._rng.random(global_idx.size)
+        prob = np.expm1(-lam_cat[global_idx])
+        np.negative(prob, out=prob)
+        touched_g = draws < prob
+        touched_g |= acc_cat[global_idx]
+
+        results: List[np.ndarray] = []
+        for i, process in enumerate(processes):
+            pages = process.pages
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            idx = global_idx[lo:hi] - starts[i]
+            touched_sub = touched_g[lo:hi]
+            touched_idx = idx[touched_sub]
+            missed_idx = idx[~touched_sub]
+            misses = self._misses(process)
+            misses[touched_idx] = 0
+            misses[missed_idx] += 1
+            pages.lru_gen[touched_idx] = now_ns
+            pages.lru_active[touched_idx] = True
+            deactivate = missed_idx[
+                misses[missed_idx] >= self.DEACTIVATE_AFTER
+            ]
+            pages.lru_active[deactivate] = False
+            if idx.size == pages.n_pages:
+                pages.accessed[:] = False
+                pages.clear_window_counts()
+            else:
+                pages.accessed[idx] = False
+                pages.clear_window_counts(idx)
+            touched = np.zeros(pages.n_pages, dtype=bool)
+            touched[touched_idx] = True
+            results.append(touched)
+        return results
+
     def coldest_pages(
         self,
         processes: Sequence[SimProcess],
@@ -185,31 +275,98 @@ class LruLists:
         """
         if n_pages <= 0:
             return []
-        gens: List[np.ndarray] = []
-        owners: List[int] = []
-        vpn_lists: List[np.ndarray] = []
-        for index, process in enumerate(processes):
-            pages = process.pages
-            mask = pages.tier == tier_id
-            if inactive_only:
-                mask &= ~pages.lru_active
-            vpns = np.flatnonzero(mask)
-            if vpns.size == 0:
-                continue
-            gens.append(pages.lru_gen[vpns])
-            owners.append(index)
-            vpn_lists.append(vpns)
-        if not gens:
+        # One fleet-wide candidate pass over the concatenated per-process
+        # arrays instead of a Python loop of tiny numpy calls: the
+        # concatenated order (process index ascending, vpn ascending
+        # within a process) is exactly the order the sequential reference
+        # built, so every downstream step -- the tie-break shuffle, the
+        # partial sort, the per-owner split -- sees identical inputs and
+        # the selection is bit-identical.
+        tier = np.concatenate([p.pages.tier for p in processes])
+        if tier.size == 0:
             return []
-
-        all_gens = np.concatenate(gens)
-        all_owner = np.concatenate(
-            [
-                np.full(v.size, owner, dtype=np.int32)
-                for owner, v in zip(owners, vpn_lists)
-            ]
+        mask = tier == tier_id
+        if inactive_only:
+            active = np.concatenate(
+                [p.pages.lru_active for p in processes]
+            )
+            mask &= ~active
+        gens = np.concatenate([p.pages.lru_gen for p in processes])
+        starts = self._fleet_starts(processes)
+        return self._select_coldest(
+            processes, mask, gens, starts, n_pages
         )
-        all_vpns = np.concatenate(vpn_lists)
+
+    def coldest_pages_two_phase(
+        self,
+        processes: Sequence[SimProcess],
+        tier_id: int,
+        n_pages: int,
+    ) -> Tuple[
+        List[Tuple[SimProcess, np.ndarray]],
+        List[Tuple[SimProcess, np.ndarray]],
+    ]:
+        """Inactive-first victim selection with an active-list fallback.
+
+        Equivalent -- including RNG stream consumption -- to
+        ``coldest_pages(..., inactive_only=True)`` followed, on a
+        shortfall, by ``coldest_pages(..., inactive_only=False)`` for
+        the remainder, but the concatenated fleet arrays are built once
+        and shared by both phases.  Returns ``(inactive, fallback)``
+        per-process victim lists; ``fallback`` is empty when the
+        inactive list satisfied the request.
+        """
+        if n_pages <= 0:
+            return [], []
+        tier = np.concatenate([p.pages.tier for p in processes])
+        if tier.size == 0:
+            return [], []
+        tier_mask = tier == tier_id
+        active = np.concatenate(
+            [p.pages.lru_active for p in processes]
+        )
+        gens = np.concatenate([p.pages.lru_gen for p in processes])
+        starts = self._fleet_starts(processes)
+        first = self._select_coldest(
+            processes, tier_mask & ~active, gens, starts, n_pages
+        )
+        selected = sum(v.size for _, v in first)
+        if selected >= n_pages:
+            return first, []
+        second = self._select_coldest(
+            processes, tier_mask, gens, starts, n_pages - selected
+        )
+        return first, second
+
+    @staticmethod
+    def _fleet_starts(processes: Sequence[SimProcess]) -> np.ndarray:
+        starts = np.zeros(len(processes) + 1, dtype=np.int64)
+        np.cumsum(
+            np.array(
+                [p.pages.n_pages for p in processes], dtype=np.int64
+            ),
+            out=starts[1:],
+        )
+        return starts
+
+    def _select_coldest(
+        self,
+        processes: Sequence[SimProcess],
+        mask: np.ndarray,
+        gens: np.ndarray,
+        starts: np.ndarray,
+        n_pages: int,
+    ) -> List[Tuple[SimProcess, np.ndarray]]:
+        """Rank the masked candidates by generation and split per owner
+        (the shared tail of :meth:`coldest_pages`)."""
+        global_idx = np.flatnonzero(mask)
+        if global_idx.size == 0:
+            return []
+        all_owner = (
+            np.searchsorted(starts, global_idx, side="right") - 1
+        )
+        all_vpns = global_idx - starts[all_owner]
+        all_gens = gens[global_idx]
 
         # Shuffle before the partial sort: pages sharing a generation
         # (referenced in the same aging window) are indistinguishable, so
@@ -222,10 +379,25 @@ class LruLists:
         take = min(n_pages, all_gens.size)
         order = np.argpartition(all_gens, take - 1)[:take]
 
+        # Split the selection back per owner: pack (owner, vpn) into one
+        # sortable key (the ``_merge_victims`` idiom) so owners come out
+        # ascending with sorted vpns, matching the sequential
+        # unique-owner/boolean-mask loop exactly.
+        sel_owner = all_owner[order]
+        sel_vpns = all_vpns[order]
+        span = int(sel_vpns.max()) + 1 if sel_vpns.size else 1
+        packed = np.sort(sel_owner * span + sel_vpns)
+        packed_owner = packed // span
+        packed_vpns = packed - packed_owner * span
+        owners = np.unique(packed_owner)
+        bounds = np.searchsorted(packed_owner, owners, side="right")
         selected: List[Tuple[SimProcess, np.ndarray]] = []
-        for owner in np.unique(all_owner[order]):
-            vpns = all_vpns[order[all_owner[order] == owner]]
-            selected.append((processes[int(owner)], np.sort(vpns)))
+        lo = 0
+        for owner, hi in zip(owners, bounds):
+            selected.append(
+                (processes[int(owner)], packed_vpns[lo:hi])
+            )
+            lo = int(hi)
         return selected
 
     def inactive_count(

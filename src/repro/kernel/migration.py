@@ -8,7 +8,7 @@ maintains the promotion/demotion counters every experiment reads.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, List, Sequence, Tuple
 
 import numpy as np
 
@@ -170,6 +170,179 @@ class MigrationEngine:
     ) -> np.ndarray:
         """Promote pages to the fast tier."""
         return self.migrate(process, vpns, FAST_TIER)
+
+    # ------------------------------------------------------------------
+    def migrate_many(
+        self,
+        batches: Sequence[Tuple["SimProcess", np.ndarray]],
+        dst_tier_id: int,
+        mark_demoted: bool = False,
+    ) -> List[Tuple["SimProcess", np.ndarray]]:
+        """Migrate several per-process batches in one engine pass.
+
+        Exactly equivalent to calling :meth:`migrate` once per batch in
+        order: destination frames are granted first-come-first-served
+        (one ``allocate`` for the grand total, split greedily -- the
+        same grants sequential calls would get, because source-frame
+        releases go to *other* tiers and cannot refill the destination
+        mid-loop), every per-batch cost/stat/obs value is computed with
+        the per-batch formula, and no RNG is consumed.  What the batch
+        saves is the per-call dispatch: one allocation solve, one
+        release per populated source tier, and one set of global-stat
+        updates instead of one per process.
+
+        Returns ``(process, moved_vpns)`` per batch, moved arrays
+        possibly empty.
+        """
+        profiler = self.kernel.profiler
+        if profiler is None:
+            return self._migrate_many(batches, dst_tier_id, mark_demoted)
+        with profiler.section("migrate"):
+            return self._migrate_many(batches, dst_tier_id, mark_demoted)
+
+    def _migrate_many(
+        self,
+        batches: Sequence[Tuple["SimProcess", np.ndarray]],
+        dst_tier_id: int,
+        mark_demoted: bool = False,
+    ) -> List[Tuple["SimProcess", np.ndarray]]:
+        machine = self.kernel.machine
+        stats = self.kernel.stats
+        obs = self.kernel.obs
+        empty = np.empty(0, dtype=np.int64)
+
+        # Filter pass: drop pages already on the destination tier.
+        todo: List[Tuple["SimProcess", np.ndarray]] = []
+        total = 0
+        for process, vpns in batches:
+            vpns = np.asarray(vpns, dtype=np.int64)
+            vpns = vpns[process.pages.tier[vpns] != dst_tier_id]
+            todo.append((process, vpns))
+            total += int(vpns.size)
+        if total == 0:
+            return [(process, empty) for process, _ in todo]
+
+        # One destination-frame solve: sequential calls each allocate
+        # from a pool only *they* drain (releases refill source tiers,
+        # never the destination), so granting the total upfront and
+        # splitting greedily in batch order reproduces the sequential
+        # grants exactly.
+        dst = machine.tiers[dst_tier_id]
+        remaining = dst.allocate(total)
+
+        release_counts = np.zeros(len(machine.tiers), dtype=np.int64)
+        migration_bytes = np.zeros(len(machine.tiers), dtype=np.int64)
+        bandwidth = machine.bandwidth_bytes
+        migration_cost = machine.migration_cost
+        dst_bw = float(bandwidth[dst_tier_id])
+        kernel_time = 0.0
+        promoted_total = 0
+        demoted_total = 0
+        dropped_total = 0
+        switches_total = 0
+        now = self.kernel.clock.now
+        results: List[Tuple["SimProcess", np.ndarray]] = []
+        for process, vpns in todo:
+            if vpns.size == 0:
+                results.append((process, vpns))
+                continue
+            if obs is not None:
+                obs.emit(
+                    "migration.issue",
+                    now,
+                    pid=process.pid,
+                    dst_tier=dst_tier_id,
+                    n_requested=int(vpns.size),
+                )
+            granted = min(int(vpns.size), remaining)
+            remaining -= granted
+            dropped = int(vpns.size) - granted
+            if dropped and dst_tier_id == FAST_TIER:
+                dropped_total += dropped
+                if obs is not None:
+                    obs.inc("migration.dropped_pages", dropped)
+            moved = vpns[:granted]
+            if moved.size == 0:
+                results.append((process, moved))
+                continue
+            moved = np.sort(moved)
+            pages = process.pages
+
+            src_tiers = pages.tier[moved]
+            first = int(src_tiers[0])
+            if (src_tiers == first).all():
+                release_counts[first] += int(src_tiers.size)
+            else:
+                release_counts += np.bincount(
+                    src_tiers, minlength=release_counts.size
+                )
+
+            pages.move_to_tier(moved, dst_tier_id)
+
+            cost = migration_cost.migrate_cost_ns(
+                int(moved.size), float(bandwidth[first]), dst_bw
+            )
+            process.charge_kernel(cost)
+            kernel_time += cost
+
+            nbytes = migration_cost.migrate_bytes(int(moved.size))
+            migration_bytes[dst_tier_id] += nbytes
+            migration_bytes[first] += nbytes
+
+            if dst_tier_id == FAST_TIER:
+                promoted_total += int(moved.size)
+                process.stats.pages_promoted += int(moved.size)
+                pages.lru_active[moved] = True
+                pages.lru_gen[moved] = now
+                pages.demoted[moved] = False
+            else:
+                demoted_total += int(moved.size)
+                process.stats.pages_demoted += int(moved.size)
+                pages.lru_active[moved] = False
+                if mark_demoted:
+                    pages.demoted[moved] = True
+                    pages.demote_ts_ns[moved] = now
+                    pages.protect_at(
+                        moved, np.full(moved.size, now, dtype=np.int64)
+                    )
+
+            if obs is not None:
+                if dst_tier_id == FAST_TIER:
+                    obs.inc("migration.promoted_pages", int(moved.size))
+                else:
+                    obs.inc("migration.demoted_pages", int(moved.size))
+                obs.inc("migration.cost_ns", cost)
+                obs.observe("migration.batch_pages", float(moved.size))
+                obs.emit(
+                    "migration.complete",
+                    now,
+                    pid=process.pid,
+                    dst_tier=dst_tier_id,
+                    n_moved=int(moved.size),
+                    n_dropped=dropped,
+                    cost_ns=float(cost),
+                    promotion=dst_tier_id == FAST_TIER,
+                    vpns=moved,
+                )
+
+            switches = max(1, int(moved.size) // 64)
+            switches_total += switches
+            process.stats.context_switches += switches
+            results.append((process, moved))
+
+        for tier_id in np.flatnonzero(release_counts):
+            machine.tiers[tier_id].release(int(release_counts[tier_id]))
+        for tier_id in np.flatnonzero(migration_bytes):
+            machine.tiers[int(tier_id)].charge_migration_bytes(
+                int(migration_bytes[tier_id])
+            )
+        stats.promotion_dropped += dropped_total
+        stats.kernel_time_ns += kernel_time
+        stats.migration_time_ns += kernel_time
+        stats.pgpromote += promoted_total
+        stats.pgdemote += demoted_total
+        stats.context_switches += switches_total
+        return results
 
 
 def _release_source_frames(tiers, src_tiers: np.ndarray) -> None:

@@ -199,18 +199,18 @@ class ReclaimDaemon:
         if n_pages <= 0:
             return 0
 
-        victims = self.kernel.lru.coldest_pages(
-            self.kernel.processes, FAST_TIER, n_pages, inactive_only=True
-        )
-        selected = sum(v.size for _, v in victims)
-        if selected < n_pages:
-            extra = self.kernel.lru.coldest_pages(
-                self.kernel.processes,
-                FAST_TIER,
-                n_pages - selected,
-                inactive_only=False,
+        profiler = self.kernel.profiler
+        if profiler is not None:
+            profiler.push("reclaim_select")
+        try:
+            victims, extra = self.kernel.lru.coldest_pages_two_phase(
+                self.kernel.processes, FAST_TIER, n_pages
             )
-            victims = _merge_victims(victims, extra)
+            if extra:
+                victims = _merge_victims(victims, extra)
+        finally:
+            if profiler is not None:
+                profiler.pop()
 
         obs = self.kernel.obs
         if obs is not None:
@@ -234,15 +234,13 @@ class ReclaimDaemon:
                     direct=True,
                 )
 
-        demoted = 0
-        for process, vpns in victims:
-            moved = self.kernel.migration.migrate(
-                process,
-                vpns,
-                SLOW_TIER,
-                mark_demoted=self.mark_demoted,
-            )
-            demoted += int(moved.size)
+        # One batched migration pass over all victim owners instead of a
+        # per-process ``migrate`` loop; exact-sequential semantics (see
+        # ``MigrationEngine.migrate_many``).
+        moved_batches = self.kernel.migration.migrate_many(
+            victims, SLOW_TIER, mark_demoted=self.mark_demoted
+        )
+        demoted = sum(int(moved.size) for _, moved in moved_batches)
         if obs is not None:
             obs.inc("reclaim.demoted_pages", demoted)
         if direct_for is not None and demoted > 0:
@@ -273,7 +271,8 @@ def _merge_victims(first, second):
         return []
     if len(entries) == 1:
         process, vpns = entries[0]
-        return [(process, np.unique(np.asarray(vpns, dtype=np.int64)))]
+        vpns = np.unique(np.asarray(vpns, dtype=np.int64))
+        return [(process, vpns)] if vpns.size else []
     process_of = {}
     rank_of = {}
     for process, _ in entries:

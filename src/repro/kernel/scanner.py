@@ -19,9 +19,11 @@ fires at exactly the quantum boundary per-quantum stepping would have used
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.sim.jit import scan_filter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
@@ -86,13 +88,113 @@ class TickingScanner:
         )
 
     def _tick(self, process: "SimProcess", now_ns: int) -> None:
-        if process.finished:
+        # The first scan event firing at a clock boundary drains its due
+        # siblings (other processes' scan events that the same
+        # ``run_due`` would fire next, all sharing the same effective
+        # time) and runs them as one fleet pass.  With a single entry --
+        # always the case for single-process runs -- this is exactly the
+        # sequential path.
+        entries = [(process, now_ns)]
+        if getattr(self.kernel.policy, "batched_transients", True):
+            siblings = self.kernel.scheduler.take_due(
+                self.kernel.clock.now, "ticking-scan:"
+            )
+            if siblings:
+                by_pid = {p.pid: p for p in self.kernel.processes}
+                for event in siblings:
+                    proc = by_pid.get(int(event.name.rsplit(":", 1)[1]))
+                    if proc is not None:
+                        entries.append((proc, event.when_ns))
+        if len(entries) == 1:
+            if process.finished:
+                return
+            # Stamp protections with the *effective* time (the clock,
+            # already advanced to the engine boundary), but keep the
+            # drift-free cadence by rescheduling from the nominal expiry.
+            self.scan_once(process, self.kernel.clock.now)
+            self._schedule(process, now_ns + self.interval_ns(process))
             return
-        # Stamp protections with the *effective* time (the clock, already
-        # advanced to the engine boundary), but keep the drift-free cadence
-        # by rescheduling from the nominal expiry.
-        self.scan_once(process, self.kernel.clock.now)
-        self._schedule(process, now_ns + self.interval_ns(process))
+        self.scan_fleet(entries)
+
+    def scan_fleet(
+        self, entries: List[Tuple["SimProcess", int]]
+    ) -> None:
+        """One batched Ticking-scan pass over several due scan events.
+
+        ``entries`` holds ``(process, nominal_expiry_ns)`` pairs in
+        firing order.  Equivalent to running each entry's
+        :meth:`scan_once` in sequence: every entry stamps protections
+        with the same effective time (the advanced clock), the window
+        advance / tier filter / PROT_NONE marking is the per-process
+        code either way, and the ``on_scan`` hooks fire afterwards in
+        the same order -- exact whenever a hook only touches its own
+        process (the ``batched_transients`` contract).  The pass runs
+        under one ``scan_pass`` profiler section with one global-stats
+        and obs-counter update instead of per-event dispatch.
+        """
+        kernel = self.kernel
+        now_ns = kernel.clock.now
+        profiler = kernel.profiler
+        if profiler is not None:
+            profiler.push("scan_pass")
+        try:
+            tier_filter = self.config.tier_filter
+            scan_cost_ns = kernel.machine.spec.effective_scan_cost_ns
+            results: List[Tuple["SimProcess", np.ndarray, bool, int, int]]
+            results = []
+            total_cost = 0
+            total_marked = 0
+            wrapped_count = 0
+            for process, when in entries:
+                if process.finished:
+                    continue
+                step = min(self.config.scan_step_pages, process.n_pages)
+                window, wrapped = process.aspace.next_scan_window(step)
+                if tier_filter is not None:
+                    window = scan_filter(
+                        process.pages.tier, window, tier_filter
+                    )
+                marked = process.pages.protect(window, now_ns)
+                cost = window.size * scan_cost_ns
+                process.charge_kernel(cost)
+                total_cost += cost
+                total_marked += marked
+                if wrapped:
+                    wrapped_count += 1
+                results.append((process, window, wrapped, marked, when))
+            kernel.stats.kernel_time_ns += total_cost
+            kernel.stats.pages_scanned += total_marked
+            kernel.stats.scan_passes += wrapped_count
+            obs = kernel.obs
+            if obs is not None:
+                obs.inc("scan.windows", len(results))
+                obs.inc("scan.pages_marked", total_marked)
+                if wrapped_count:
+                    obs.inc("scan.passes", wrapped_count)
+                for process, window, wrapped, marked, _ in results:
+                    obs.emit(
+                        "scan.window",
+                        now_ns,
+                        pid=process.pid,
+                        n_window=int(window.size),
+                        n_marked=int(marked),
+                        wrapped=bool(wrapped),
+                        vpns=window,
+                    )
+            if self.on_scan is not None:
+                if profiler is not None:
+                    profiler.push("policy")
+                try:
+                    for process, window, _, _, _ in results:
+                        self.on_scan(process, window, now_ns)
+                finally:
+                    if profiler is not None:
+                        profiler.pop()
+            for process, _, _, _, when in results:
+                self._schedule(process, when + self.interval_ns(process))
+        finally:
+            if profiler is not None:
+                profiler.pop()
 
     # ------------------------------------------------------------------
     def scan_once(self, process: "SimProcess", now_ns: int) -> np.ndarray:

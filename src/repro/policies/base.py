@@ -87,6 +87,21 @@ class TieringPolicy(ABC):
     ``needs_per_quantum = True`` (fusion disabled while it is attached);
     one that tolerates fusion only up to some window sets
     ``max_fusion_quanta`` instead of disabling it.
+
+    Batched-transients contract: the kernel runs its transient windows
+    (Ticking-scan passes, LRU aging, reclaim victim selection, migration
+    batches) as *fleet-wide* array programs -- one pass over all
+    processes, with per-process policy hooks (``on_scan``,
+    ``on_lru_age``) fired afterwards in the same visiting order the
+    sequential loop would have used.  That is exactly equivalent as
+    long as a hook does not mutate another process's pass inputs
+    (window counters, accessed bits, LRU state, protection state) or
+    consume from a shared kernel RNG stream -- true of every registered
+    policy, whose hooks only touch the hooked process's pages and
+    per-process RNG.  A policy that needs the strict
+    pass-then-hook-per-process interleaving sets
+    ``batched_transients = False`` and the kernel falls back to the
+    sequential loops.
     """
 
     name: str = "abstract"
@@ -98,6 +113,11 @@ class TieringPolicy(ABC):
     #: Optional cap on quanta merged into one macro-quantum
     #: (``None`` = bounded only by the event horizon).
     max_fusion_quanta: Optional[int] = None
+
+    #: False opts out of fleet-wide batched transient passes (scan,
+    #: aging); the kernel then runs the per-process sequential loops so
+    #: hooks interleave with the passes exactly.
+    batched_transients: bool = True
 
     def __init__(self) -> None:
         """Create the policy unattached (see :meth:`attach`)."""

@@ -125,6 +125,40 @@ class EventScheduler:
             fired += 1
         return fired
 
+    def take_due(
+        self, now_ns: int, prefix: str
+    ) -> List[ScheduledEvent]:
+        """Pop every due event whose name starts with ``prefix``.
+
+        Returns the matching events in firing order (``when_ns``, then
+        insertion order) *without* invoking their callbacks; the caller
+        becomes responsible for the work they represented.  Non-matching
+        due events stay queued and fire from :meth:`run_due` as usual.
+
+        This is the batching hook for fleet-wide transient passes: a
+        periodic per-process daemon (e.g. the Ticking-scan) whose event
+        fires first at a clock boundary can drain its due *siblings*
+        and run one batched pass over all of them.  All events due at a
+        boundary share the same effective time (the advanced clock), so
+        reordering them relative to other due events is observable only
+        through cross-subsystem state -- acceptable exactly when the
+        subsystems' per-boundary work commutes (see the
+        ``batched_transients`` policy contract).
+        """
+        taken: List[ScheduledEvent] = []
+        kept: List[ScheduledEvent] = []
+        while self._heap and self._heap[0].when_ns <= now_ns:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.name.startswith(prefix):
+                taken.append(event)
+            else:
+                kept.append(event)
+        for event in kept:
+            heapq.heappush(self._heap, event)
+        return taken
+
     def clear(self) -> None:
         """Drop all pending events."""
         self._heap.clear()

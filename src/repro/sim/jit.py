@@ -17,6 +17,15 @@ time in two kernels:
     first into segments (processes) and then onto pages by inverse-CDF
     lookup.
 
+``scan_filter``
+    The Ticking-scan tier filter: gather each window page's tier and
+    compress to the pages on the filtered tier, fused into one pass.
+
+``dcsc_fold``
+    The DCSC histogram reduction: scatter-add round-2 CIT samples into
+    the per-tier heat maps, fused over ``(tier, bucket)`` keys instead
+    of one ``np.add.at`` per tier.
+
 Both have a pure-numpy implementation that is the default and the
 reference.  Setting ``CHRONO_JIT=1`` in the environment swaps in numba
 ``@njit`` versions **when numba is importable**; the numba kernels
@@ -62,6 +71,24 @@ def _numpy_searchsorted_right(
     return np.searchsorted(cdf, values, side="right")
 
 
+def _numpy_scan_filter(
+    tier: np.ndarray, window: np.ndarray, tier_filter: int
+) -> np.ndarray:
+    """Reference tier filter: gather tiers, compare, compress."""
+    return window[tier[window] == tier_filter]
+
+
+def _numpy_dcsc_fold(
+    tiers: np.ndarray, buckets: np.ndarray, n_tiers: int, n_buckets: int
+) -> np.ndarray:
+    """Reference DCSC reduction: one fused bincount over
+    ``tier * n_buckets + bucket`` keys; returns float64 counts of shape
+    ``(n_tiers, n_buckets)``."""
+    keys = tiers.astype(np.int64) * n_buckets + buckets
+    counts = np.bincount(keys, minlength=n_tiers * n_buckets)
+    return counts.astype(np.float64).reshape(n_tiers, n_buckets)
+
+
 def _build_numba_kernels() -> Optional[dict]:
     """Compile the numba kernels; ``None`` when numba is unavailable."""
     try:
@@ -97,6 +124,30 @@ def _build_numba_kernels() -> Optional[dict]:
             out[i] = lo
         return out
 
+    @njit(cache=True)
+    def _nb_scan_filter(tier, window, tier_filter):  # pragma: no cover - compiled
+        n = 0
+        for i in range(window.shape[0]):
+            if tier[window[i]] == tier_filter:
+                n += 1
+        out = np.empty(n, dtype=np.int64)
+        k = 0
+        for i in range(window.shape[0]):
+            vpn = window[i]
+            if tier[vpn] == tier_filter:
+                out[k] = vpn
+                k += 1
+        return out
+
+    @njit(cache=True)
+    def _nb_dcsc_fold(tiers, buckets, n_tiers, n_buckets):  # pragma: no cover - compiled
+        out = np.zeros((n_tiers, n_buckets), dtype=np.float64)
+        for i in range(tiers.shape[0]):
+            # Integer-valued float64 counts: identical to the numpy
+            # bincount path bit for bit.
+            out[tiers[i], buckets[i]] += 1.0
+        return out
+
     def ledger_fold(probs, n_accesses, access, window, buf):
         _nb_ledger_fold(probs, float(n_accesses), access, window)
 
@@ -106,10 +157,27 @@ def _build_numba_kernels() -> Optional[dict]:
             np.ascontiguousarray(values, dtype=np.float64),
         )
 
+    def scan_filter(tier, window, tier_filter):
+        return _nb_scan_filter(
+            tier,
+            np.ascontiguousarray(window, dtype=np.int64),
+            tier_filter,
+        )
+
+    def dcsc_fold(tiers, buckets, n_tiers, n_buckets):
+        return _nb_dcsc_fold(
+            np.ascontiguousarray(tiers, dtype=np.int64),
+            np.ascontiguousarray(buckets, dtype=np.int64),
+            n_tiers,
+            n_buckets,
+        )
+
     return {
         "enabled": True,
         "ledger_fold": ledger_fold,
         "searchsorted_right": searchsorted_right,
+        "scan_filter": scan_filter,
+        "dcsc_fold": dcsc_fold,
     }
 
 
@@ -126,6 +194,8 @@ def _resolve() -> dict:
             "enabled": False,
             "ledger_fold": _numpy_ledger_fold,
             "searchsorted_right": _numpy_searchsorted_right,
+            "scan_filter": _numpy_scan_filter,
+            "dcsc_fold": _numpy_dcsc_fold,
         }
     _state = kernels
     return _state
@@ -158,3 +228,20 @@ def searchsorted_right(
 ) -> np.ndarray:
     """``np.searchsorted(cdf, values, side='right')`` (JIT-swappable)."""
     return _resolve()["searchsorted_right"](cdf, values)
+
+
+def scan_filter(
+    tier: np.ndarray, window: np.ndarray, tier_filter: int
+) -> np.ndarray:
+    """``window[tier[window] == tier_filter]`` as one fused gather/compress
+    (JIT-swappable; order-preserving, bit-identical)."""
+    return _resolve()["scan_filter"](tier, window, int(tier_filter))
+
+
+def dcsc_fold(
+    tiers: np.ndarray, buckets: np.ndarray, n_tiers: int, n_buckets: int
+) -> np.ndarray:
+    """Count ``(tier, bucket)`` CIT samples into a dense float64
+    ``(n_tiers, n_buckets)`` table (JIT-swappable; integer-valued counts,
+    bit-identical across implementations)."""
+    return _resolve()["dcsc_fold"](tiers, buckets, int(n_tiers), int(n_buckets))

@@ -25,12 +25,17 @@ from repro.sim.timeunits import MILLISECOND, SECOND
 from repro.vm.process import SimProcess
 from tests.conftest import make_kernel, make_process
 
+#: every registered policy (the Table 1 roster): single-process arena
+#: bit-identity and multi-process statistical equivalence must hold for
+#: all of them
 ALL_POLICIES = [
     "linux-nb",
+    "autotiering",
     "tpp",
     "multiclock",
     "memtis",
     "telescope",
+    "flexmem",
     "chrono",
     "nomad",
     "tierbpf",
