@@ -33,6 +33,17 @@ windows all run through the batched fleet passes, so the measured
 gap is per-quantum stepping cost under real transient load.  The
 speedup must clear ``ARENA_SPEEDUP_FLOOR``.
 
+The class_dedup section times distribution interning
+(equivalence-class arena stepping; see ``docs/SIMULATION.md``
+section 8) against the uninterned arena step on a shared-table
+fleet: 1,024 compute-bound multitenant processes sharing exactly 8
+distinct distribution tables, fusion off in both modes, daemons
+live.  Only ``engine.run`` is timed (registration and placement of
+the 262 K-page fleet are identical fixed costs in both modes) and
+the clock is process CPU time, which is immune to scheduler noise
+on shared runners.  The interned-vs-uninterned speedup must clear
+``CLASS_DEDUP_SPEEDUP_FLOOR``.
+
 The tournament section times the full registered-policy roster (all
 12 Table 1 policies) on one phase-changing ``shifting-hotspot``
 workload, reporting per-policy wall seconds plus aggregate
@@ -71,7 +82,11 @@ matching rung, when fused steady-state quanta/sec drops below
 fused-vs-unfused speedup falls below ``FUSION_SPEEDUP_FLOOR``, or
 when the arena-vs-per-process speedup falls below
 ``ARENA_SPEEDUP_FLOOR`` (or arena quanta/sec below
-``ARENA_GATE_FRACTION`` of the committed arena section).
+``ARENA_GATE_FRACTION`` of the committed arena section), or when the
+class dedup interning speedup falls below
+``CLASS_DEDUP_SPEEDUP_FLOOR`` (or interned quanta per CPU-second
+below ``CLASS_DEDUP_GATE_FRACTION`` of the committed class_dedup
+section).
 CI-compatible: pure stdlib + the package itself, runs in about a
 minute at the default scale.
 """
@@ -167,6 +182,38 @@ ARENA_SPEEDUP_FLOOR = 2.0
 #: --quick arena-throughput floor, as a fraction of the committed
 #: arena section's quanta/sec (host-speed jitter allowance).
 ARENA_GATE_FRACTION = 0.5
+
+#: shared-table fleet config for the class_dedup section: 1,024
+#: compute-bound tenants (uniform 400-unit think time holds aggregate
+#: demand below fast-tier saturation, so pricing reaches a steady
+#: state instead of a contention limit cycle) sharing exactly 8
+#: distinct distribution tables round-robin.  Interning collapses the
+#: 1,024-segment fleet into 8 equivalence classes, so the interned-
+#: vs-uninterned gap is the O(segments) -> O(unique-distributions)
+#: pricing win.  Fusion is off in both modes and the daemons run at
+#: the testbed's realistic periods (5 s Ticking scan, 10 s aging).
+CLASS_DEDUP_POLICY = "linux-nb"
+CLASS_DEDUP_TENANTS = 1_024
+CLASS_DEDUP_PAGES = 256
+CLASS_DEDUP_DISTINCT = 8
+CLASS_DEDUP_BASE_DELAY = 400
+CLASS_DEDUP_FAST_PAGES = 294_912
+CLASS_DEDUP_SLOW_PAGES = 32_768
+CLASS_DEDUP_SCAN_PERIOD_NS = 5 * SECOND
+CLASS_DEDUP_AGING_PERIOD_NS = 10 * SECOND
+CLASS_DEDUP_QUANTUM_NS = 5 * MILLISECOND
+CLASS_DEDUP_DURATION_NS = 2 * SECOND
+
+#: --quick floor on the interned-vs-uninterned speedup at the
+#: class_dedup config: equivalence-class stepping must at least halve
+#: per-quantum cost when 1,024 tenants share 8 tables (measured
+#: headroom is ~2.5-6x across seeds; 2x tolerates the weakest seed).
+CLASS_DEDUP_SPEEDUP_FLOOR = 2.0
+
+#: --quick interned-throughput floor, as a fraction of the committed
+#: class_dedup section's quanta per CPU-second (host-speed jitter
+#: allowance).
+CLASS_DEDUP_GATE_FRACTION = 0.5
 
 #: worker-pool sizes for the sweep throughput ladder
 SWEEP_JOBS_LADDER = (1, 2, 4, 8)
@@ -727,6 +774,226 @@ def run_quick_arena_gate(baseline):
     return section, ok
 
 
+def class_dedup_setup(duration_ns) -> StandardSetup:
+    return StandardSetup(
+        duration_ns=duration_ns,
+        fast_pages=CLASS_DEDUP_FAST_PAGES,
+        slow_pages=CLASS_DEDUP_SLOW_PAGES,
+        scan_period_ns=CLASS_DEDUP_SCAN_PERIOD_NS,
+        aging_period_ns=CLASS_DEDUP_AGING_PERIOD_NS,
+        quantum_ns=CLASS_DEDUP_QUANTUM_NS,
+    )
+
+
+def _class_dedup_run(duration_ns, intern, observer=None):
+    """One class_dedup pass: build the stack by hand, time only
+    ``engine.run``.
+
+    Registration and initial placement of the 262 K-page fleet are a
+    fixed per-run cost shared by both modes, so timing the whole
+    ``run_experiment`` would dilute the stepping-path gap they differ
+    on (the same reasoning as the scaling ladder's per-quantum
+    metric).  CPU time (``time.process_time``) is the clock: the
+    engine step is single-threaded, and CPU time is immune to the
+    scheduler noise that wall clock picks up on shared runners.
+    """
+    setup = class_dedup_setup(duration_ns)
+    config = setup.run_config(arena=True, fusion=False, intern=intern)
+    policy = setup.build_policy(CLASS_DEDUP_POLICY)
+    processes = build_fleet(
+        setup, "multitenant",
+        n_tenants=CLASS_DEDUP_TENANTS,
+        pages_per_tenant=CLASS_DEDUP_PAGES,
+        delay_step_units=0,
+        n_distinct=CLASS_DEDUP_DISTINCT,
+        base_delay_units=CLASS_DEDUP_BASE_DELAY,
+    )
+    kernel = Kernel(
+        machine=config.build_machine(),
+        rng=RngStreams(config.seed),
+        aging_period_ns=config.aging_period_ns,
+    )
+    for process in processes:
+        kernel.register_process(process)
+    kernel.allocate_initial_placement()
+    kernel.set_policy(policy)
+    engine = QuantumEngine(
+        kernel,
+        quantum_ns=config.quantum_ns,
+        fusion=False,
+        arena=True,
+        intern=intern,
+    )
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    end_ns = engine.run(
+        config.duration_ns,
+        observer=observer,
+        observe_every_ns=config.duration_ns,
+    )
+    cpu = time.process_time() - cpu_start
+    wall = time.perf_counter() - wall_start
+    result = summarize_run(policy, kernel, engine, end_ns)
+    return cpu, wall, engine.quanta_run, result
+
+
+def time_class_dedup(duration_ns=CLASS_DEDUP_DURATION_NS, best_of=3):
+    """Interned vs uninterned arena stepping on the shared-table fleet.
+
+    Both runs share (policy, workload, seed, arena stepping, fusion
+    off); they differ only in the engine's ``intern`` switch, so the
+    quanta-per-CPU-second gap is the cost of pricing 1,024 segments
+    individually versus pricing 8 equivalence classes and fanning the
+    results out.  A discarded warm-up pass absorbs one-time costs
+    (distribution-table compilation, numpy dispatch warm-up) that
+    would otherwise land on whichever mode runs first, and the
+    ``best_of`` trials interleave the two modes so slow stretches of a
+    loaded runner hit both equally.
+    """
+    intern_stats = {}
+
+    def observer(eng, _now):
+        arena = eng._arena
+        if arena is not None and arena.intern:
+            intern_stats["n_classes"] = arena.n_classes
+            intern_stats["interned_segments"] = arena.interned_segments
+
+    _class_dedup_run(duration_ns, intern=True, observer=observer)
+
+    best = {True: None, False: None}
+    results = {}
+    for _ in range(max(1, best_of)):
+        for intern in (True, False):
+            cpu, wall, quanta, result = _class_dedup_run(
+                duration_ns, intern=intern, observer=observer
+            )
+            if best[intern] is None or cpu < best[intern][0]:
+                best[intern] = (cpu, wall, quanta)
+                results[intern] = result
+    runs = {}
+    for intern, key in ((True, "interned"), (False, "reference")):
+        cpu, wall, quanta = best[intern]
+        result = results[intern]
+        runs[key] = {
+            "cpu_sec": cpu,
+            "wall_sec": wall,
+            "quanta": quanta,
+            "quanta_per_cpu_sec": quanta / cpu if cpu else 0.0,
+            "throughput_per_sec": result.throughput_per_sec,
+            "fmar": result.fmar,
+        }
+    reference_qps = runs["reference"]["quanta_per_cpu_sec"]
+    return {
+        "config": {
+            "policy": CLASS_DEDUP_POLICY,
+            "workload": "multitenant",
+            "n_tenants": CLASS_DEDUP_TENANTS,
+            "pages_per_tenant": CLASS_DEDUP_PAGES,
+            "n_distinct": CLASS_DEDUP_DISTINCT,
+            "base_delay_units": CLASS_DEDUP_BASE_DELAY,
+            "delay_step_units": 0,
+            "fast_pages": CLASS_DEDUP_FAST_PAGES,
+            "slow_pages": CLASS_DEDUP_SLOW_PAGES,
+            "scan_period_sec": CLASS_DEDUP_SCAN_PERIOD_NS / SECOND,
+            "aging_period_sec": CLASS_DEDUP_AGING_PERIOD_NS / SECOND,
+            "quantum_ms": CLASS_DEDUP_QUANTUM_NS / MILLISECOND,
+            "duration_sec": duration_ns / SECOND,
+            "fusion": False,
+            "timing": "engine.run only, process CPU time",
+        },
+        "interned": runs["interned"],
+        "reference": runs["reference"],
+        "n_classes": intern_stats.get("n_classes"),
+        "interned_segments": intern_stats.get("interned_segments"),
+        "equivalence": {
+            "throughput_rel_err": rel_err(
+                runs["interned"]["throughput_per_sec"],
+                runs["reference"]["throughput_per_sec"],
+            ),
+            "fmar_rel_err": rel_err(
+                runs["interned"]["fmar"], runs["reference"]["fmar"]
+            ),
+        },
+        "speedup": (
+            runs["interned"]["quanta_per_cpu_sec"] / reference_qps
+            if reference_qps else 0.0
+        ),
+    }
+
+
+def print_class_dedup(section):
+    interned = section["interned"]
+    reference = section["reference"]
+    print(
+        f"  class dedup ({CLASS_DEDUP_POLICY}, multitenant "
+        f"x{CLASS_DEDUP_TENANTS}, {section['n_classes']} classes): "
+        f"interned {interned['quanta_per_cpu_sec']:8.1f} q/cpu-s, "
+        f"uninterned {reference['quanta_per_cpu_sec']:8.1f} q/cpu-s, "
+        f"speedup {section['speedup']:.2f}x"
+    )
+
+
+def run_quick_class_dedup_gate(baseline):
+    """Interning speedup and throughput vs the committed class_dedup
+    section.
+
+    Two floors: the interned-vs-uninterned speedup must clear
+    ``CLASS_DEDUP_SPEEDUP_FLOOR`` (equivalence-class stepping pays for
+    itself when 1,024 tenants share 8 tables), and interned quanta per
+    CPU-second must stay above ``CLASS_DEDUP_GATE_FRACTION`` of the
+    committed class_dedup section.  A missing or pre-interning
+    baseline skips the throughput comparison; the speedup floor always
+    applies.  Returns ``(section, ok)``.
+    """
+    committed = None
+    try:
+        committed = float(
+            baseline["class_dedup"]["interned"]["quanta_per_cpu_sec"]
+        )
+    except (KeyError, ValueError, TypeError):
+        pass
+    print(
+        f"  class dedup gate: {CLASS_DEDUP_POLICY}, multitenant "
+        f"x{CLASS_DEDUP_TENANTS} sharing {CLASS_DEDUP_DISTINCT} "
+        f"tables, {CLASS_DEDUP_DURATION_NS / SECOND:.0f}s simulated, "
+        "best of 3"
+    )
+    section = time_class_dedup(best_of=3)
+    print_class_dedup(section)
+    section["baseline_interned_quanta_per_cpu_sec"] = committed
+    section["gate_fraction"] = CLASS_DEDUP_GATE_FRACTION
+    section["speedup_floor"] = CLASS_DEDUP_SPEEDUP_FLOOR
+    ok = True
+    if section["speedup"] < CLASS_DEDUP_SPEEDUP_FLOOR:
+        print(
+            f"  FAIL: interning speedup {section['speedup']:.2f}x is "
+            f"below the {CLASS_DEDUP_SPEEDUP_FLOOR:.1f}x floor"
+        )
+        ok = False
+    if committed is None:
+        print(
+            "  no committed class_dedup section; throughput gate "
+            "skipped"
+        )
+        return section, ok
+    floor = CLASS_DEDUP_GATE_FRACTION * committed
+    measured = section["interned"]["quanta_per_cpu_sec"]
+    print(
+        f"  baseline: {committed:8.1f} interned quanta/cpu-sec "
+        f"(floor {floor:.1f} = {CLASS_DEDUP_GATE_FRACTION:.0%})"
+    )
+    if measured < floor:
+        print(
+            f"  FAIL: {measured:.1f} interned quanta/cpu-sec is below "
+            f"the {CLASS_DEDUP_GATE_FRACTION:.0%} class dedup "
+            "regression floor"
+        )
+        ok = False
+    elif ok:
+        print("  class dedup gate passed")
+    return section, ok
+
+
 def print_fusion(section):
     fused = section["fused"]
     per_quantum = section["per_quantum"]
@@ -1054,6 +1321,9 @@ def run_quick_gate(args, baseline_path: pathlib.Path) -> int:
         baseline, duration_ns
     )
     arena_section, arena_ok = run_quick_arena_gate(baseline)
+    class_dedup_section, class_dedup_ok = run_quick_class_dedup_gate(
+        baseline
+    )
 
     this_host = provenance()
     baseline_cpus = None
@@ -1089,11 +1359,16 @@ def run_quick_gate(args, baseline_path: pathlib.Path) -> int:
         "sweep_gate": sweep_section,
         "fusion_gate": fusion_section,
         "arena_gate": arena_section,
+        "class_dedup_gate": class_dedup_section,
     }
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"  wrote {out}")
-    return 0 if quanta_ok and sweep_ok and fusion_ok and arena_ok else 1
+    all_ok = (
+        quanta_ok and sweep_ok and fusion_ok and arena_ok
+        and class_dedup_ok
+    )
+    return 0 if all_ok else 1
 
 
 def main(argv=None) -> int:
@@ -1129,8 +1404,10 @@ def main(argv=None) -> int:
             "fused quanta/sec drops below "
             f"{FUSION_GATE_FRACTION:.0%} of the committed fusion "
             "section, the fused-vs-per-quantum speedup falls below "
-            f"{FUSION_SPEEDUP_FLOOR:.1f}x, or the arena-vs-per-process "
-            f"speedup falls below {ARENA_SPEEDUP_FLOOR:.1f}x"
+            f"{FUSION_SPEEDUP_FLOOR:.1f}x, the arena-vs-per-process "
+            f"speedup falls below {ARENA_SPEEDUP_FLOOR:.1f}x, or the "
+            "interned-vs-uninterned class dedup speedup falls below "
+            f"{CLASS_DEDUP_SPEEDUP_FLOOR:.1f}x"
         ),
     )
     parser.add_argument(
@@ -1240,6 +1517,8 @@ def main(argv=None) -> int:
     print_fusion(fusion)
     arena = time_arena()
     print_arena(arena)
+    class_dedup = time_class_dedup()
+    print_class_dedup(class_dedup)
 
     scaling = None
     scaling_ok = True
@@ -1271,6 +1550,7 @@ def main(argv=None) -> int:
         "tournament": tournament,
         "fusion": fusion,
         "arena": arena,
+        "class_dedup": class_dedup,
         "scaling": scaling,
         "profile": optimized["profile"],
     }
@@ -1289,6 +1569,13 @@ def main(argv=None) -> int:
         print(
             f"  FAIL: arena speedup {arena['speedup']:.2f}x is below "
             f"the {ARENA_SPEEDUP_FLOOR:.1f}x floor"
+        )
+        ok = False
+    if class_dedup["speedup"] < CLASS_DEDUP_SPEEDUP_FLOOR:
+        print(
+            "  FAIL: interning speedup "
+            f"{class_dedup['speedup']:.2f}x is below the "
+            f"{CLASS_DEDUP_SPEEDUP_FLOOR:.1f}x floor"
         )
         ok = False
     return 0 if ok else 1

@@ -66,7 +66,8 @@ from repro.policies.registry import (
 from repro.sim.timeunits import SECOND
 
 WORKLOADS = (
-    "pmbench", "graph500", "memcached", "redis", "shifting-hotspot",
+    "pmbench", "graph500", "memcached", "multitenant", "redis",
+    "shifting-hotspot",
 )
 
 
@@ -213,6 +214,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable cross-process arena stepping in every cell",
     )
     tour_p.add_argument(
+        "--no-intern", action="store_true",
+        help="disable arena distribution interning in every cell",
+    )
+    tour_p.add_argument(
         "--out", metavar="FILE", default="tournament.json",
         help="leaderboard JSON artifact path (default: "
         "tournament.json)",
@@ -243,6 +248,27 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                         help="pages per process (default: 4096)")
     parser.add_argument("--rw-ratio", type=float, default=0.95,
                         help="read share for pmbench (default: 0.95)")
+    parser.add_argument(
+        "--tenants", type=int, default=50,
+        help="tenant count for the multitenant workload (default: 50)",
+    )
+    parser.add_argument(
+        "--delay-step-units", type=int, default=1,
+        help="per-tenant pmbench delay step for the multitenant "
+        "workload: tenant i stalls i*STEP delay units per access "
+        "(default: 1)",
+    )
+    parser.add_argument(
+        "--base-delay-units", type=int, default=0,
+        help="uniform pmbench think time added to every multitenant "
+        "tenant on top of the per-tenant stagger (default: 0)",
+    )
+    parser.add_argument(
+        "--distinct-tables", type=int, default=1,
+        help="distinct distribution tables shared round-robin across "
+        "multitenant tenants (default: 1; >1 exercises the arena's "
+        "distribution interning)",
+    )
     parser.add_argument("--duration", type=float, default=60.0,
                         help="simulated seconds (default: 60)")
     parser.add_argument("--fast-pages", type=int, default=4_096,
@@ -265,6 +291,14 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
         help=(
             "disable cross-process arena stepping (per-process "
             "fast-path stepping; slower, for equivalence checking)"
+        ),
+    )
+    parser.add_argument(
+        "--no-intern", action="store_true",
+        help=(
+            "disable distribution interning inside the arena "
+            "(uninterned arena stepping; slower on fleets sharing "
+            "compiled tables, for equivalence checking)"
         ),
     )
 
@@ -327,10 +361,21 @@ def _config_overrides(args) -> dict:
         overrides["fusion"] = False
     if args.no_arena:
         overrides["arena"] = False
+    if args.no_intern:
+        overrides["intern"] = False
     return overrides
 
 
 def _workload_kwargs(args) -> dict:
+    if args.workload == "multitenant":
+        return dict(
+            n_tenants=args.tenants,
+            pages_per_tenant=args.pages,
+            delay_step_units=args.delay_step_units,
+            n_distinct=args.distinct_tables,
+            read_write_ratio=args.rw_ratio,
+            base_delay_units=args.base_delay_units,
+        )
     kwargs = dict(n_procs=args.procs, pages_per_proc=args.pages)
     if args.workload == "pmbench":
         kwargs["read_write_ratio"] = args.rw_ratio

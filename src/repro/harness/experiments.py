@@ -41,6 +41,7 @@ from repro.sim.timeunits import MICROSECOND, MILLISECOND, SECOND
 from repro.vm.process import SimProcess
 from repro.workloads.graph500 import Graph500Workload
 from repro.workloads.kvstore import KVStoreWorkload
+from repro.workloads.multitenant import make_multitenant_processes
 from repro.workloads.pmbench import PmbenchWorkload
 
 #: the six systems of the main evaluation, in the paper's plot order
@@ -325,12 +326,45 @@ def shifting_hotspot_processes(
     ]
 
 
+def multitenant_processes(
+    setup: StandardSetup,
+    n_tenants: int = 50,
+    pages_per_tenant: int = 1024,
+    delay_step_units: int = 1,
+    n_distinct: int = 1,
+    read_write_ratio: float = 0.95,
+    base_delay_units: int = 0,
+) -> List[SimProcess]:
+    """The Section 5.1.3 50-cgroup tenant fleet as a sweepable family.
+
+    Tenant ``i`` stalls ``base_delay_units + i * delay_step_units``
+    pmbench delay units per access, so hotness falls off linearly
+    across the fleet from a common base.  The cgroup names the
+    underlying helper pairs with each process are dropped here: the
+    sweep layer registers processes without cgroup attribution, and
+    callers that need the cgroup split (the Figure 9 reproduction) keep
+    using :func:`repro.workloads.multitenant.make_multitenant_processes`
+    directly.
+    """
+    pairs = make_multitenant_processes(
+        n_tenants=n_tenants,
+        pages_per_tenant=pages_per_tenant,
+        delay_step_units=delay_step_units,
+        read_write_ratio=read_write_ratio,
+        seed=setup.seed,
+        n_distinct=n_distinct,
+        base_delay_units=base_delay_units,
+    )
+    return [process for process, _cgroup in pairs]
+
+
 #: named fleet builders the declarative sweep layer (and the CLI) can
 #: reference; every builder takes ``(setup, **kwargs)`` and returns a
 #: fresh process list
 FLEET_BUILDERS = {
     "pmbench": pmbench_processes,
     "graph500": graph500_processes,
+    "multitenant": multitenant_processes,
     "memcached": lambda setup, **kw: kvstore_processes(
         setup, flavor="memcached", **kw
     ),

@@ -22,6 +22,7 @@ from repro.mem.tier import dram_spec, optane_spec
 from repro.sim.rng import RngStreams
 from repro.sim.timeunits import MILLISECOND, SECOND
 from repro.vm.process import SimProcess
+from repro.workloads.base import table_cache_stats
 
 
 @dataclass
@@ -45,6 +46,11 @@ class RunConfig:
     #: quantum); ``False`` keeps the per-process fast path as the
     #: arena's reference mode (CLI ``--no-arena``)
     arena: bool = True
+    #: distribution interning inside the arena (equivalence-class
+    #: stepping over shared compiled tables); ``False`` keeps the
+    #: uninterned arena step as the interning reference mode (CLI
+    #: ``--no-intern``)
+    intern: bool = True
 
     def __post_init__(self) -> None:
         if self.fast_pages <= 0 or self.slow_pages <= 0:
@@ -215,6 +221,7 @@ def run_experiment(
         fast_path=fast_path,
         fusion=config.fusion,
         arena=config.arena,
+        intern=config.intern,
     )
     end_ns = engine.run(
         config.duration_ns,
@@ -230,6 +237,19 @@ def summarize_run(
 ) -> RunResult:
     """Collapse a finished run into a :class:`RunResult`."""
     duration_sec = end_ns / 1e9
+    if kernel.obs is not None:
+        # Compiled-table cache effectiveness at snapshot time: hits and
+        # misses accumulate process-globally, bytes is the resident set.
+        table_stats = table_cache_stats()
+        kernel.obs.set_gauge(
+            "workload.table_hits", table_stats["hits"]
+        )
+        kernel.obs.set_gauge(
+            "workload.table_misses", table_stats["misses"]
+        )
+        kernel.obs.set_gauge(
+            "workload.table_bytes", table_stats["bytes"]
+        )
     total_accesses = sum(p.stats.accesses for p in kernel.processes)
     fast_accesses = sum(p.stats.fast_accesses for p in kernel.processes)
     fmar = fast_accesses / total_accesses if total_accesses else 0.0

@@ -246,6 +246,32 @@ METRIC_CATALOGUE: Dict[str, MetricSpec] = {
               "repro.harness.engine",
               "fused-window length per fused step, in quanta.",
               edges=_FUSION_EDGES_QUANTA),
+        _spec("arena.interned_classes", "gauge", "count",
+              "repro.harness.arena",
+              "multi-member distribution equivalence classes in the "
+              "interned arena."),
+        _spec("arena.interned_segments", "gauge", "count",
+              "repro.harness.arena",
+              "segments currently priced through an equivalence class."),
+        _spec("arena.repriced_segments", "counter", "count",
+              "repro.harness.arena",
+              "segment prices recomputed by the interned step (dirty "
+              "rows plus members of dirty classes)."),
+        _spec("arena.reprice_skipped_segments", "counter", "count",
+              "repro.harness.arena",
+              "segment re-pricings skipped because the epoch witness "
+              "showed no change."),
+        _spec("workload.table_hits", "gauge", "count",
+              "repro.workloads.base",
+              "compiled-table cache hits accumulated process-wide at "
+              "snapshot time."),
+        _spec("workload.table_misses", "gauge", "count",
+              "repro.workloads.base",
+              "compiled-table cache misses accumulated process-wide at "
+              "snapshot time."),
+        _spec("workload.table_bytes", "gauge", "bytes",
+              "repro.workloads.base",
+              "bytes resident in the compiled-table cache."),
         _spec("machine.fast_free_pages", "gauge", "pages",
               "repro.mem.machine", "fast-tier free frames."),
         _spec("machine.slow_free_pages", "gauge", "pages",

@@ -26,6 +26,13 @@ time in two kernels:
     the per-tier heat maps, fused over ``(tier, bucket)`` keys instead
     of one ``np.add.at`` per tier.
 
+``price_fold``
+    The arena's masked pricing fold: recompute
+    ``mean_lat[i] = sum_t mass[i, t] * (rf[i]*read[t] + wf[i]*write[t])``
+    for a subset ``idx`` of segment rows.  The interned stepping path
+    re-prices only dirty singleton rows, so the fold takes the row
+    subset explicitly instead of sweeping every segment.
+
 Both have a pure-numpy implementation that is the default and the
 reference.  Setting ``CHRONO_JIT=1`` in the environment swaps in numba
 ``@njit`` versions **when numba is importable**; the numba kernels
@@ -89,6 +96,33 @@ def _numpy_dcsc_fold(
     return counts.astype(np.float64).reshape(n_tiers, n_buckets)
 
 
+def _numpy_price_fold(
+    mass: np.ndarray,
+    rf: np.ndarray,
+    wf: np.ndarray,
+    read_lats: np.ndarray,
+    write_lats: np.ndarray,
+    idx: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Reference masked pricing fold.
+
+    Per element the operation sequence is exactly the full-arena fold's
+    (``rf*read``, ``wf*write``, add, multiply by mass, accumulate in
+    tier order), so a masked refold of an unchanged row reproduces the
+    cached value bit for bit.
+    """
+    sub_rf = rf[idx]
+    sub_wf = wf[idx]
+    acc = np.zeros(idx.shape[0], dtype=np.float64)
+    for tier_id in range(read_lats.shape[0]):
+        coef = sub_rf * read_lats[tier_id]
+        coef += sub_wf * write_lats[tier_id]
+        coef *= mass[idx, tier_id]
+        acc += coef
+    out[idx] = acc
+
+
 def _build_numba_kernels() -> Optional[dict]:
     """Compile the numba kernels; ``None`` when numba is unavailable."""
     try:
@@ -148,6 +182,21 @@ def _build_numba_kernels() -> Optional[dict]:
             out[tiers[i], buckets[i]] += 1.0
         return out
 
+    @njit(cache=True)
+    def _nb_price_fold(mass, rf, wf, read_lats, write_lats, idx, out):  # pragma: no cover - compiled
+        for k in range(idx.shape[0]):
+            i = idx[k]
+            acc = 0.0
+            for tier_id in range(read_lats.shape[0]):
+                # Same per-element sequence as the numpy fold: rf*read,
+                # wf*write, add, multiply by mass, accumulate in tier
+                # order -- bit-identical by IEEE-754.
+                coef = rf[i] * read_lats[tier_id]
+                coef += wf[i] * write_lats[tier_id]
+                coef *= mass[i, tier_id]
+                acc += coef
+            out[i] = acc
+
     def ledger_fold(probs, n_accesses, access, window, buf):
         _nb_ledger_fold(probs, float(n_accesses), access, window)
 
@@ -172,12 +221,24 @@ def _build_numba_kernels() -> Optional[dict]:
             n_buckets,
         )
 
+    def price_fold(mass, rf, wf, read_lats, write_lats, idx, out):
+        _nb_price_fold(
+            mass,
+            rf,
+            wf,
+            read_lats,
+            write_lats,
+            np.ascontiguousarray(idx, dtype=np.int64),
+            out,
+        )
+
     return {
         "enabled": True,
         "ledger_fold": ledger_fold,
         "searchsorted_right": searchsorted_right,
         "scan_filter": scan_filter,
         "dcsc_fold": dcsc_fold,
+        "price_fold": price_fold,
     }
 
 
@@ -196,6 +257,7 @@ def _resolve() -> dict:
             "searchsorted_right": _numpy_searchsorted_right,
             "scan_filter": _numpy_scan_filter,
             "dcsc_fold": _numpy_dcsc_fold,
+            "price_fold": _numpy_price_fold,
         }
     _state = kernels
     return _state
@@ -245,3 +307,19 @@ def dcsc_fold(
     ``(n_tiers, n_buckets)`` table (JIT-swappable; integer-valued counts,
     bit-identical across implementations)."""
     return _resolve()["dcsc_fold"](tiers, buckets, int(n_tiers), int(n_buckets))
+
+
+def price_fold(
+    mass: np.ndarray,
+    rf: np.ndarray,
+    wf: np.ndarray,
+    read_lats: np.ndarray,
+    write_lats: np.ndarray,
+    idx: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Masked arena pricing fold: rewrite ``out[idx]`` with
+    ``sum_t mass[idx, t] * (rf[idx]*read[t] + wf[idx]*write[t])``
+    (JIT-swappable; same per-element FP sequence as the dense fold,
+    bit-identical across implementations)."""
+    _resolve()["price_fold"](mass, rf, wf, read_lats, write_lats, idx, out)

@@ -20,6 +20,7 @@ from repro.workloads.base import (
     TraceWorkload,
     Workload,
     cached_tables,
+    distribution_fingerprint,
     reset_table_cache,
     seed_tables,
     snapshot_tables,
@@ -38,6 +39,7 @@ __all__ = [
     "TraceWorkload",
     "Workload",
     "cached_tables",
+    "distribution_fingerprint",
     "make_multitenant_processes",
     "reset_table_cache",
     "seed_tables",

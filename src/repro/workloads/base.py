@@ -34,9 +34,10 @@ an 8-job sweep holds one copy of each distribution.
 from __future__ import annotations
 
 import json
+import weakref
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -44,7 +45,19 @@ import numpy as np
 TABLE_CACHE_CAPACITY = 64
 
 _TABLE_CACHE: "OrderedDict[str, Dict[str, np.ndarray]]" = OrderedDict()
-_TABLE_STATS: Dict[str, int] = {"hits": 0, "builds": 0, "seeded": 0}
+_TABLE_STATS: Dict[str, int] = {
+    "hits": 0,
+    "builds": 0,
+    "seeded": 0,
+    "misses": 0,
+}
+
+#: reverse index from a cached array's identity to its canonical cache
+#: key: ``id(array) -> (key, table_name, weakref)``.  The weakref guards
+#: against id reuse after an eviction frees the array; entries are
+#: pruned opportunistically when the index outgrows the cache.
+_ARRAY_KEYS: Dict[int, Tuple[str, str, "weakref.ref"]] = {}
+_ARRAY_KEYS_SWEEP_LEN = 8 * TABLE_CACHE_CAPACITY
 
 
 def table_key(kind: str, **params: Any) -> str:
@@ -70,6 +83,47 @@ def _freeze(tables: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
     return frozen
 
 
+def _register_fingerprints(
+    key: str, tables: Mapping[str, np.ndarray]
+) -> None:
+    """Index each frozen array's identity back to its cache key."""
+    if len(_ARRAY_KEYS) > _ARRAY_KEYS_SWEEP_LEN:
+        dead = [
+            array_id
+            for array_id, (_, _, ref) in _ARRAY_KEYS.items()
+            if ref() is None
+        ]
+        for array_id in dead:
+            del _ARRAY_KEYS[array_id]
+    for name, array in tables.items():
+        _ARRAY_KEYS[id(array)] = (key, name, weakref.ref(array))
+
+
+def distribution_fingerprint(
+    array: Optional[np.ndarray],
+) -> Optional[Tuple[str, str]]:
+    """``(cache_key, table_name)`` for a cached table array, else ``None``.
+
+    The arena's distribution-interning layer groups segments by the
+    *identity* of their ``probs`` array (two workloads built from the
+    same :func:`table_key` parameters share one frozen array); this
+    resolves that identity back to the canonical key for reporting and
+    equivalence-class fingerprints.  Arrays that never went through
+    :func:`cached_tables` / :func:`seed_tables` have no fingerprint.
+    """
+    if array is None:
+        return None
+    entry = _ARRAY_KEYS.get(id(array))
+    if entry is None:
+        return None
+    key, name, ref = entry
+    if ref() is not array:
+        # id reuse after the original array was evicted and freed
+        del _ARRAY_KEYS[id(array)]
+        return None
+    return key, name
+
+
 def cached_tables(
     key: str, builder: Callable[[], Mapping[str, np.ndarray]]
 ) -> Dict[str, np.ndarray]:
@@ -86,8 +140,10 @@ def cached_tables(
         _TABLE_STATS["hits"] += 1
         return tables
     _TABLE_STATS["builds"] += 1
+    _TABLE_STATS["misses"] += 1
     tables = _freeze(builder())
     _TABLE_CACHE[key] = tables
+    _register_fingerprints(key, tables)
     while len(_TABLE_CACHE) > TABLE_CACHE_CAPACITY:
         _TABLE_CACHE.popitem(last=False)
     return tables
@@ -98,8 +154,10 @@ def seed_tables(
 ) -> None:
     """Install pre-built table sets (the shared-memory attach path)."""
     for key, tables in entries.items():
-        _TABLE_CACHE[key] = _freeze(tables)
+        frozen = _freeze(tables)
+        _TABLE_CACHE[key] = frozen
         _TABLE_CACHE.move_to_end(key)
+        _register_fingerprints(key, frozen)
         _TABLE_STATS["seeded"] += 1
     while len(_TABLE_CACHE) > TABLE_CACHE_CAPACITY:
         _TABLE_CACHE.popitem(last=False)
@@ -121,15 +179,23 @@ def snapshot_tables(
 
 
 def table_cache_stats() -> Dict[str, int]:
-    """Hit/build/seed counters plus the current entry count."""
+    """Hit/build/seed/miss counters plus the current entry count and
+    resident table bytes (the obs registry's ``workload.table_*``
+    gauges read these at snapshot time)."""
     stats = dict(_TABLE_STATS)
     stats["entries"] = len(_TABLE_CACHE)
+    stats["bytes"] = sum(
+        array.nbytes
+        for tables in _TABLE_CACHE.values()
+        for array in tables.values()
+    )
     return stats
 
 
 def reset_table_cache() -> None:
     """Drop every cached table set and zero the counters (tests)."""
     _TABLE_CACHE.clear()
+    _ARRAY_KEYS.clear()
     for counter in _TABLE_STATS:
         _TABLE_STATS[counter] = 0
 

@@ -22,24 +22,47 @@ def make_multitenant_processes(
     delay_step_units: int = 1,
     read_write_ratio: float = 0.95,
     seed: int = 0,
+    n_distinct: int = 1,
+    base_delay_units: int = 0,
 ) -> List[Tuple[SimProcess, str]]:
     """Build the tenant processes and their cgroup names.
 
     Returns a list of ``(process, cgroup_name)`` pairs; the caller registers
     them with the kernel (``kernel.register_process(proc, cgroup=name)``).
+
+    ``n_distinct`` cycles the pmbench access ``stride`` across tenants
+    (tenant ``i`` gets ``stride = 1 + i % n_distinct``) so the fleet
+    compiles exactly ``n_distinct`` distinct distribution tables, shared
+    round-robin.  The default 1 keeps the paper's setup (every tenant on
+    the same uniform table); larger values drive the arena's
+    distribution-interning benchmark, where 1024 tenants share <= 8
+    tables.
+
+    ``base_delay_units`` adds a uniform think time to every tenant on
+    top of the per-tenant stagger (tenant ``i`` stalls
+    ``base_delay_units + i * delay_step_units`` units per access).  A
+    fleet of compute-bound tenants (``delay_step_units=0`` plus a
+    nonzero base) keeps equal per-access cost -- so shared-table
+    tenants still intern into one class -- while holding aggregate
+    bandwidth demand below tier saturation.
     """
     if n_tenants <= 0:
         raise ValueError("need at least one tenant")
     if delay_step_units < 0:
         raise ValueError("delay step cannot be negative")
+    if base_delay_units < 0:
+        raise ValueError("base delay cannot be negative")
+    if n_distinct < 1:
+        raise ValueError("need at least one distinct distribution")
     streams = RngStreams(seed)
     tenants = []
     for i in range(n_tenants):
         workload = PmbenchWorkload(
             n_pages=pages_per_tenant,
             pattern="uniform",
+            stride=1 + i % n_distinct,
             read_write_ratio=read_write_ratio,
-            delay_units=i * delay_step_units,
+            delay_units=base_delay_units + i * delay_step_units,
         )
         process = SimProcess(
             pid=i,

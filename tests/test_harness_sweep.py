@@ -186,6 +186,26 @@ class TestSharedTables:
         assert [summary_fingerprint(s) for s in shared] == expected
         assert [summary_fingerprint(s) for s in unshared] == expected
 
+    def test_no_shm_kill_switch_falls_back_identically(self, monkeypatch):
+        """``CHRONO_NO_SHM=1`` with table sharing requested must fall
+        back to the pickle transport (arrays inline in the manifest)
+        and reproduce the shared-memory results byte for byte."""
+        cells = [
+            make_cell("linux-nb", seed=0),
+            make_cell("tpp", seed=0),
+        ]
+        monkeypatch.setenv("CHRONO_SHM_MIN_BYTES", "0")
+        shared = run_cells(
+            cells, jobs=2, use_cache=False, share_tables=True
+        )
+        monkeypatch.setenv("CHRONO_NO_SHM", "1")
+        fallback = run_cells(
+            cells, jobs=2, use_cache=False, share_tables=True
+        )
+        assert [summary_fingerprint(s) for s in fallback] == [
+            summary_fingerprint(s) for s in shared
+        ]
+
     def test_warm_run_reuses_tables(self):
         # Four cells over the same fleet: the distribution compiles
         # once and every later cell is a table-cache hit.

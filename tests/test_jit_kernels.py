@@ -66,6 +66,32 @@ class TestNumpyDefault:
             np.searchsorted(cdf, values, side="right"),
         )
 
+    def test_price_fold_masked_rows_only(self, monkeypatch):
+        """The masked pricing fold writes exactly the indexed rows,
+        with the reference tier-order accumulation (coef = rf*read +
+        wf*write, then *mass, summed per tier)."""
+        monkeypatch.delenv("CHRONO_JIT", raising=False)
+        rng = np.random.default_rng(4)
+        n_segs, n_tiers = 13, 3
+        mass = rng.random((n_segs, n_tiers)) * 5.0
+        wf = rng.random(n_segs)
+        rf = 1.0 - wf
+        read_lats = rng.random(n_tiers) * 100.0
+        write_lats = rng.random(n_tiers) * 300.0
+        idx = np.array([0, 2, 5, 11], dtype=np.int64)
+        out = np.full(n_segs, -1.0)
+        jit.price_fold(mass, rf, wf, read_lats, write_lats, idx, out)
+        expected = np.full(n_segs, -1.0)
+        acc = np.zeros(idx.size)
+        for tier_id in range(n_tiers):
+            coef = rf[idx] * read_lats[tier_id]
+            coef += wf[idx] * write_lats[tier_id]
+            coef *= mass[idx, tier_id]
+            acc += coef
+        expected[idx] = acc
+        np.testing.assert_array_equal(out, expected)
+        assert out[1] == -1.0  # untouched rows keep their value
+
 
 class TestGracefulDegradation:
     @pytest.mark.skipif(
@@ -120,3 +146,22 @@ class TestNumbaBitIdentity:
             jit.searchsorted_right(cdf, values),
             np.searchsorted(cdf, values, side="right"),
         )
+
+    def test_price_fold_bit_identical(self, monkeypatch):
+        rng = np.random.default_rng(5)
+        n_segs, n_tiers = 1_025, 4
+        mass = rng.random((n_segs, n_tiers)) * 10.0
+        wf = rng.random(n_segs)
+        rf = 1.0 - wf
+        read_lats = rng.random(n_tiers) * 100.0
+        write_lats = rng.random(n_tiers) * 300.0
+        idx = np.flatnonzero(rng.random(n_segs) < 0.5)
+        ref = np.zeros(n_segs)
+        out = np.zeros(n_segs)
+        monkeypatch.setenv("CHRONO_JIT", "0")
+        jit.price_fold(mass, rf, wf, read_lats, write_lats, idx, ref)
+        jit.reset()
+        monkeypatch.setenv("CHRONO_JIT", "1")
+        assert jit.jit_enabled()
+        jit.price_fold(mass, rf, wf, read_lats, write_lats, idx, out)
+        np.testing.assert_array_equal(out, ref)

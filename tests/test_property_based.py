@@ -20,7 +20,7 @@ from repro.pebs.histogram import bin_of
 from repro.sim.events import EventScheduler
 from repro.vm.hugepage import aggregate_by_huge, n_huge_pages
 from repro.vm.page_state import PageState
-from tests.conftest import make_process
+from tests.conftest import make_kernel, make_process
 
 
 class TestCitBucketProperties:
@@ -342,6 +342,98 @@ class TestSchedulerProperties:
         remaining = scheduler.next_due()
         assert remaining is None or remaining > clock["now"]
         assert len(fired) + len(scheduler) == scheduled
+
+
+class TestArenaMassRepairProperties:
+    """Random multi-segment migration journals keep the arena's mass
+    matrix consistent through the fused replay.
+
+    ``_repair_mass_many`` folds several segments' journal entries in
+    one pass, replacing the per-entry weighted ``bincount`` with two
+    scalar updates when a batch is single-source; the sum-then-subtract
+    rounding can drift a drained tier a few ulps below zero, and the
+    replay must clamp that drift away (negative mass poisons the
+    demand fold).  The replayed rows must also agree with a fresh
+    recount to FP tolerance, and every repaired segment must land on
+    its pages' epoch.
+    """
+
+    N_SEGS = 3
+    N_PAGES = 32
+
+    def _build_arena(self):
+        from repro.harness.engine import QuantumEngine
+        from repro.sim.timeunits import MILLISECOND
+
+        kernel = make_kernel()
+        processes = [
+            make_process(pid=pid, n_pages=self.N_PAGES)
+            for pid in range(1, self.N_SEGS + 1)
+        ]
+        for process in processes:
+            kernel.register_process(process)
+        kernel.allocate_initial_placement()
+        engine = QuantumEngine(
+            kernel, quantum_ns=10 * MILLISECOND, arena=True
+        )
+        engine._arena_step(0, 10 * MILLISECOND)
+        return engine._arena, processes
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=N_SEGS - 1),
+                st.lists(
+                    st.integers(min_value=0, max_value=N_PAGES - 1),
+                    min_size=1,
+                    max_size=8,
+                ),
+                st.sampled_from([FAST_TIER, SLOW_TIER]),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    @settings(deadline=None, max_examples=25)
+    def test_fused_replay_clamps_drift_and_tracks_recount(self, moves):
+        arena, processes = self._build_arena()
+        # Touch at least two segments so the repair takes the fused
+        # multi-segment path rather than delegating to the sequential
+        # single-segment replay.
+        for seg in (0, 1):
+            processes[seg].pages.move_to_tier(
+                np.array([seg], dtype=np.int64), FAST_TIER
+            )
+        for seg, raw_vpns, tier in moves:
+            processes[seg].pages.move_to_tier(
+                np.unique(np.array(raw_vpns, dtype=np.int64)), tier
+            )
+        stale = [
+            (i, process)
+            for i, process in enumerate(processes)
+            if arena.mass_epoch[i] != process.pages.epoch
+        ]
+        assert len(stale) >= 2
+        arena._repair_mass_many(stale)
+        assert (arena.mass >= 0.0).all()
+        for i, process in enumerate(processes):
+            assert arena.mass_epoch[i] == process.pages.epoch
+            probs = arena.probs_refs[i]
+            expected = np.bincount(
+                process.pages.tier.astype(np.int64),
+                weights=probs,
+                minlength=arena.n_tiers,
+            )
+            np.testing.assert_allclose(
+                arena.mass[i], expected, atol=1e-12
+            )
+            lo, hi = (
+                int(arena.seg_starts[i]),
+                int(arena.seg_starts[i + 1]),
+            )
+            np.testing.assert_array_equal(
+                arena.concat_tier[lo:hi], process.pages.tier
+            )
 
 
 class TestPageProtectionInvariants:
