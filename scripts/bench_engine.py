@@ -44,6 +44,20 @@ the clock is process CPU time, which is immune to scheduler noise
 on shared runners.  The interned-vs-uninterned speedup must clear
 ``CLASS_DEDUP_SPEEDUP_FLOOR``.
 
+The trace section covers the trace pipeline end to end.  Compile: a
+two-million-event synthetic stream with three known phases runs
+through the chunked trace compiler (``repro.workloads.compile``) and
+must bin + segment at least ``TRACE_COMPILE_FLOOR`` events per
+CPU-second.  Replay: the compiled three-phase trace replays for one
+full cycle with fusion on and off; the fused run's fusion ratio must
+clear ``TRACE_FUSION_RATIO_FLOOR`` (a phase-stable compiled trace
+rides the macro-quantum path) and the two runs must agree on
+throughput and FMAR within ``TRACE_EQUIV_TOLERANCE``.  Traffic: a
+1,024-tenant generated fleet (``repro.workloads.tracegen``: Zipf
+popularity, diurnal delay buckets, shared pattern tables) steps
+through the arena interned vs uninterned under the class_dedup
+protocol, and the speedup must clear ``TRAFFIC_SPEEDUP_FLOOR``.
+
 The tournament section times the full registered-policy roster (all
 12 Table 1 policies) on one phase-changing ``shifting-hotspot``
 workload, reporting per-policy wall seconds plus aggregate
@@ -127,7 +141,12 @@ from repro.harness.sweep import (  # noqa: E402
 from repro.kernel.kernel import Kernel  # noqa: E402
 from repro.sim.rng import RngStreams  # noqa: E402
 from repro.sim.timeunits import MILLISECOND, SECOND  # noqa: E402
+from repro.vm.process import SimProcess  # noqa: E402
 from repro.workloads import reset_table_cache  # noqa: E402
+from repro.workloads.compile import (  # noqa: E402
+    compile_event_stream,
+    synthetic_event_stream,
+)
 
 #: --quick fails when quanta/sec falls below this fraction of the
 #: committed baseline (allows host-speed jitter, catches real
@@ -214,6 +233,65 @@ CLASS_DEDUP_SPEEDUP_FLOOR = 2.0
 #: class_dedup section's quanta per CPU-second (host-speed jitter
 #: allowance).
 CLASS_DEDUP_GATE_FRACTION = 0.5
+
+#: trace-compiler throughput config: a known-phase synthetic event
+#: stream (three rotating Zipf hotspots, one pid) pushed through the
+#: chunked vectorized binner + change-point segmentation.  CPU time is
+#: the clock (single-threaded numpy work, immune to scheduler noise).
+TRACE_COMPILE_EVENTS = 2_000_000
+TRACE_COMPILE_PAGES = 256
+TRACE_COMPILE_PHASES = 3
+TRACE_WINDOWS_PER_PHASE = 8
+
+#: absolute floor on compile throughput: the compiler must ingest at
+#: least a million events per CPU-second (measured headroom is ~7x).
+TRACE_COMPILE_FLOOR = 1_000_000.0
+
+#: --quick compile-throughput floor, as a fraction of the committed
+#: trace section's events per CPU-second (host-speed jitter allowance).
+TRACE_COMPILE_GATE_FRACTION = 0.5
+
+#: replay config: the compiled three-phase trace replayed as one
+#: process under a steady-state policy with fusion on vs off.  Each
+#: phase is stable for ``TRACE_WINDOWS_PER_PHASE`` windows, so the
+#: fused engine should cross most of every phase in macro-quanta.
+TRACE_REPLAY_POLICY = "chrono"
+TRACE_REPLAY_EVENTS = 200_000
+
+#: floor on the fused replay's fusion ratio: a phase-stable compiled
+#: trace that cannot fuse half its quanta is not riding the fast path.
+TRACE_FUSION_RATIO_FLOOR = 0.5
+
+#: fused-vs-per-quantum replay equivalence tolerance (the arena
+#: suite's bound: rel 0.05, with the same 1e-4 FMAR absolute slack).
+TRACE_EQUIV_TOLERANCE = 0.05
+
+#: traffic-fleet config: 1,024 Zipf-popularity tenants from the fleet
+#: traffic generator (shared pattern tables, diurnal load mapped onto
+#: a geometric delay-bucket ladder), stationary roles only, stepped
+#: through the arena with interning on vs off.  Same machine shape,
+#: clock, and reasoning as the class_dedup section; the dedup here is
+#: coarser (pattern x delay-bucket classes instead of 8 flat tables).
+TRAFFIC_POLICY = "linux-nb"
+TRAFFIC_TENANTS = 1_024
+TRAFFIC_PAGES = 256
+TRAFFIC_PATTERNS = 8
+TRAFFIC_BASE_DELAY = 400
+TRAFFIC_FAST_PAGES = 294_912
+TRAFFIC_SLOW_PAGES = 32_768
+TRAFFIC_SCAN_PERIOD_NS = 5 * SECOND
+TRAFFIC_AGING_PERIOD_NS = 10 * SECOND
+TRAFFIC_QUANTUM_NS = 5 * MILLISECOND
+TRAFFIC_DURATION_NS = 2 * SECOND
+
+#: --quick floor on the interned-vs-uninterned speedup at the traffic
+#: config: interning must at least halve per-quantum cost when 1,024
+#: generated tenants collapse into pattern x delay-bucket classes.
+TRAFFIC_SPEEDUP_FLOOR = 2.0
+
+#: --quick interned-throughput floor, as a fraction of the committed
+#: trace section's traffic quanta per CPU-second.
+TRAFFIC_GATE_FRACTION = 0.5
 
 #: worker-pool sizes for the sweep throughput ladder
 SWEEP_JOBS_LADDER = (1, 2, 4, 8)
@@ -994,6 +1072,421 @@ def run_quick_class_dedup_gate(baseline):
     return section, ok
 
 
+def time_trace_compile():
+    """Compile throughput on the known-phase synthetic event stream.
+
+    The chunks are materialized first so only the compiler itself --
+    chunked binning plus change-point segmentation -- is on the clock.
+    CPU time is the clock for the same reason as the class_dedup
+    section: the binner is single-threaded numpy work, and CPU time is
+    immune to scheduler noise on shared runners.
+    """
+    chunks = list(synthetic_event_stream(
+        TRACE_COMPILE_EVENTS,
+        n_pages=TRACE_COMPILE_PAGES,
+        n_phases=TRACE_COMPILE_PHASES,
+        windows_per_phase=TRACE_WINDOWS_PER_PHASE,
+    ))
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    compiled = compile_event_stream(chunks, n_pages=TRACE_COMPILE_PAGES)
+    cpu = time.process_time() - cpu_start
+    wall = time.perf_counter() - wall_start
+    trace = compiled[0]
+    return {
+        "n_events": TRACE_COMPILE_EVENTS,
+        "n_pages": TRACE_COMPILE_PAGES,
+        "n_windows": trace.n_windows,
+        "n_phases_expected": TRACE_COMPILE_PHASES,
+        "n_phases_detected": trace.n_phases,
+        "cpu_sec": cpu,
+        "wall_sec": wall,
+        "events_per_cpu_sec": (
+            TRACE_COMPILE_EVENTS / cpu if cpu else 0.0
+        ),
+        "events_per_sec": (
+            TRACE_COMPILE_EVENTS / wall if wall else 0.0
+        ),
+    }
+
+
+def _trace_replay_run(trace, fusion):
+    """Replay one compiled trace for one full cycle, fusion on or off."""
+    setup = StandardSetup(duration_ns=trace.total_ns)
+    policy = setup.build_policy(TRACE_REPLAY_POLICY)
+    streams = RngStreams(setup.seed)
+    processes = [
+        SimProcess(
+            pid=0,
+            workload=trace.to_workload(),
+            rng=streams.spawn("replay-0").get("access"),
+            name="replay-0",
+        )
+    ]
+    start = time.perf_counter()
+    result = run_experiment(
+        processes, policy, setup.run_config(fusion=fusion)
+    )
+    wall = time.perf_counter() - start
+    engine = result.engine
+    return {
+        "wall_sec": wall,
+        "quanta": engine.quanta_run,
+        "fused_quanta": engine.fused_quanta,
+        "quanta_per_sec": (
+            engine.quanta_run / wall if wall else 0.0
+        ),
+        "fusion_ratio": (
+            engine.fused_quanta / engine.quanta_run
+            if engine.quanta_run else 0.0
+        ),
+        "throughput_per_sec": result.throughput_per_sec,
+        "fmar": result.fmar,
+    }
+
+
+def time_trace_replay(best_of=1):
+    """Fused vs per-quantum replay of the compiled three-phase trace.
+
+    The trace is compiled once and both modes replay the identical
+    phase tables, so the fused run's fusion ratio measures how much of
+    a phase-stable compiled trace the engine crosses in macro-quanta,
+    and the fused-vs-per-quantum rel errors are the replay-fidelity
+    check at the arena suite's tolerance.
+    """
+    trace = compile_event_stream(
+        synthetic_event_stream(
+            TRACE_REPLAY_EVENTS,
+            n_pages=TRACE_COMPILE_PAGES,
+            n_phases=TRACE_COMPILE_PHASES,
+            windows_per_phase=TRACE_WINDOWS_PER_PHASE,
+        ),
+        n_pages=TRACE_COMPILE_PAGES,
+    )[0]
+    runs = {}
+    for fusion in (True, False):
+        best = None
+        for _ in range(max(1, best_of)):
+            run = _trace_replay_run(trace, fusion)
+            if best is None or run["wall_sec"] < best["wall_sec"]:
+                best = run
+        runs["fused" if fusion else "per_quantum"] = best
+    fused = runs["fused"]
+    per_quantum = runs["per_quantum"]
+    throughput_err = rel_err(
+        fused["throughput_per_sec"], per_quantum["throughput_per_sec"]
+    )
+    fmar_err = rel_err(fused["fmar"], per_quantum["fmar"])
+    equivalent = throughput_err <= TRACE_EQUIV_TOLERANCE and (
+        fmar_err <= TRACE_EQUIV_TOLERANCE
+        or abs(fused["fmar"] - per_quantum["fmar"]) <= 1e-4
+    )
+    per_quantum_qps = per_quantum["quanta_per_sec"]
+    return {
+        "trace": {
+            "n_events": trace.n_events,
+            "n_windows": trace.n_windows,
+            "n_idle_windows": trace.n_idle_windows,
+            "n_phases": trace.n_phases,
+            "n_pages": trace.n_pages,
+            "cycle_sec": trace.total_ns / SECOND,
+        },
+        "policy": TRACE_REPLAY_POLICY,
+        "fused": fused,
+        "per_quantum": per_quantum,
+        "speedup": (
+            fused["quanta_per_sec"] / per_quantum_qps
+            if per_quantum_qps else 0.0
+        ),
+        "equivalence": {
+            "throughput_rel_err": throughput_err,
+            "fmar_rel_err": fmar_err,
+            "tolerance": TRACE_EQUIV_TOLERANCE,
+            "ok": equivalent,
+        },
+    }
+
+
+def traffic_setup(duration_ns) -> StandardSetup:
+    return StandardSetup(
+        duration_ns=duration_ns,
+        fast_pages=TRAFFIC_FAST_PAGES,
+        slow_pages=TRAFFIC_SLOW_PAGES,
+        scan_period_ns=TRAFFIC_SCAN_PERIOD_NS,
+        aging_period_ns=TRAFFIC_AGING_PERIOD_NS,
+        quantum_ns=TRAFFIC_QUANTUM_NS,
+    )
+
+
+def _traffic_run(duration_ns, intern, observer=None):
+    """One traffic-fleet pass: the ``_class_dedup_run`` stack (hand
+    built, only ``engine.run`` on the process-CPU clock) with the
+    generated tenant fleet in place of the flat multitenant one."""
+    setup = traffic_setup(duration_ns)
+    config = setup.run_config(arena=True, fusion=False, intern=intern)
+    policy = setup.build_policy(TRAFFIC_POLICY)
+    processes = build_fleet(
+        setup, "traffic",
+        n_tenants=TRAFFIC_TENANTS,
+        pages_per_tenant=TRAFFIC_PAGES,
+        n_patterns=TRAFFIC_PATTERNS,
+        base_delay_units=TRAFFIC_BASE_DELAY,
+    )
+    kernel = Kernel(
+        machine=config.build_machine(),
+        rng=RngStreams(config.seed),
+        aging_period_ns=config.aging_period_ns,
+    )
+    for process in processes:
+        kernel.register_process(process)
+    kernel.allocate_initial_placement()
+    kernel.set_policy(policy)
+    engine = QuantumEngine(
+        kernel,
+        quantum_ns=config.quantum_ns,
+        fusion=False,
+        arena=True,
+        intern=intern,
+    )
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    end_ns = engine.run(
+        config.duration_ns,
+        observer=observer,
+        observe_every_ns=config.duration_ns,
+    )
+    cpu = time.process_time() - cpu_start
+    wall = time.perf_counter() - wall_start
+    result = summarize_run(policy, kernel, engine, end_ns)
+    return cpu, wall, engine.quanta_run, result
+
+
+def time_trace_traffic(duration_ns=TRAFFIC_DURATION_NS, best_of=3):
+    """Interned vs uninterned arena stepping on the traffic fleet.
+
+    The same discarded-warm-up + interleaved best-of protocol as
+    ``time_class_dedup``; the difference is the fleet.  Here the 1,024
+    tenants come out of the traffic generator -- Zipf popularity,
+    diurnal load on a delay-bucket ladder, shared pattern tables -- so
+    the equivalence classes are emergent (pattern x delay bucket)
+    rather than scripted, and the speedup shows interning paying off
+    on generated fleet structure, not just on a hand-shared table set.
+    """
+    intern_stats = {}
+
+    def observer(eng, _now):
+        arena = eng._arena
+        if arena is not None and arena.intern:
+            intern_stats["n_classes"] = arena.n_classes
+            intern_stats["interned_segments"] = arena.interned_segments
+
+    _traffic_run(duration_ns, intern=True, observer=observer)
+
+    best = {True: None, False: None}
+    results = {}
+    for _ in range(max(1, best_of)):
+        for intern in (True, False):
+            cpu, wall, quanta, result = _traffic_run(
+                duration_ns, intern=intern, observer=observer
+            )
+            if best[intern] is None or cpu < best[intern][0]:
+                best[intern] = (cpu, wall, quanta)
+                results[intern] = result
+    runs = {}
+    for intern, key in ((True, "interned"), (False, "reference")):
+        cpu, wall, quanta = best[intern]
+        result = results[intern]
+        runs[key] = {
+            "cpu_sec": cpu,
+            "wall_sec": wall,
+            "quanta": quanta,
+            "quanta_per_cpu_sec": quanta / cpu if cpu else 0.0,
+            "throughput_per_sec": result.throughput_per_sec,
+            "fmar": result.fmar,
+        }
+    reference_qps = runs["reference"]["quanta_per_cpu_sec"]
+    return {
+        "config": {
+            "policy": TRAFFIC_POLICY,
+            "workload": "traffic",
+            "n_tenants": TRAFFIC_TENANTS,
+            "pages_per_tenant": TRAFFIC_PAGES,
+            "n_patterns": TRAFFIC_PATTERNS,
+            "base_delay_units": TRAFFIC_BASE_DELAY,
+            "fast_pages": TRAFFIC_FAST_PAGES,
+            "slow_pages": TRAFFIC_SLOW_PAGES,
+            "scan_period_sec": TRAFFIC_SCAN_PERIOD_NS / SECOND,
+            "aging_period_sec": TRAFFIC_AGING_PERIOD_NS / SECOND,
+            "quantum_ms": TRAFFIC_QUANTUM_NS / MILLISECOND,
+            "duration_sec": duration_ns / SECOND,
+            "fusion": False,
+            "timing": "engine.run only, process CPU time",
+        },
+        "interned": runs["interned"],
+        "reference": runs["reference"],
+        "n_classes": intern_stats.get("n_classes"),
+        "interned_segments": intern_stats.get("interned_segments"),
+        "equivalence": {
+            "throughput_rel_err": rel_err(
+                runs["interned"]["throughput_per_sec"],
+                runs["reference"]["throughput_per_sec"],
+            ),
+            "fmar_rel_err": rel_err(
+                runs["interned"]["fmar"], runs["reference"]["fmar"]
+            ),
+        },
+        "speedup": (
+            runs["interned"]["quanta_per_cpu_sec"] / reference_qps
+            if reference_qps else 0.0
+        ),
+    }
+
+
+def time_trace(best_of=3):
+    """The whole trace section: compile, replay, traffic fleet."""
+    return {
+        "compile": time_trace_compile(),
+        "replay": time_trace_replay(),
+        "traffic": time_trace_traffic(best_of=best_of),
+    }
+
+
+def print_trace(section):
+    comp = section["compile"]
+    print(
+        f"  trace compile: {comp['events_per_cpu_sec'] / 1e6:8.2f}M "
+        f"events/cpu-sec ({comp['n_events']:,d} events, "
+        f"{comp['n_phases_detected']}/{comp['n_phases_expected']} "
+        "phases detected)"
+    )
+    replay = section["replay"]
+    fused = replay["fused"]
+    equiv = replay["equivalence"]
+    print(
+        f"  trace replay ({TRACE_REPLAY_POLICY}, "
+        f"{replay['trace']['n_phases']} phases): "
+        f"fused {fused['quanta_per_sec']:8.1f} q/s "
+        f"({fused['fusion_ratio']:.0%} of quanta fused), "
+        f"speedup {replay['speedup']:.2f}x, "
+        f"fidelity={'ok' if equiv['ok'] else 'FAIL'}"
+    )
+    traffic = section["traffic"]
+    interned = traffic["interned"]
+    reference = traffic["reference"]
+    print(
+        f"  traffic fleet ({TRAFFIC_POLICY}, "
+        f"x{TRAFFIC_TENANTS}, {traffic['n_classes']} classes): "
+        f"interned {interned['quanta_per_cpu_sec']:8.1f} q/cpu-s, "
+        f"uninterned {reference['quanta_per_cpu_sec']:8.1f} q/cpu-s, "
+        f"speedup {traffic['speedup']:.2f}x"
+    )
+
+
+def run_quick_trace_gate(baseline):
+    """Trace compile, replay, and traffic floors vs the committed
+    trace section.
+
+    Five floors: compile throughput must clear ``TRACE_COMPILE_FLOOR``
+    events per CPU-second absolutely and
+    ``TRACE_COMPILE_GATE_FRACTION`` of the committed section; the
+    fused replay's fusion ratio must clear
+    ``TRACE_FUSION_RATIO_FLOOR`` and its fused-vs-per-quantum rel
+    errors must stay inside ``TRACE_EQUIV_TOLERANCE``; and the traffic
+    fleet's interning speedup must clear ``TRAFFIC_SPEEDUP_FLOOR``
+    (with interned quanta per CPU-second above
+    ``TRAFFIC_GATE_FRACTION`` of the committed section).  A missing or
+    pre-trace baseline skips the two committed-value comparisons; the
+    absolute floors always apply.  Returns ``(section, ok)``.
+    """
+    committed_compile = None
+    committed_traffic = None
+    try:
+        committed_compile = float(
+            baseline["trace"]["compile"]["events_per_cpu_sec"]
+        )
+    except (KeyError, ValueError, TypeError):
+        pass
+    try:
+        committed_traffic = float(
+            baseline["trace"]["traffic"]["interned"]["quanta_per_cpu_sec"]
+        )
+    except (KeyError, ValueError, TypeError):
+        pass
+    print(
+        f"  trace gate: compile {TRACE_COMPILE_EVENTS:,d} events, "
+        f"replay {TRACE_REPLAY_POLICY}, traffic x{TRAFFIC_TENANTS}, "
+        "best of 3"
+    )
+    section = time_trace(best_of=3)
+    print_trace(section)
+    section["compile"]["floor_events_per_cpu_sec"] = TRACE_COMPILE_FLOOR
+    section["compile"]["baseline_events_per_cpu_sec"] = committed_compile
+    section["compile"]["gate_fraction"] = TRACE_COMPILE_GATE_FRACTION
+    section["replay"]["fusion_ratio_floor"] = TRACE_FUSION_RATIO_FLOOR
+    section["traffic"]["baseline_interned_quanta_per_cpu_sec"] = (
+        committed_traffic
+    )
+    section["traffic"]["gate_fraction"] = TRAFFIC_GATE_FRACTION
+    section["traffic"]["speedup_floor"] = TRAFFIC_SPEEDUP_FLOOR
+    ok = True
+    measured_compile = section["compile"]["events_per_cpu_sec"]
+    if measured_compile < TRACE_COMPILE_FLOOR:
+        print(
+            f"  FAIL: compile throughput "
+            f"{measured_compile / 1e6:.2f}M events/cpu-sec is below "
+            f"the {TRACE_COMPILE_FLOOR / 1e6:.0f}M floor"
+        )
+        ok = False
+    if committed_compile is not None:
+        floor = TRACE_COMPILE_GATE_FRACTION * committed_compile
+        if measured_compile < floor:
+            print(
+                f"  FAIL: compile throughput "
+                f"{measured_compile / 1e6:.2f}M events/cpu-sec is "
+                f"below the {TRACE_COMPILE_GATE_FRACTION:.0%} "
+                "regression floor"
+            )
+            ok = False
+    ratio = section["replay"]["fused"]["fusion_ratio"]
+    if ratio < TRACE_FUSION_RATIO_FLOOR:
+        print(
+            f"  FAIL: replay fusion ratio {ratio:.0%} is below the "
+            f"{TRACE_FUSION_RATIO_FLOOR:.0%} floor"
+        )
+        ok = False
+    if not section["replay"]["equivalence"]["ok"]:
+        print(
+            "  FAIL: fused replay is not statistically equivalent to "
+            "the per-quantum replay"
+        )
+        ok = False
+    if section["traffic"]["speedup"] < TRAFFIC_SPEEDUP_FLOOR:
+        print(
+            "  FAIL: traffic interning speedup "
+            f"{section['traffic']['speedup']:.2f}x is below the "
+            f"{TRAFFIC_SPEEDUP_FLOOR:.1f}x floor"
+        )
+        ok = False
+    if committed_traffic is not None:
+        floor = TRAFFIC_GATE_FRACTION * committed_traffic
+        measured = section["traffic"]["interned"]["quanta_per_cpu_sec"]
+        if measured < floor:
+            print(
+                f"  FAIL: {measured:.1f} interned traffic "
+                "quanta/cpu-sec is below the "
+                f"{TRAFFIC_GATE_FRACTION:.0%} regression floor"
+            )
+            ok = False
+    if committed_compile is None or committed_traffic is None:
+        print(
+            "  no committed trace section; committed-value "
+            "comparisons skipped"
+        )
+    if ok:
+        print("  trace gate passed")
+    return section, ok
+
+
 def print_fusion(section):
     fused = section["fused"]
     per_quantum = section["per_quantum"]
@@ -1324,6 +1817,7 @@ def run_quick_gate(args, baseline_path: pathlib.Path) -> int:
     class_dedup_section, class_dedup_ok = run_quick_class_dedup_gate(
         baseline
     )
+    trace_section, trace_ok = run_quick_trace_gate(baseline)
 
     this_host = provenance()
     baseline_cpus = None
@@ -1360,13 +1854,14 @@ def run_quick_gate(args, baseline_path: pathlib.Path) -> int:
         "fusion_gate": fusion_section,
         "arena_gate": arena_section,
         "class_dedup_gate": class_dedup_section,
+        "trace_gate": trace_section,
     }
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"  wrote {out}")
     all_ok = (
         quanta_ok and sweep_ok and fusion_ok and arena_ok
-        and class_dedup_ok
+        and class_dedup_ok and trace_ok
     )
     return 0 if all_ok else 1
 
@@ -1405,9 +1900,15 @@ def main(argv=None) -> int:
             f"{FUSION_GATE_FRACTION:.0%} of the committed fusion "
             "section, the fused-vs-per-quantum speedup falls below "
             f"{FUSION_SPEEDUP_FLOOR:.1f}x, the arena-vs-per-process "
-            f"speedup falls below {ARENA_SPEEDUP_FLOOR:.1f}x, or the "
+            f"speedup falls below {ARENA_SPEEDUP_FLOOR:.1f}x, the "
             "interned-vs-uninterned class dedup speedup falls below "
-            f"{CLASS_DEDUP_SPEEDUP_FLOOR:.1f}x"
+            f"{CLASS_DEDUP_SPEEDUP_FLOOR:.1f}x, trace compile "
+            "throughput falls below "
+            f"{TRACE_COMPILE_FLOOR / 1e6:.0f}M events/cpu-sec, the "
+            "replayed trace's fusion ratio falls below "
+            f"{TRACE_FUSION_RATIO_FLOOR:.0%}, or the traffic fleet's "
+            "interning speedup falls below "
+            f"{TRAFFIC_SPEEDUP_FLOOR:.1f}x"
         ),
     )
     parser.add_argument(
@@ -1519,6 +2020,8 @@ def main(argv=None) -> int:
     print_arena(arena)
     class_dedup = time_class_dedup()
     print_class_dedup(class_dedup)
+    trace = time_trace()
+    print_trace(trace)
 
     scaling = None
     scaling_ok = True
@@ -1551,6 +2054,7 @@ def main(argv=None) -> int:
         "fusion": fusion,
         "arena": arena,
         "class_dedup": class_dedup,
+        "trace": trace,
         "scaling": scaling,
         "profile": optimized["profile"],
     }
@@ -1576,6 +2080,37 @@ def main(argv=None) -> int:
             "  FAIL: interning speedup "
             f"{class_dedup['speedup']:.2f}x is below the "
             f"{CLASS_DEDUP_SPEEDUP_FLOOR:.1f}x floor"
+        )
+        ok = False
+    if trace["compile"]["events_per_cpu_sec"] < TRACE_COMPILE_FLOOR:
+        print(
+            "  FAIL: trace compile throughput "
+            f"{trace['compile']['events_per_cpu_sec'] / 1e6:.2f}M "
+            f"events/cpu-sec is below the "
+            f"{TRACE_COMPILE_FLOOR / 1e6:.0f}M floor"
+        )
+        ok = False
+    if (
+        trace["replay"]["fused"]["fusion_ratio"]
+        < TRACE_FUSION_RATIO_FLOOR
+    ):
+        print(
+            "  FAIL: replay fusion ratio "
+            f"{trace['replay']['fused']['fusion_ratio']:.0%} is below "
+            f"the {TRACE_FUSION_RATIO_FLOOR:.0%} floor"
+        )
+        ok = False
+    if not trace["replay"]["equivalence"]["ok"]:
+        print(
+            "  FAIL: fused replay is not statistically equivalent to "
+            "the per-quantum replay"
+        )
+        ok = False
+    if trace["traffic"]["speedup"] < TRAFFIC_SPEEDUP_FLOOR:
+        print(
+            "  FAIL: traffic interning speedup "
+            f"{trace['traffic']['speedup']:.2f}x is below the "
+            f"{TRAFFIC_SPEEDUP_FLOOR:.1f}x floor"
         )
         ok = False
     return 0 if ok else 1

@@ -1,6 +1,6 @@
 """Command-line interface: ``chrono-sim``.
 
-Seven subcommands:
+Nine subcommands:
 
 * ``chrono-sim run`` -- one experiment (policy x workload), printing the
   headline metrics (optionally as JSON).  ``--profile`` adds
@@ -20,6 +20,12 @@ Seven subcommands:
   several workload families, scored against per-workload all-DRAM
   reference runs and ranked by geomean slowdown; prints the
   leaderboard and writes a JSON artifact.
+* ``chrono-sim replay`` -- compile recorded traces (window ``.npz``,
+  event ``.npz``, or event ``.csv``) through the trace compiler and
+  replay them on the fused fast path under any policy.
+* ``chrono-sim traffic`` -- the fleet traffic generator: Zipf tenant
+  popularity, diurnal load, churn, and scripted phase shifts at
+  arena+interning speed.
 * ``chrono-sim policies`` -- the available tiering systems and the
   Table 1 characteristics.
 * ``chrono-sim defaults`` -- Chrono's Table 2 parameter defaults.
@@ -63,11 +69,11 @@ from repro.policies.registry import (
     make_policy,
     policy_names,
 )
-from repro.sim.timeunits import SECOND
+from repro.sim.timeunits import MILLISECOND, SECOND
 
 WORKLOADS = (
     "pmbench", "graph500", "memcached", "multitenant", "redis",
-    "shifting-hotspot",
+    "shifting-hotspot", "traffic",
 )
 
 
@@ -232,6 +238,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_sweep_args(tour_p)
 
+    replay_p = sub.add_parser(
+        "replay",
+        help="compile recorded traces and replay them on the fused "
+        "fast path",
+    )
+    replay_p.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="trace files: recorder window .npz, event .npz "
+        "(timestamp_ns/pid/vpn/is_write), or event .csv",
+    )
+    replay_p.add_argument(
+        "--policy", default="chrono", choices=policy_names(),
+        help="tiering policy (default: chrono)",
+    )
+    replay_p.add_argument(
+        "--window-ms", type=float, default=None, metavar="MS",
+        help="binning window for event-format traces (default: 1000; "
+        "window-format traces always use their recorded interval)",
+    )
+    replay_p.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="total-variation change-point threshold for phase "
+        "segmentation (default: 0.25)",
+    )
+    replay_p.add_argument(
+        "--delay-units", type=int, default=0,
+        help="per-access think time added to every replayed process, "
+        "in pmbench delay units (default: 0)",
+    )
+    replay_p.add_argument(
+        "--duration", type=float, default=0.0,
+        help="simulated seconds (default: one full replay cycle of "
+        "the longest compiled trace)",
+    )
+    replay_p.add_argument("--fast-pages", type=int, default=4_096,
+                          help="fast-tier capacity (default: 4096)")
+    replay_p.add_argument("--slow-pages", type=int, default=32_768,
+                          help="slow-tier capacity (default: 32768)")
+    replay_p.add_argument(
+        "--page-scale", type=int, default=64,
+        help="real pages per simulated page (default: 64)",
+    )
+    replay_p.add_argument("--seed", type=int, default=0,
+                          help="root RNG seed (default: 0)")
+    replay_p.add_argument(
+        "--no-fusion", action="store_true",
+        help="disable event-horizon quantum fusion",
+    )
+    replay_p.add_argument(
+        "--no-arena", action="store_true",
+        help="disable cross-process arena stepping",
+    )
+    replay_p.add_argument(
+        "--no-intern", action="store_true",
+        help="disable arena distribution interning",
+    )
+    replay_p.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of a table",
+    )
+
+    traffic_p = sub.add_parser(
+        "traffic",
+        help="run the fleet traffic generator (Zipf tenants, diurnal "
+        "load, churn, phase shifts) under one policy",
+    )
+    _add_machine_args(traffic_p)
+    traffic_p.add_argument(
+        "--policy", default="chrono", choices=policy_names(),
+        help="tiering policy (default: chrono)",
+    )
+    traffic_p.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of a table",
+    )
+
     sub.add_parser("policies", help="list policies and Table 1")
     sub.add_parser("defaults", help="print Chrono's Table 2 defaults")
     return parser
@@ -268,6 +350,31 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
         help="distinct distribution tables shared round-robin across "
         "multitenant tenants (default: 1; >1 exercises the arena's "
         "distribution interning)",
+    )
+    parser.add_argument(
+        "--users", type=int, default=1_000_000,
+        help="simulated users mapped onto traffic-workload tenants "
+        "via Zipf popularity (default: 1000000)",
+    )
+    parser.add_argument(
+        "--patterns", type=int, default=8,
+        help="distinct shared page-popularity tables for the traffic "
+        "workload (default: 8)",
+    )
+    parser.add_argument(
+        "--zipf", type=float, default=1.1,
+        help="Zipf exponent of traffic-workload tenant popularity "
+        "(default: 1.1)",
+    )
+    parser.add_argument(
+        "--churn-fraction", type=float, default=0.0,
+        help="fraction of traffic-workload tenants that churn: half "
+        "exit mid-run, half spawn mid-run (default: 0)",
+    )
+    parser.add_argument(
+        "--shift-fraction", type=float, default=0.0,
+        help="fraction of traffic-workload tenants with scripted "
+        "phase shifts between two pattern tables (default: 0)",
     )
     parser.add_argument("--duration", type=float, default=60.0,
                         help="simulated seconds (default: 60)")
@@ -375,6 +482,19 @@ def _workload_kwargs(args) -> dict:
             n_distinct=args.distinct_tables,
             read_write_ratio=args.rw_ratio,
             base_delay_units=args.base_delay_units,
+        )
+    if args.workload == "traffic":
+        return dict(
+            n_tenants=args.tenants,
+            n_users=args.users,
+            pages_per_tenant=args.pages,
+            n_patterns=args.patterns,
+            zipf_s=args.zipf,
+            # the multitenant flag's 0 default means "unset" here: the
+            # traffic generator needs a positive think-time base
+            base_delay_units=args.base_delay_units or 200,
+            churn_fraction=args.churn_fraction,
+            phase_shift_fraction=args.shift_fraction,
         )
     kwargs = dict(n_procs=args.procs, pages_per_proc=args.pages)
     if args.workload == "pmbench":
@@ -751,6 +871,156 @@ def cmd_tournament(args) -> int:
     return 0
 
 
+def _fusion_ratio(engine) -> float:
+    """Fraction of simulated quanta the engine covered with fused steps."""
+    if engine is None or not engine.quanta_run:
+        return 0.0
+    return engine.fused_quanta / engine.quanta_run
+
+
+def cmd_replay(args) -> int:
+    """Compile trace files and replay them under one policy."""
+    from repro.sim.rng import RngStreams
+    from repro.vm.process import SimProcess
+    from repro.workloads.compile import compile_trace_file
+
+    window_ns = (
+        int(args.window_ms * MILLISECOND)
+        if args.window_ms is not None
+        else None
+    )
+    compiled = {}
+    for path in args.files:
+        for pid, trace in compile_trace_file(
+            path, window_ns=window_ns, threshold=args.threshold
+        ).items():
+            compiled[len(compiled)] = (path, pid, trace)
+    streams = RngStreams(args.seed)
+    processes = [
+        SimProcess(
+            pid=new_pid,
+            workload=trace.to_workload(
+                delay_ns_per_access=args.delay_units * 50 / 2.6
+            ),
+            rng=streams.spawn(f"replay-{new_pid}").get("access"),
+            name=f"replay-{new_pid}",
+        )
+        for new_pid, (_, _, trace) in compiled.items()
+    ]
+    duration_ns = (
+        int(args.duration * SECOND)
+        if args.duration > 0
+        else max(t.total_ns for _, _, t in compiled.values())
+    )
+    setup = StandardSetup(
+        fast_pages=args.fast_pages,
+        slow_pages=args.slow_pages,
+        page_scale=args.page_scale,
+        duration_ns=duration_ns,
+        seed=args.seed,
+    )
+    policy = setup.build_policy(args.policy)
+    result = run_experiment(
+        processes, policy, setup.run_config(**_config_overrides(args))
+    )
+    ratio = _fusion_ratio(result.engine)
+    traces = [
+        {
+            "file": str(path),
+            "trace_pid": pid,
+            "replay_pid": new_pid,
+            "n_events": trace.n_events,
+            "n_windows": trace.n_windows,
+            "n_idle_windows": trace.n_idle_windows,
+            "n_phases": trace.n_phases,
+            "n_pages": trace.n_pages,
+            "cycle_sec": trace.total_ns / 1e9,
+        }
+        for new_pid, (path, pid, trace) in compiled.items()
+    ]
+    if args.json:
+        print(json.dumps({
+            "policy": result.policy_name,
+            "duration_sec": result.duration_ns / 1e9,
+            "throughput_per_sec": result.throughput_per_sec,
+            "fmar": result.fmar,
+            "fusion_ratio": ratio,
+            "traces": traces,
+        }, indent=2))
+        return 0
+    print(f"policy            {result.policy_name}")
+    print(f"replayed traces   {len(traces)}")
+    print(f"simulated         {result.duration_ns / 1e9:.1f} s")
+    print(f"throughput        {result.throughput_per_sec:.3e} ops/s")
+    print(f"FMAR              {100 * result.fmar:.1f} %")
+    print(f"fusion ratio      {100 * ratio:.1f} %")
+    print()
+    print(format_table(
+        ["file", "pid", "events", "windows", "idle", "phases"],
+        [
+            [
+                row["file"], row["trace_pid"], row["n_events"],
+                row["n_windows"], row["n_idle_windows"],
+                row["n_phases"],
+            ]
+            for row in traces
+        ],
+        title="compiled traces",
+    ))
+    return 0
+
+
+def cmd_traffic(args) -> int:
+    """Run the fleet traffic generator under one policy."""
+    args.workload = "traffic"
+    setup = _setup_from_args(args)
+    policy = setup.build_policy(args.policy)
+    hub = ObsHub.create(metrics=True)
+    try:
+        processes = build_fleet(
+            setup, "traffic", obs=hub, **_workload_kwargs(args)
+        )
+        result = run_experiment(
+            processes, policy,
+            setup.run_config(**_config_overrides(args)), obs=hub,
+        )
+        gauges = hub.snapshot()["gauges"]
+    finally:
+        hub.close()
+    ratio = _fusion_ratio(result.engine)
+    finished = sum(process.finished for process in processes)
+    payload = {
+        "policy": result.policy_name,
+        "n_tenants": args.tenants,
+        "n_users": args.users,
+        "n_patterns": args.patterns,
+        "duration_sec": result.duration_ns / 1e9,
+        "throughput_per_sec": result.throughput_per_sec,
+        "fmar": result.fmar,
+        "fusion_ratio": ratio,
+        "tenants_exited": finished,
+        "interned_classes": gauges.get("arena.interned_classes", 0.0),
+        "interned_segments": gauges.get(
+            "arena.interned_segments", 0.0
+        ),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"policy            {result.policy_name}")
+    print(f"tenants           {args.tenants} "
+          f"({args.users} users, {args.patterns} patterns)")
+    print(f"simulated         {result.duration_ns / 1e9:.1f} s")
+    print(f"throughput        {result.throughput_per_sec:.3e} ops/s")
+    print(f"FMAR              {100 * result.fmar:.1f} %")
+    print(f"fusion ratio      {100 * ratio:.1f} %")
+    print(f"tenants exited    {finished}")
+    print(f"interned          "
+          f"{payload['interned_segments']:.0f} segments in "
+          f"{payload['interned_classes']:.0f} classes")
+    return 0
+
+
 def cmd_policies(_args) -> int:
     """List the available policies and the Table 1 characteristics."""
     print("Available policies:", ", ".join(policy_names()))
@@ -778,6 +1048,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": cmd_compare,
         "sweep": cmd_sweep,
         "tournament": cmd_tournament,
+        "replay": cmd_replay,
+        "traffic": cmd_traffic,
         "policies": cmd_policies,
         "defaults": cmd_defaults,
     }

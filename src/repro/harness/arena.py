@@ -786,6 +786,13 @@ class ProcessArena:
         # Finished segments price to zero in one multiply (True is an
         # exact 1.0 factor, so live lanes are untouched bit for bit).
         np.multiply(n_vec, live_mask, out=n_vec)
+        # Zero-mass lanes (idle trace phases) complete no accesses.
+        # ``sign`` of the non-negative per-segment mass total is an
+        # exact 1.0 for every lane with traffic, so normal segments
+        # stay bit-identical to the per-process path.
+        np.sum(self.mass, axis=1, out=tmp)
+        np.sign(tmp, out=tmp)
+        np.multiply(n_vec, tmp, out=n_vec)
         n_list = n_vec.tolist()
         if profiler is not None:
             profiler.pop()
@@ -1069,6 +1076,13 @@ class ProcessArena:
                 budget, per_cost, out=n_vec, where=per_cost > 0.0
             )
             np.multiply(n_vec, live_mask, out=n_vec)
+            # Zero-mass lanes (idle trace phases) complete no accesses;
+            # sign() of the non-negative mass total is an exact 1.0 for
+            # lanes with traffic (see _step_reference).
+            zm = self._tmp
+            np.sum(self.mass, axis=1, out=zm)
+            np.sign(zm, out=zm)
+            np.multiply(n_vec, zm, out=n_vec)
         if profiler is not None:
             profiler.pop()
 

@@ -686,8 +686,11 @@ class QuantumEngine:
             masses = pricing_mass.tolist()
             read_fraction = 1.0 - write_fraction
             mean_latency = 0.0
+            total_mass = 0.0
             for tier_id in range(self._n_tiers):
-                mean_latency += masses[tier_id] * (
+                mass = masses[tier_id]
+                total_mass += mass
+                mean_latency += mass * (
                     read_fraction * read_lats[tier_id]
                     + write_fraction * write_lats[tier_id]
                 )
@@ -700,13 +703,17 @@ class QuantumEngine:
                 + write_fraction * machine.write_latency_ns[tier_idx]
             ) * multipliers[tier_idx]
             mean_latency = float(probs @ per_page_latency)
+            total_mass = float(pricing_mass.sum())
 
         kernel_used = process.drain_pending_kernel(quantum_ns)
         budget = quantum_ns - kernel_used
         per_access_cost = mean_latency + workload.delay_ns_per_access
         # A zero-page process prices to zero cost (and may run with zero
-        # compute delay): it simply completes no accesses.
-        if per_access_cost > 0.0:
+        # compute delay): it simply completes no accesses.  A zero-*mass*
+        # distribution (an idle trace phase) likewise completes none --
+        # without the gate its compute delay alone would price accesses
+        # that touch no pages and inflate throughput.
+        if per_access_cost > 0.0 and total_mass > 0.0:
             n_accesses = max(budget, 0.0) / per_access_cost
         else:
             n_accesses = 0.0

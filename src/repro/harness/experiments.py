@@ -358,6 +358,45 @@ def multitenant_processes(
     return [process for process, _cgroup in pairs]
 
 
+def traffic_processes(
+    setup: StandardSetup,
+    n_tenants: int = 64,
+    n_users: int = 1_000_000,
+    pages_per_tenant: int = 256,
+    n_patterns: int = 8,
+    zipf_s: float = 1.1,
+    base_delay_units: int = 200,
+    churn_fraction: float = 0.0,
+    phase_shift_fraction: float = 0.0,
+    **kwargs,
+) -> List[SimProcess]:
+    """The fleet-traffic-generator family (Zipf tenants, diurnal load).
+
+    Thin adapter over
+    :func:`repro.workloads.tracegen.make_traffic_processes` that feeds
+    the setup's seed and run duration into the generator, so churn exit
+    times and spawn lead-ins land inside the simulated window.  The
+    default fleet (64 tenants x 256 pages) fits the standard machine,
+    so trace-driven tournament and sweep cells work without sizing
+    flags.
+    """
+    from repro.workloads.tracegen import make_traffic_processes
+
+    return make_traffic_processes(
+        n_tenants=n_tenants,
+        n_users=n_users,
+        pages_per_tenant=pages_per_tenant,
+        n_patterns=n_patterns,
+        zipf_s=zipf_s,
+        base_delay_units=base_delay_units,
+        churn_fraction=churn_fraction,
+        phase_shift_fraction=phase_shift_fraction,
+        duration_ns=setup.duration_ns,
+        seed=setup.seed,
+        **kwargs,
+    )
+
+
 #: named fleet builders the declarative sweep layer (and the CLI) can
 #: reference; every builder takes ``(setup, **kwargs)`` and returns a
 #: fresh process list
@@ -372,6 +411,7 @@ FLEET_BUILDERS = {
         setup, flavor="redis", **kw
     ),
     "shifting-hotspot": shifting_hotspot_processes,
+    "traffic": traffic_processes,
 }
 
 

@@ -366,6 +366,39 @@ EVENT_SCHEMA: Dict[str, EventSpec] = {
             ),
         ),
         EventSpec(
+            name="compile.trace",
+            module="repro.workloads.compile",
+            description=(
+                "The trace compiler finished one process's trace: "
+                "events binned into windows, windows segmented into "
+                "phases, tables interned.  Harness scope: 't' is the "
+                "compiled trace's replay span in nanoseconds."
+            ),
+            fields=_fields(
+                pid=("id", "compiled process"),
+                n_events=("count", "raw address events ingested"),
+                n_windows=("count", "histogram windows binned"),
+                n_idle=("count", "windows with zero traffic"),
+                n_phases=("count", "phases after segmentation"),
+            ),
+        ),
+        EventSpec(
+            name="tracegen.fleet",
+            module="repro.workloads.tracegen",
+            description=(
+                "The traffic generator built one tenant fleet.  "
+                "Harness scope: emitted at build time, so 't' is "
+                "always 0."
+            ),
+            fields=_fields(
+                n_tenants=("count", "tenant processes built"),
+                n_users=("count", "simulated users mapped onto tenants"),
+                n_patterns=("count", "distinct shared pattern tables"),
+                n_churn=("count", "tenants that churn (exit or spawn)"),
+                n_shifting=("count", "tenants with scripted phase shifts"),
+            ),
+        ),
+        EventSpec(
             name="engine.fused",
             module="repro.harness.engine",
             description=(

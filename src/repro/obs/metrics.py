@@ -272,6 +272,32 @@ METRIC_CATALOGUE: Dict[str, MetricSpec] = {
         _spec("workload.table_bytes", "gauge", "bytes",
               "repro.workloads.base",
               "bytes resident in the compiled-table cache."),
+        # -- trace compiler ---------------------------------------------
+        _spec("compile.events", "counter", "count",
+              "repro.workloads.compile",
+              "raw address events ingested by the trace compiler."),
+        _spec("compile.windows", "counter", "count",
+              "repro.workloads.compile",
+              "histogram windows binned by the trace compiler."),
+        _spec("compile.idle_windows", "counter", "count",
+              "repro.workloads.compile",
+              "binned windows that carried zero traffic."),
+        _spec("compile.phases", "counter", "count",
+              "repro.workloads.compile",
+              "phases emitted by change-point segmentation."),
+        # -- traffic generator ------------------------------------------
+        _spec("tracegen.tenants", "gauge", "count",
+              "repro.workloads.tracegen",
+              "tenant processes in the last generated fleet."),
+        _spec("tracegen.users", "gauge", "count",
+              "repro.workloads.tracegen",
+              "simulated users mapped onto the last generated fleet."),
+        _spec("tracegen.patterns", "gauge", "count",
+              "repro.workloads.tracegen",
+              "distinct shared pattern tables in the last fleet."),
+        _spec("tracegen.churn_tenants", "gauge", "count",
+              "repro.workloads.tracegen",
+              "tenants that churn (exit or spawn) in the last fleet."),
         _spec("machine.fast_free_pages", "gauge", "pages",
               "repro.mem.machine", "fast-tier free frames."),
         _spec("machine.slow_free_pages", "gauge", "pages",

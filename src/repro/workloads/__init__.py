@@ -14,6 +14,10 @@ paper's benchmarks exhibit:
   key-value traffic, the Section 5.3 applications.
 * :mod:`repro.workloads.multitenant` -- the 50-cgroup mixed-hotness setup
   of Section 5.1.3.
+* :mod:`repro.workloads.compile` -- the trace compiler: raw address-event
+  streams binned and phase-segmented into fast-path distribution tables.
+* :mod:`repro.workloads.tracegen` -- the fleet traffic generator: Zipf
+  tenant popularity, diurnal load, churn, and scripted phase shifts.
 """
 
 from repro.workloads.base import (
@@ -27,23 +31,43 @@ from repro.workloads.base import (
     table_cache_stats,
     table_key,
 )
+from repro.workloads.compile import (
+    CompiledTrace,
+    StationaryTableWorkload,
+    compile_event_stream,
+    compile_events,
+    compile_trace_file,
+    compile_windows,
+    segment_windows,
+    synthetic_event_stream,
+)
 from repro.workloads.graph500 import Graph500Workload
 from repro.workloads.kvstore import KVStoreWorkload
 from repro.workloads.multitenant import make_multitenant_processes
 from repro.workloads.pmbench import PmbenchWorkload
+from repro.workloads.tracegen import make_traffic_processes
 
 __all__ = [
+    "CompiledTrace",
     "Graph500Workload",
     "KVStoreWorkload",
     "PmbenchWorkload",
+    "StationaryTableWorkload",
     "TraceWorkload",
     "Workload",
     "cached_tables",
+    "compile_event_stream",
+    "compile_events",
+    "compile_trace_file",
+    "compile_windows",
     "distribution_fingerprint",
     "make_multitenant_processes",
+    "make_traffic_processes",
     "reset_table_cache",
     "seed_tables",
+    "segment_windows",
     "snapshot_tables",
+    "synthetic_event_stream",
     "table_cache_stats",
     "table_key",
 ]

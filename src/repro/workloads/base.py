@@ -278,6 +278,16 @@ class TraceWorkload(Workload):
     Useful for tests and for replaying recorded page-weight traces.
     ``phases`` is a list of (duration_ns, weight-vector) pairs cycled
     forever; a single phase makes the workload stationary.
+
+    A phase whose weight vector has zero total mass is an *idle*
+    (zero-traffic) phase: the engine completes no accesses while it is
+    active, which preserves the wall-clock shape of recorded traces
+    that contain idle windows.  At least one phase must carry positive
+    mass.  ``assume_normalized=True`` stores positive-mass vectors by
+    reference instead of copy-normalizing them -- the trace compiler
+    uses this to hand every instance the *same* frozen
+    :func:`cached_tables` array so the engine's identity-based fusion
+    witness and the arena's interning keys see shared tables.
     """
 
     name = "trace"
@@ -287,6 +297,7 @@ class TraceWorkload(Workload):
         phases,
         write_fraction: float = 0.05,
         delay_ns_per_access: float = 0.0,
+        assume_normalized: bool = False,
     ) -> None:
         if not phases:
             raise ValueError("need at least one phase")
@@ -298,7 +309,20 @@ class TraceWorkload(Workload):
             raise ValueError("all phases must cover the same pages")
         super().__init__(n_pages, write_fraction, delay_ns_per_access)
         self._durations = [int(d) for d in durations]
-        self._probs = [self._normalize(w) for w in weights]
+        self._probs = []
+        positive_phases = 0
+        for w in weights:
+            arr = np.asarray(w, dtype=np.float64)
+            if float(arr.sum()) > 0.0:
+                positive_phases += 1
+                if not assume_normalized:
+                    arr = self._normalize(arr)
+            else:
+                arr = np.zeros(n_pages, dtype=np.float64)
+                arr.setflags(write=False)
+            self._probs.append(arr)
+        if positive_phases == 0:
+            raise ValueError("access weights must have positive mass")
         self._cycle_ns = sum(self._durations)
         self._phase = 0
 

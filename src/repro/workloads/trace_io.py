@@ -11,12 +11,24 @@ simulator's ground-truth counters make this cheap:
 * :meth:`TraceRecorder.to_workload` / :func:`load_trace` rebuild a
   :class:`~repro.workloads.base.TraceWorkload` that replays the recorded
   phases.
+
+Format history
+--------------
+
+* **v1** stacked the recorded windows but readers *dropped* windows with
+  zero traffic, silently compressing replay time and shifting every
+  later phase boundary.
+* **v2** (current) preserves idle windows: consecutive zero-traffic
+  windows become one coalesced zero-traffic phase, so a replayed trace
+  keeps the original wall-clock shape.  The on-disk layout is unchanged
+  (v1 files load fine); only the version stamp and the reader's idle
+  handling differ.
 """
 
 from __future__ import annotations
 
 import pathlib
-from typing import Dict, List, Union
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
@@ -24,7 +36,44 @@ from repro.workloads.base import TraceWorkload
 
 PathLike = Union[str, pathlib.Path]
 
-TRACE_FORMAT_VERSION = 1
+TRACE_FORMAT_VERSION = 2
+
+#: versions :func:`load_trace` accepts (v1 traces stay readable)
+READABLE_TRACE_VERSIONS = (1, 2)
+
+
+def windows_to_phases(
+    windows: np.ndarray, interval_ns: int
+) -> List[Tuple[int, np.ndarray]]:
+    """Convert stacked per-window counts into ``(duration_ns, weights)``
+    phases, preserving idle windows.
+
+    Windows with traffic become one phase each; runs of consecutive
+    zero-traffic windows coalesce into a single zero-weight phase whose
+    duration covers the whole idle run, so replay neither compresses
+    time nor splits the idle span into per-window phases.
+    """
+    windows = np.asarray(windows, dtype=np.float64)
+    phases: List[Tuple[int, np.ndarray]] = []
+    idle_run = 0
+    for i in range(windows.shape[0]):
+        window = windows[i]
+        if float(window.sum()) > 0.0:
+            if idle_run:
+                phases.append(
+                    (idle_run * interval_ns,
+                     np.zeros(windows.shape[1], dtype=np.float64))
+                )
+                idle_run = 0
+            phases.append((interval_ns, window))
+        else:
+            idle_run += 1
+    if idle_run:
+        phases.append(
+            (idle_run * interval_ns,
+             np.zeros(windows.shape[1], dtype=np.float64))
+        )
+    return phases
 
 
 class TraceRecorder:
@@ -58,8 +107,10 @@ class TraceRecorder:
             )
             self._last_counts[process.pid] = counts.copy()
             self._windows.setdefault(process.pid, []).append(window)
-            self._write_fraction[process.pid] = (
-                process.workload.write_fraction
+            # Duck-typed workloads (test stubs, custom drivers) may not
+            # expose a write mix; fall back to the recorder default.
+            self._write_fraction[process.pid] = float(
+                getattr(process.workload, "write_fraction", 0.05)
             )
 
     def pids(self) -> List[int]:
@@ -68,16 +119,19 @@ class TraceRecorder:
     def n_windows(self, pid: int) -> int:
         return len(self._windows.get(pid, []))
 
+    def windows(self, pid: int) -> List[np.ndarray]:
+        """The raw recorded windows for one process (idle included)."""
+        return list(self._windows.get(pid, []))
+
     def to_workload(self, pid: int) -> TraceWorkload:
         """Rebuild a replayable workload from a process's recorded
-        windows (windows without traffic are skipped)."""
-        windows = [
-            w for w in self._windows.get(pid, []) if w.sum() > 0
-        ]
-        if not windows:
+        windows; idle windows are preserved as zero-traffic phases."""
+        recorded = self._windows.get(pid, [])
+        if not recorded or not any(w.sum() > 0 for w in recorded):
             raise ValueError(f"no recorded traffic for pid {pid}")
+        phases = windows_to_phases(np.stack(recorded), self.interval_ns)
         return TraceWorkload(
-            [(self.interval_ns, w) for w in windows],
+            phases,
             write_fraction=self._write_fraction.get(pid, 0.05),
         )
 
@@ -89,6 +143,22 @@ class TraceRecorder:
             self.interval_ns,
             self._write_fraction.get(pid, 0.05),
         )
+
+    def save_all(self, path_dir: PathLike) -> Dict[int, pathlib.Path]:
+        """Persist every recorded process under ``path_dir``.
+
+        Writes one ``trace_pid<PID>.npz`` per process and returns the
+        ``pid -> path`` mapping, so multi-process runs persist in one
+        call.  The directory is created if needed.
+        """
+        directory = pathlib.Path(path_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        saved: Dict[int, pathlib.Path] = {}
+        for pid in self.pids():
+            path = directory / f"trace_pid{pid}.npz"
+            self.save(path, pid)
+            saved[pid] = path
+        return saved
 
 
 def save_trace(
@@ -110,22 +180,36 @@ def save_trace(
     )
 
 
-def load_trace(path: PathLike) -> TraceWorkload:
-    """Load a trace file into a replayable workload."""
+def load_trace_windows(
+    path: PathLike,
+) -> Tuple[np.ndarray, int, float]:
+    """Load a trace file's raw ``(windows, interval_ns, write_fraction)``.
+
+    The trace compiler ingests these for re-binning and phase
+    segmentation; :func:`load_trace` wraps the same reader for direct
+    replay.  Accepts any version in :data:`READABLE_TRACE_VERSIONS`.
+    """
     with np.load(path) as data:
         version = int(data["version"])
-        if version != TRACE_FORMAT_VERSION:
+        if version not in READABLE_TRACE_VERSIONS:
             raise ValueError(
                 f"unsupported trace format version {version}"
             )
         interval_ns = int(data["interval_ns"])
         write_fraction = float(data["write_fraction"])
-        windows = data["windows"]
-    phases = [
-        (interval_ns, windows[i])
-        for i in range(windows.shape[0])
-        if windows[i].sum() > 0
-    ]
-    if not phases:
+        windows = np.asarray(data["windows"], dtype=np.float64)
+    return windows, interval_ns, write_fraction
+
+
+def load_trace(path: PathLike) -> TraceWorkload:
+    """Load a trace file into a replayable workload.
+
+    Idle windows are preserved as coalesced zero-traffic phases (the v2
+    semantics); v1 files load under the same rules, so replaying an old
+    trace no longer compresses its idle time.
+    """
+    windows, interval_ns, write_fraction = load_trace_windows(path)
+    phases = windows_to_phases(windows, interval_ns)
+    if not any(float(w.sum()) > 0.0 for _, w in phases):
         raise ValueError(f"trace {path!r} contains no traffic")
     return TraceWorkload(phases, write_fraction=write_fraction)

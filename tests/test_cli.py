@@ -220,3 +220,81 @@ class TestInfoCommands:
         out = capsys.readouterr().out
         assert "chrono.scan_period_sec" in out
         assert "chrono.p_victim" in out
+
+
+REPLAY_MACHINE = [
+    "--fast-pages", "256",
+    "--slow-pages", "1024",
+    "--page-scale", "8",
+]
+
+FIXTURE_CSV = "tests/data/sample_events.csv"
+FIXTURE_NPZ = "tests/data/sample_trace.npz"
+
+
+class TestReplay:
+    def test_replay_csv_fixture(self, capsys):
+        code = main(
+            ["replay", FIXTURE_CSV, "--policy", "multiclock"]
+            + REPLAY_MACHINE
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fusion ratio" in out
+        assert "compiled traces" in out
+
+    def test_replay_json(self, capsys):
+        code = main(
+            ["replay", FIXTURE_NPZ, FIXTURE_CSV, "--json"]
+            + REPLAY_MACHINE
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "chrono"
+        assert payload["throughput_per_sec"] > 0
+        assert 0.0 <= payload["fusion_ratio"] <= 1.0
+        # One window-format trace plus two event-stream pids.
+        assert len(payload["traces"]) == 3
+        assert any(t["n_idle_windows"] >= 1 for t in payload["traces"])
+
+    def test_replay_duration_override(self, capsys):
+        code = main(
+            ["replay", FIXTURE_CSV, "--duration", "2", "--no-fusion"]
+            + REPLAY_MACHINE
+        )
+        assert code == 0
+        payload_out = capsys.readouterr().out
+        assert "2.0 s" in payload_out
+
+    def test_replay_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            main(["replay", "no/such/file.npz"] + REPLAY_MACHINE)
+
+
+class TestTraffic:
+    TRAFFIC_ARGS = [
+        "--tenants", "8",
+        "--users", "1000",
+        "--pages", "64",
+        "--patterns", "4",
+        "--duration", "2",
+    ] + REPLAY_MACHINE
+
+    def test_traffic_text_output(self, capsys):
+        code = main(["traffic", "--policy", "linux-nb"]
+                    + self.TRAFFIC_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tenants           8" in out
+        assert "interned" in out
+
+    def test_traffic_json_with_churn(self, capsys):
+        code = main(
+            ["traffic", "--json", "--churn-fraction", "0.25",
+             "--shift-fraction", "0.25"] + self.TRAFFIC_ARGS
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_tenants"] == 8
+        assert payload["throughput_per_sec"] > 0
+        assert payload["interned_segments"] >= 0
